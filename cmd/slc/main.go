@@ -1,0 +1,141 @@
+// Command slc is the S-1 Lisp compiler driver: it compiles Lisp source
+// files to S-1 assembly, optionally prints the §5-style optimizer
+// transcript and the generated listings, runs top-level forms and a named
+// entry function on the simulator, and reports the machine meters.
+//
+// Usage:
+//
+//	slc [flags] file.lisp [args...]
+//
+// Flags select phases (every phase defaults to on), mirror the paper's
+// ablations, and control output:
+//
+//	slc -listing -transcript examples/testfn.lisp
+//	slc -run main -stats prog.lisp 10 20
+//	slc -no-tnbind -no-rep -listing prog.lisp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/sexp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "slc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		noOpt      = flag.Bool("no-opt", false, "disable the source-level optimizer")
+		noTN       = flag.Bool("no-tnbind", false, "disable TNBIND register allocation")
+		noRep      = flag.Bool("no-rep", false, "disable representation analysis")
+		noPdl      = flag.Bool("no-pdl", false, "disable pdl-number stack allocation")
+		noCache    = flag.Bool("no-spec-cache", false, "disable special-variable lookup caching")
+		listing    = flag.Bool("listing", false, "print assembly listings for every function")
+		transcript = flag.Bool("transcript", false, "print the source-to-source transformation transcript")
+		stats      = flag.Bool("stats", false, "print machine meters after execution")
+		runFn      = flag.String("run", "", "after loading, call this function with the remaining arguments")
+		interpret  = flag.Bool("interp", false, "run -run through the interpreter instead of compiled code")
+		replMode   = flag.Bool("repl", false, "start an interactive compiled REPL (after loading files, if any)")
+	)
+	flag.Parse()
+	var src []byte
+	if flag.NArg() >= 1 {
+		var err error
+		if src, err = os.ReadFile(flag.Arg(0)); err != nil {
+			return err
+		}
+	} else if !*replMode {
+		flag.Usage()
+		return fmt.Errorf("need a source file (or -repl)")
+	}
+
+	opts := codegen.DefaultOptions()
+	opts.Optimize = !*noOpt
+	opts.UseTN = !*noTN
+	opts.RepAnalysis = !*noRep
+	opts.PdlNumbers = !*noPdl
+	opts.SpecialCaching = !*noCache
+
+	sysOpts := core.Options{Codegen: &opts, Out: os.Stdout}
+	if *transcript {
+		sysOpts.OptimizerLog = os.Stdout
+	}
+	sys := core.NewSystem(sysOpts)
+	if err := sys.LoadString(string(src)); err != nil {
+		return err
+	}
+
+	if *listing {
+		names := make([]string, 0, len(sys.Defs))
+		for n := range sys.Defs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			l, err := sys.Listing(n)
+			if err != nil {
+				return err
+			}
+			fmt.Println(l)
+		}
+	}
+
+	if *runFn != "" {
+		args := make([]sexp.Value, 0, flag.NArg()-1)
+		for _, a := range flag.Args()[1:] {
+			v, err := sexp.ReadOne(a)
+			if err != nil {
+				return fmt.Errorf("argument %q: %w", a, err)
+			}
+			args = append(args, v)
+		}
+		var v sexp.Value
+		var err error
+		if *interpret {
+			v, err = sys.Interpret(*runFn, args...)
+		} else {
+			v, err = sys.Call(*runFn, args...)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(sexp.Print(v))
+	}
+
+	if *stats {
+		printStats(sys, *interpret)
+	}
+	if *replMode {
+		return repl(sys, os.Stdin, os.Stdout)
+	}
+	return nil
+}
+
+func printStats(sys *core.System, interpreted bool) {
+	s := sys.Stats()
+	fmt.Println(";; --- machine meters ---")
+	fmt.Printf(";; cycles:            %d\n", s.Cycles)
+	fmt.Printf(";; instructions:      %d\n", s.Instrs)
+	fmt.Printf(";; calls / tail:      %d / %d\n", s.Calls, s.TailCalls)
+	fmt.Printf(";; heap words:        %d (%d conses, %d flonums, %d envs)\n",
+		s.HeapWords, s.ConsAllocs, s.FlonumAllocs, s.EnvAllocs)
+	fmt.Printf(";; max stack depth:   %d\n", s.MaxStack)
+	fmt.Printf(";; certifications:    %d (%d copies)\n", s.Certifies, s.CertifyCopies)
+	fmt.Printf(";; special lookups:   %d (%d probe steps)\n",
+		s.SpecialLookups, s.SpecialSearchSteps)
+	if interpreted {
+		is := sys.Interp.Stats
+		fmt.Printf(";; interpreter:       %d calls, %d builtins, %d conses\n",
+			is.Calls, is.BuiltinCalls, is.Conses)
+	}
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sexp"
+)
+
+// repl runs a read-compile-run-print loop: every form typed is compiled
+// to S-1 code and executed on the simulator. Definitions accumulate;
+// `:listing f` prints a function's assembly, `:stats` the meters,
+// `:transcript on|off` toggles the optimizer log, `:quit` exits.
+func repl(sys *core.System, in io.Reader, out io.Writer) error {
+	fmt.Fprintln(out, ";;; S-1 Lisp — compiled REPL (every form runs on the simulator)")
+	fmt.Fprintln(out, ";;; :listing <fn>  :stats  :quit")
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func() {
+		if pending.Len() == 0 {
+			fmt.Fprint(out, "slc> ")
+		} else {
+			fmt.Fprint(out, "...> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && strings.HasPrefix(trimmed, ":") {
+			if done := replCommand(sys, out, trimmed); done {
+				return nil
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteString("\n")
+		src := pending.String()
+		if !balanced(src) {
+			prompt()
+			continue
+		}
+		pending.Reset()
+		if strings.TrimSpace(src) == "" {
+			prompt()
+			continue
+		}
+		v, err := sys.EvalString(src)
+		if err != nil {
+			fmt.Fprintln(out, ";; error:", err)
+		} else {
+			fmt.Fprintln(out, sexp.Print(v))
+		}
+		prompt()
+	}
+	fmt.Fprintln(out)
+	return sc.Err()
+}
+
+func replCommand(sys *core.System, out io.Writer, cmd string) (quit bool) {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case ":quit", ":q":
+		return true
+	case ":stats":
+		printStats(sys, false)
+	case ":listing":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, ";; usage: :listing <function>")
+			return false
+		}
+		l, err := sys.Listing(fields[1])
+		if err != nil {
+			fmt.Fprintln(out, ";; error:", err)
+			return false
+		}
+		fmt.Fprintln(out, l)
+	default:
+		fmt.Fprintln(out, ";; unknown command", fields[0])
+	}
+	return false
+}
+
+// balanced reports whether every open paren is closed (strings and
+// comments respected).
+func balanced(src string) bool {
+	depth := 0
+	inStr := false
+	inComment := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case inComment:
+			if c == '\n' {
+				inComment = false
+			}
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == ';':
+			inComment = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		}
+	}
+	return depth <= 0 && !inStr
+}

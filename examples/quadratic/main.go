@@ -1,0 +1,64 @@
+// Quadratic: the paper's §4.1 example. Shows the preliminary conversion —
+// let becomes a call to a manifest lambda-expression, cond becomes nested
+// ifs — via the back-translation debugging aid, then compiles and runs
+// the solver.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/convert"
+	"repro/internal/core"
+	"repro/internal/sexp"
+	"repro/internal/tree"
+)
+
+const quadratic = `
+(defun quadratic (a b c)
+  (let ((d (- (* b b) (* 4.0 a c))))
+    (cond ((< d 0) '())
+          ((= d 0) (list (/ (- b) (* 2.0 a))))
+          (t (let ((2a (* 2.0 a)) (sd (sqrt d)))
+               (list (/ (+ (- b) sd) 2a)
+                     (/ (- (- b) sd) 2a)))))))`
+
+func main() {
+	fmt.Println("=== source ===")
+	fmt.Println(quadratic)
+
+	// Preliminary conversion and back-translation (§4.1: "the internal
+	// tree can always be back-translated into valid source code").
+	forms, err := sexp.ReadAll(quadratic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conv := convert.New()
+	prog, err := conv.ConvertTopLevel(forms)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== back-translated internal tree ===")
+	fmt.Println(tree.Show(prog.Defs[0].Lambda))
+
+	// Compile and run.
+	sys := core.NewSystem(core.Options{})
+	if err := sys.LoadString(quadratic); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== roots on the simulator ===")
+	cases := [][3]float64{
+		{1, -3, 2}, // two roots: 2, 1
+		{1, 2, 1},  // one root: -1
+		{1, 0, 1},  // no real roots
+		{2, -7, 3}, // 3, 1/2
+	}
+	for _, c := range cases {
+		v, err := sys.Call("quadratic",
+			sexp.Flonum(c[0]), sexp.Flonum(c[1]), sexp.Flonum(c[2]))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("quadratic(%g, %g, %g) = %s\n", c[0], c[1], c[2], sexp.Print(v))
+	}
+}

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/convert"
+	"repro/internal/sexp"
+	"repro/internal/tree"
+)
+
+func conv(t *testing.T, src string) tree.Node {
+	t.Helper()
+	c := convert.New()
+	n, err := c.ConvertForm(sexp.MustRead(src))
+	if err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	return n
+}
+
+func analyzed(t *testing.T, src string) tree.Node {
+	t.Helper()
+	n := conv(t, src)
+	Analyze(n)
+	return n
+}
+
+func TestReadsWrites(t *testing.T) {
+	n := analyzed(t, "(lambda (x y) (progn (setq y 1) (+ x y)))").(*tree.Lambda)
+	x, y := n.Required[0], n.Required[1]
+	body := n.Body.Info()
+	if !body.Reads.Has(x) || !body.Reads.Has(y) {
+		t.Error("body should read x and y")
+	}
+	if !body.Writes.Has(y) || body.Writes.Has(x) {
+		t.Error("body should write exactly y")
+	}
+	// Lambda node itself carries the union too.
+	if !n.NodeInfo.Reads.Has(x) {
+		t.Error("lambda info should include body reads")
+	}
+}
+
+func TestEffectsClassification(t *testing.T) {
+	cases := []struct {
+		src  string
+		want func(tree.Effect) bool
+		desc string
+	}{
+		{"(+ 1 2)", func(e tree.Effect) bool { return e.Pure() }, "pure arithmetic"},
+		{"(cons 1 2)", func(e tree.Effect) bool { return e.PureExceptAlloc() && e&tree.EffAlloc != 0 }, "cons allocates only"},
+		{"(rplaca x y)", func(e tree.Effect) bool { return e&tree.EffWrite != 0 }, "rplaca writes"},
+		{"(car x)", func(e tree.Effect) bool { return e&tree.EffWrite == 0 && e&tree.EffRead != 0 }, "car reads"},
+		{"(frobnicate 1)", func(e tree.Effect) bool { return e&tree.EffCall != 0 }, "unknown call"},
+		{"(lambda (x) (rplaca x 1))", func(e tree.Effect) bool { return e.PureExceptAlloc() }, "lambda value only allocates"},
+		{"((lambda (x) (rplaca x 1)) y)", func(e tree.Effect) bool { return e&tree.EffWrite != 0 }, "direct lambda call runs body"},
+		{"(throw 'a 1)", func(e tree.Effect) bool { return e&tree.EffControl != 0 }, "throw is control"},
+	}
+	for _, c := range cases {
+		n := conv(t, "(lambda (x y) "+c.src+")").(*tree.Lambda)
+		Analyze(n)
+		eff := n.Body.Info().Effects
+		if !c.want(eff) {
+			t.Errorf("%s: effects = %v", c.desc, eff)
+		}
+	}
+}
+
+func TestSpecialReadIsEffect(t *testing.T) {
+	n := analyzed(t, "(lambda () *global*)").(*tree.Lambda)
+	if n.Body.Info().Effects&tree.EffRead == 0 {
+		t.Error("special read should be EffRead")
+	}
+	n2 := analyzed(t, "(lambda (x) x)").(*tree.Lambda)
+	if !n2.Body.Info().Effects.Pure() {
+		t.Error("lexical read is pure")
+	}
+}
+
+func TestComplexityGrows(t *testing.T) {
+	small := analyzed(t, "(lambda (x) x)")
+	big := analyzed(t, "(lambda (x) (if (f x) (g (h x) (h (h x))) (i x 1 2 3)))")
+	if small.Info().Complexity >= big.Info().Complexity {
+		t.Errorf("complexity: small=%d big=%d", small.Info().Complexity,
+			big.Info().Complexity)
+	}
+}
+
+func TestTailMarking(t *testing.T) {
+	// (lambda (n) (if (zerop n) 'done (loop (- n 1)))): the recursive call
+	// is tail; the (- n 1) inside is not.
+	n := analyzed(t, "(lambda (n) (if (zerop n) 'done (loop2 (- n 1))))").(*tree.Lambda)
+	iff := n.Body.(*tree.If)
+	if !iff.Then.Info().Tail || !iff.Else.Info().Tail {
+		t.Error("if arms should be tail")
+	}
+	if iff.Test.Info().Tail {
+		t.Error("test is not tail")
+	}
+	call := iff.Else.(*tree.Call)
+	if !call.Info().Tail {
+		t.Error("recursive call should be tail")
+	}
+	if call.Args[0].Info().Tail {
+		t.Error("arguments are never tail")
+	}
+}
+
+func TestTailThroughLetBody(t *testing.T) {
+	// The body of a let ((lambda…) call) inherits tailness.
+	n := analyzed(t, "(lambda (x) (let ((y (f x))) (g y)))").(*tree.Lambda)
+	outer := n.Body.(*tree.Call)
+	letLam := outer.Fn.(*tree.Lambda)
+	if !letLam.Body.Info().Tail {
+		t.Error("let body should be tail")
+	}
+	if outer.Args[0].Info().Tail {
+		t.Error("let initializer is not tail")
+	}
+}
+
+func TestTailThroughProgn(t *testing.T) {
+	n := analyzed(t, "(lambda () (progn (f) (g)))").(*tree.Lambda)
+	pg := n.Body.(*tree.Progn)
+	if pg.Forms[0].Info().Tail {
+		t.Error("non-final progn form is not tail")
+	}
+	if !pg.Forms[1].Info().Tail {
+		t.Error("final progn form is tail")
+	}
+}
+
+func TestTailReturnInProg(t *testing.T) {
+	n := analyzed(t, "(lambda (x) (prog () (return (f x))))").(*tree.Lambda)
+	var ret *tree.Return
+	tree.Walk(n, func(m tree.Node) bool {
+		if r, ok := m.(*tree.Return); ok {
+			ret = r
+		}
+		return true
+	})
+	if ret == nil {
+		t.Fatal("no return found")
+	}
+	if !ret.Value.Info().Tail {
+		t.Error("return value of tail progbody should be tail")
+	}
+}
+
+func TestCatchBodyNotTail(t *testing.T) {
+	n := analyzed(t, "(lambda () (catch 'x (f)))").(*tree.Lambda)
+	cat := n.Body.(*tree.Catcher)
+	if cat.Body.Info().Tail {
+		t.Error("catch body must not be tail (frame must pop)")
+	}
+}
+
+func TestCaseqArmsTail(t *testing.T) {
+	n := analyzed(t, "(lambda (k) (caseq k (1 (f)) (t (g))))").(*tree.Lambda)
+	cq := n.Body.(*tree.Caseq)
+	if !cq.Clauses[0].Body.Info().Tail || !cq.Default.Info().Tail {
+		t.Error("caseq arms should be tail")
+	}
+	if cq.Key.Info().Tail {
+		t.Error("caseq key is not tail")
+	}
+}
+
+func TestSpecialPlacementsSmallestSubtree(t *testing.T) {
+	// *s* referenced only in the then-arm: the lookup belongs inside the
+	// arm, not at function entry — "this may avoid a lookup if the
+	// subtree is in an arm of a conditional".
+	n := analyzed(t, "(lambda (p) (if p (+ *s* *s*) 0))").(*tree.Lambda)
+	pl := SpecialPlacements(n)
+	m := pl[n]
+	if m == nil {
+		t.Fatal("no placements for lambda")
+	}
+	node := m[sexp.Intern("*s*")]
+	if node == nil {
+		t.Fatal("no placement for *s*")
+	}
+	// The placement must be the (+ *s* *s*) call (inside the then arm),
+	// not the if or the lambda.
+	call, ok := node.(*tree.Call)
+	if !ok {
+		t.Fatalf("placement is %T, want the + call", node)
+	}
+	if fr, ok := call.Fn.(*tree.FunRef); !ok || fr.Name.Name != "+" {
+		t.Errorf("placement should be the + call")
+	}
+}
+
+func TestSpecialPlacementsSpanningBothArms(t *testing.T) {
+	n := analyzed(t, "(lambda (p) (if p *s* (f *s*)))").(*tree.Lambda)
+	m := SpecialPlacements(n)[n]
+	node := m[sexp.Intern("*s*")]
+	if _, ok := node.(*tree.If); !ok {
+		t.Errorf("placement spanning both arms should be the if, got %T", node)
+	}
+}
+
+func TestSpecialPlacementsPerLambda(t *testing.T) {
+	// The inner lambda's reference belongs to the inner lambda.
+	n := analyzed(t, "(lambda () (lambda () *s*))").(*tree.Lambda)
+	pl := SpecialPlacements(n)
+	if pl[n] != nil && pl[n][sexp.Intern("*s*")] != nil {
+		t.Error("outer lambda should have no placement for *s*")
+	}
+	inner := n.Body.(*tree.Lambda)
+	if pl[inner] == nil || pl[inner][sexp.Intern("*s*")] == nil {
+		t.Error("inner lambda should own the placement")
+	}
+}
+
+func TestTailCallsHelper(t *testing.T) {
+	// ((lambda (f) ...) ...) pattern with calls through the variable.
+	outer := analyzed(t, `(lambda (p g)
+	  ((lambda (lp) (if p (lp 1) (g (lp 2)))) (lambda (i) i)))`).(*tree.Lambda)
+	n := outer.Body.(*tree.Call)
+	lam := n.Fn.(*tree.Lambda)
+	f := lam.Required[0]
+	tail, nonTail := TailCalls(lam, f)
+	if len(tail) != 1 || len(nonTail) != 1 {
+		t.Errorf("tail=%d nonTail=%d, want 1 and 1", len(tail), len(nonTail))
+	}
+}
+
+func TestAnalyzeIsIdempotent(t *testing.T) {
+	n := conv(t, "(lambda (x) (if x (setq x 1) (f x)))")
+	Analyze(n)
+	r1 := len(n.Info().Reads)
+	c1 := n.Info().Complexity
+	Analyze(n)
+	if len(n.Info().Reads) != r1 || n.Info().Complexity != c1 {
+		t.Error("re-analysis changed results")
+	}
+}

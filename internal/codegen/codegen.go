@@ -1,0 +1,346 @@
+// Package codegen is the code-generation phase of §4.5: a single pass
+// over the decorated tree, emitting parenthesized S-1 assembly. It
+// consumes every earlier annotation — binding strategies, representation
+// (WANTREP/ISREP), pdl-number authorizations, and TNBIND locations — and
+// produces code in the Table 4 style: argument-count dispatch prologues,
+// pdl-slot MOVPs, tail calls as jumps, and the RT-register dance for
+// arithmetic.
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/binding"
+	"repro/internal/opt"
+	"repro/internal/pdl"
+	"repro/internal/rep"
+	"repro/internal/s1"
+	"repro/internal/sexp"
+	"repro/internal/tn"
+	"repro/internal/tree"
+)
+
+// Options select which machine-dependent phases run — the ablation knobs
+// of EXPERIMENTS.md.
+type Options struct {
+	// UseTN enables TNBIND register packing; off, every quantity lives in
+	// a frame slot (the E4 baseline).
+	UseTN bool
+	// RepAnalysis enables representation analysis (E5); off, everything
+	// is a pointer.
+	RepAnalysis bool
+	// PdlNumbers enables stack allocation of numbers (E6).
+	PdlNumbers bool
+	// SpecialCaching enables the per-subtree special lookup cache (E9).
+	SpecialCaching bool
+	// Optimize runs the source-level optimizer before compilation.
+	Optimize bool
+	// CSE additionally runs common-subexpression elimination — the phase
+	// the paper designed but left unimplemented; off by default for
+	// fidelity.
+	CSE bool
+	// OptimizerLog receives the transformation transcript.
+	OptimizerLog interface{ Write(p []byte) (int, error) }
+}
+
+// DefaultOptions enables every phase.
+func DefaultOptions() Options {
+	return Options{UseTN: true, RepAnalysis: true, PdlNumbers: true,
+		SpecialCaching: true, Optimize: true}
+}
+
+// Compiler compiles functions into a machine.
+type Compiler struct {
+	M    *s1.Machine
+	Opts Options
+
+	optimizer *opt.Optimizer
+	// constArrays interns compile-time-constant float arrays.
+	constArrays map[*sexp.FloatArray]s1.Word
+	// gen is a counter for internal function/label names.
+	gen int
+}
+
+// New returns a compiler targeting m.
+func New(m *s1.Machine, opts Options) *Compiler {
+	c := &Compiler{M: m, Opts: opts}
+	oo := opt.DefaultOptions()
+	if opts.OptimizerLog != nil {
+		oo.Log = opts.OptimizerLog
+	}
+	c.optimizer = opt.New(oo, nil)
+	return c
+}
+
+// CompileFunction compiles a top-level named function. It returns the
+// function index in the machine and installs the symbol's function cell.
+func (c *Compiler) CompileFunction(name string, lam *tree.Lambda) (int, error) {
+	if c.Opts.Optimize {
+		n := c.optimizer.Optimize(lam)
+		var ok bool
+		if lam, ok = n.(*tree.Lambda); !ok {
+			return 0, fmt.Errorf("codegen: optimizer folded %s away to %s", name, tree.Show(n))
+		}
+		if err := tree.Validate(lam); err != nil {
+			return 0, fmt.Errorf("codegen: optimizer broke %s: %w", name, err)
+		}
+		if c.Opts.CSE {
+			opt.EliminateCommonSubexpressions(lam)
+			if err := tree.Validate(lam); err != nil {
+				return 0, fmt.Errorf("codegen: CSE broke %s: %w", name, err)
+			}
+		}
+	}
+	analysis.Analyze(lam)
+	binding.Annotate(lam)
+	vr := rep.Annotate(lam, c.Opts.RepAnalysis)
+	pdl.Annotate(lam, c.Opts.PdlNumbers)
+	idx, err := c.compileLambda(name, lam, nil, vr)
+	if err != nil {
+		return 0, err
+	}
+	c.M.SetSymbolFunction(name, s1.Ptr(s1.TagFunc, uint64(idx)))
+	return idx, nil
+}
+
+// frameCtx describes one lexical frame for closure compilation: the heap
+// environment slot order and the chain to outer frames.
+type frameCtx struct {
+	parent  *frameCtx
+	envVars []*tree.Var
+}
+
+func (f *frameCtx) find(v *tree.Var) (depth, slot int, ok bool) {
+	d := 0
+	for c := f; c != nil; c = c.parent {
+		for i, ev := range c.envVars {
+			if ev == v {
+				return d, i, true
+			}
+		}
+		d++
+	}
+	return 0, 0, false
+}
+
+// fc is the per-function compilation state.
+type fc struct {
+	c    *Compiler
+	name string
+	lam  *tree.Lambda
+	vr   rep.VarReps
+
+	alloc *tn.Allocator
+	code  []absItem
+
+	// varTN maps frame-resident variables to their TNs; params use fixed
+	// homes instead.
+	varTN map[*tree.Var]*tn.TN
+	// paramHome maps parameters to their fixed operands.
+	paramHome map[*tree.Var]s1.Operand
+
+	// jump-strategy lambdas: label, parameter TNs, pending emission.
+	jumpBlocks map[*tree.Lambda]*jumpBlock
+	pending    []*tree.Lambda
+
+	// env handling
+	frame  *frameCtx // this function's frame (with parent chain)
+	envTN  *tn.TN    // local holding this frame's env object, if any
+	hasEnv bool
+
+	// special caching
+	placements map[*sexp.Symbol]tree.Node
+	specCache  map[*sexp.Symbol]*tn.TN
+
+	specialsBound int // dynamic bindings made by the prologue
+	dynSpecials   int // let-bound dynamic bindings currently in force
+	catchDepth    int
+
+	pbCtxs []pbCtx // active progbody contexts
+
+	// pdlSlots are the stack slots holding pdl-number data; their
+	// lifetime "must extend at least as far as the lifetime of the
+	// program node … that originally authorized creation of a pdl
+	// number" — we conservatively extend them to the end of the function.
+	pdlSlots []*tn.TN
+
+	frameSizePatch int // index of the prologue ADD SP instruction
+	labelCounter   int
+	retLabel       string
+	nReserved      int // reserved frame slots (normalized params etc.)
+}
+
+type jumpBlock struct {
+	label  string
+	params []*tn.TN
+	// startTick is the emission tick of the block's label (0 until the
+	// block is emitted); a call to an already-emitted block is a backward
+	// jump.
+	startTick int
+}
+
+// pbCtx is an active progbody emission context.
+type pbCtx struct {
+	pb       *tree.ProgBody
+	end      string
+	res      *tn.TN
+	tags     map[*sexp.Symbol]string
+	tagTicks map[*sexp.Symbol]int
+}
+
+func (c *Compiler) gensym(prefix string) string {
+	c.gen++
+	return fmt.Sprintf("%s%d", prefix, c.gen)
+}
+
+// ConstArrayWord reports the machine word of an interned compile-time
+// constant float array (the machine holds its own copy of the data).
+func (c *Compiler) ConstArrayWord(fa *sexp.FloatArray) (s1.Word, bool) {
+	w, ok := c.constArrays[fa]
+	return w, ok
+}
+
+// primStub returns (creating on demand) a callable function wrapping a
+// primitive: its body hands the whole argument frame to the primitive
+// gateway. This is what #'car denotes as a value.
+func (c *Compiler) primStub(name string) (int, error) {
+	stub := "%prim-" + name
+	if idx := c.M.FuncNamed(stub); idx >= 0 {
+		return idx, nil
+	}
+	sym := c.M.InternSym(name)
+	items := []s1.Item{
+		s1.InstrItem(s1.Instr{Op: s1.OpCALLSQ, TagArg: s1.SQPrimFrame,
+			B: s1.ImmInt(int64(sym)), Comment: "primitive " + name}),
+		s1.InstrItem(s1.Instr{Op: s1.OpRET}),
+	}
+	return c.M.AddFunction(stub, 0, -1, items)
+}
+
+// compileLambda compiles one activation-bearing lambda (FastCall or
+// FullClosure, or a top-level function) and returns its function index.
+func (c *Compiler) compileLambda(name string, lam *tree.Lambda, parent *frameCtx, vr rep.VarReps) (int, error) {
+	f := &fc{
+		c: c, name: name, lam: lam, vr: vr,
+		alloc:      tn.New(!c.Opts.UseTN),
+		varTN:      map[*tree.Var]*tn.TN{},
+		paramHome:  map[*tree.Var]s1.Operand{},
+		jumpBlocks: map[*tree.Lambda]*jumpBlock{},
+		specCache:  map[*sexp.Symbol]*tn.TN{},
+	}
+	// Frame env: every Closed variable whose home frame is this lambda.
+	f.frame = &frameCtx{parent: parent}
+	collectFrameEnvVars(lam, f.frame)
+	f.hasEnv = len(f.frame.envVars) > 0
+
+	if c.Opts.SpecialCaching {
+		pls := analysis.SpecialPlacements(lam)
+		f.placements = pls[lam]
+	}
+
+	if err := f.emitFunction(); err != nil {
+		return 0, err
+	}
+	items, minA, maxA, err := f.finish()
+	if err != nil {
+		return 0, err
+	}
+	return c.M.AddFunction(name, minA, maxA, items)
+}
+
+// collectFrameEnvVars gathers heap variables belonging to lam's frame:
+// its own closed params plus closed vars of open/jump lambdas executing
+// in the same frame.
+func collectFrameEnvVars(lam *tree.Lambda, f *frameCtx) {
+	seen := map[*tree.Var]bool{}
+	add := func(v *tree.Var) {
+		if v.Closed && !seen[v] {
+			seen[v] = true
+			f.envVars = append(f.envVars, v)
+		}
+	}
+	for _, v := range lam.Params() {
+		add(v)
+	}
+	var walk func(n tree.Node)
+	walk = func(n tree.Node) {
+		if inner, ok := n.(*tree.Lambda); ok && inner != lam {
+			// Open/jump lambdas share this frame; others start new ones.
+			if inner.Strategy == tree.StrategyOpen || inner.Strategy == tree.StrategyJump {
+				for _, v := range inner.Params() {
+					add(v)
+				}
+			} else {
+				return
+			}
+		}
+		for _, ch := range tree.Children(n) {
+			walk(ch)
+		}
+	}
+	walk(lam.Body)
+}
+
+func (f *fc) label(prefix string) string {
+	f.labelCounter++
+	return fmt.Sprintf("%s$%s%d", f.name, prefix, f.labelCounter)
+}
+
+// --- abstract instructions ---
+
+// absOperand is either a concrete operand or a TN placeholder.
+type absOperand struct {
+	op s1.Operand
+	tn *tn.TN
+}
+
+func conc(op s1.Operand) absOperand { return absOperand{op: op} }
+func tnOp(t *tn.TN) absOperand      { return absOperand{tn: t} }
+
+var noOperand = absOperand{}
+
+type absItem struct {
+	label    string
+	op       s1.Op
+	a, b, cc absOperand
+	tagArg   int64
+	comment  string
+	tick     int
+	present  bool // instruction (vs label)
+}
+
+func (f *fc) emitLabel(l string) {
+	f.code = append(f.code, absItem{label: l})
+}
+
+func (f *fc) emit(op s1.Op, a, b, cc absOperand, tagArg int64, comment string) {
+	t := f.alloc.Tick()
+	switch op {
+	case s1.OpCALL, s1.OpTCALL, s1.OpCALLF, s1.OpTCALLF:
+		f.alloc.NoteCall()
+	case s1.OpCALLSQ:
+		if tagArg == s1.SQApplyList {
+			f.alloc.NoteCall()
+		} else {
+			f.alloc.NoteSQ()
+		}
+	}
+	touch := func(o absOperand) {
+		if o.tn != nil {
+			o.tn.Touch(t)
+		}
+	}
+	touch(a)
+	touch(b)
+	touch(cc)
+	f.code = append(f.code, absItem{op: op, a: a, b: b, cc: cc,
+		tagArg: tagArg, comment: comment, tick: t, present: true})
+}
+
+// newTN makes a fresh TN touched at the current tick.
+func (f *fc) newTN(name string) *tn.TN {
+	t := f.alloc.NewTN(name)
+	t.Touch(f.alloc.Now())
+	return t
+}

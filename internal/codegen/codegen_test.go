@@ -1,0 +1,441 @@
+package codegen_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/sexp"
+)
+
+// newSys builds a system with the given codegen options.
+func newSys(t *testing.T, src string, opts *codegen.Options, consts map[string]sexp.Value) *core.System {
+	t.Helper()
+	sys := core.NewSystem(core.Options{Codegen: opts, Constants: consts})
+	if err := sys.LoadString(src); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return sys
+}
+
+// The §7 testfn, end to end: optional-argument dispatch, pdl slots, the
+// FSIN instruction, and a heap cons only for the returned value — the
+// Table 4 shape.
+func TestTestfnTable4Shape(t *testing.T) {
+	src := `
+(defun frotz (a b c) nil)
+(defun testfn (a &optional (b 3.0) (c a))
+  (let ((d (+$f a b c)) (e (*$f a b c)))
+    (let ((q (sin$f e)))
+      (frotz d e (max$f d e))
+      q)))`
+	sys := newSys(t, src, nil, nil)
+	lst, err := sys.Listing("testfn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"FSIN",                    // the hardware sine (cycles)
+		"MOVP FLONUM",             // pdl-number creation
+		"install value for PDL",   // the Table 4 comment
+		"*:SQ-SINGLE-FLONUM-CONS", // heap cons for the returned value
+		"dispatch: 1 arguments",   // the argument-count dispatch
+		"dispatch: 2 arguments",   //
+		"dispatch: 3 arguments",   //
+		"default value for parameter b",
+		"default value for parameter c",
+		"FADD", "FMULT", "FMAX",
+	} {
+		if !strings.Contains(lst, want) {
+			t.Errorf("listing missing %q:\n%s", want, lst)
+		}
+	}
+	// Behavior: all three argument counts.
+	v, err := sys.Call("testfn", sexp.Flonum(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q = sin(0.5*3.0*0.5) = sin(0.75)
+	f, _ := sexp.ToFloat(v)
+	if f < 0.6816 || f > 0.6817 {
+		t.Errorf("testfn(0.5) = %v", f)
+	}
+	// Exactly one heap flonum beyond the argument: the returned q; d and
+	// e are pdl numbers.
+	sys.ResetStats()
+	if _, err := sys.Call("testfn", sexp.Flonum(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Stats().FlonumAllocs; got > 2 {
+		t.Errorf("flonum allocs = %d, want <= 2 (argument + result)", got)
+	}
+}
+
+// matrixSrc is the §6.1 example: Z[I,K] := A[I,J]*B[J,K] + C[I,K] + e,
+// swept over a whole matrix with raw integer loop variables.
+const matrixSrc = `
+(defun kernel ()
+  (let ((n 4))
+    (let ((i 0))
+      (prog ()
+       iloop
+        (if (>=& i n) (return nil) nil)
+        (let ((j 0))
+          (prog ()
+           jloop
+            (if (>=& j n) (return nil) nil)
+            (let ((k 0))
+              (prog ()
+               kloop
+                (if (>=& k n) (return nil) nil)
+                (aset$f zarr
+                        (+$f (+$f (*$f (aref$f aarr i j) (aref$f barr j k))
+                                  (aref$f carr i k))
+                             econst)
+                        i k)
+                (setq k (+& k 1))
+                (go kloop)))
+            (setq j (+& j 1))
+            (go jloop)))
+        (setq i (+& i 1))
+        (go iloop)))))`
+
+func matrixConsts() map[string]sexp.Value {
+	mk := func() *sexp.FloatArray {
+		fa := sexp.NewFloatArray([]int{4, 4})
+		for i := range fa.Data {
+			fa.Data[i] = float64(i) * 0.5
+		}
+		return fa
+	}
+	return map[string]sexp.Value{
+		"aarr": mk(), "barr": mk(), "carr": mk(),
+		"zarr":   sexp.NewFloatArray([]int{4, 4}),
+		"econst": sexp.Flonum(1.5),
+	}
+}
+
+func TestMatrixKernelCorrect(t *testing.T) {
+	consts := matrixConsts()
+	sys := newSys(t, matrixSrc, nil, consts)
+	if _, err := sys.Call("kernel"); err != nil {
+		lst, _ := sys.Listing("kernel")
+		t.Fatalf("kernel: %v\n%s", err, lst)
+	}
+	// Writes land in the machine's copy of the constant array.
+	z, err := sys.ReadConstArray(consts["zarr"].(*sexp.FloatArray))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := consts["aarr"].(*sexp.FloatArray)
+	// The loop nest overwrites Z[i,k] per j; the last write is j=3:
+	// Z[1,2] = A[1,3]*B[3,2] + C[1,2] + 1.5.
+	i, k := 1, 2
+	j := 3
+	want := a.Data[i*4+j]*a.Data[j*4+k] + a.Data[i*4+k] + 1.5
+	if got := z.Data[i*4+k]; got != want {
+		t.Errorf("Z[1,2] = %v, want %v", got, want)
+	}
+}
+
+// TestMatrixMOVCount is E4's metric: with TNBIND the inner statement
+// needs essentially no MOV instructions (the RT-register dance); the
+// naive allocator needs many.
+func TestMatrixMOVCount(t *testing.T) {
+	good := newSys(t, matrixSrc, nil, matrixConsts())
+	goodMOVs, err := good.StaticMOVs("kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveOpts := codegen.DefaultOptions()
+	naiveOpts.UseTN = false
+	naive := newSys(t, matrixSrc, &naiveOpts, matrixConsts())
+	naiveMOVs, err := naive.StaticMOVs("kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goodMOVs >= naiveMOVs {
+		lst, _ := good.Listing("kernel")
+		t.Errorf("TNBIND should reduce MOVs: good=%d naive=%d\n%s",
+			goodMOVs, naiveMOVs, lst)
+	}
+	// The listing shows the paper's shape: subscripts accumulated in RT
+	// registers and consumed by indexed operands.
+	lst, _ := good.Listing("kernel")
+	if !strings.Contains(lst, "MULT RT") {
+		t.Errorf("subscript arithmetic should target RT registers:\n%s", lst)
+	}
+	if !strings.Contains(lst, "(IDX") {
+		t.Errorf("array elements should use indexed addressing:\n%s", lst)
+	}
+	// E4's headline: the assignment statement itself — first subscript
+	// MULT through the store — contains NO MOV instructions: "each
+	// instruction performs useful arithmetic".
+	lines := strings.Split(lst, "\n")
+	first, last := -1, -1
+	for n, l := range lines {
+		if strings.Contains(l, "MULT RT") && first < 0 {
+			first = n
+		}
+		if strings.Contains(l, "store element") && last < 0 {
+			last = n
+		}
+	}
+	if first < 0 || last < 0 || last < first {
+		t.Fatalf("statement region not found:\n%s", lst)
+	}
+	movs := 0
+	for _, l := range lines[first : last+1] {
+		if strings.Contains(l, " MOV ") && !strings.Contains(l, "store element") {
+			movs++
+		}
+	}
+	if movs != 0 {
+		t.Errorf("the §6.1 statement should need zero MOVs, got %d:\n%s",
+			movs, strings.Join(lines[first:last+1], "\n"))
+	}
+	// Dynamic execution: both produce identical results and cycles favor
+	// the packed version.
+	good.ResetStats()
+	if _, err := good.Call("kernel"); err != nil {
+		t.Fatal(err)
+	}
+	naive.ResetStats()
+	if _, err := naive.Call("kernel"); err != nil {
+		t.Fatal(err)
+	}
+	if good.Stats().Cycles >= naive.Stats().Cycles {
+		t.Errorf("TNBIND should save cycles: %d vs %d",
+			good.Stats().Cycles, naive.Stats().Cycles)
+	}
+}
+
+// The single §6.1 statement in isolation. Our version receives its
+// subscripts as boxed arguments (the paper's context had them raw
+// already), so the function derefs them first; the statement itself then
+// compiles to the paper's indexed-operand form and runs correctly.
+func TestMatrixStatementShape(t *testing.T) {
+	src := `
+(defun stmt (fi fj fk e)
+  (let ((i (fix fi)) (j (fix fj)) (k (fix fk)))
+    (aset$f zarr
+            (+$f (+$f (*$f (aref$f aarr i j) (aref$f barr j k))
+                      (aref$f carr i k))
+                 e)
+            i k)))`
+	consts := matrixConsts()
+	sys := newSys(t, src, nil, consts)
+	lst, err := sys.Listing("stmt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(lst, "(IDX") {
+		t.Errorf("expected indexed addressing:\n%s", lst)
+	}
+	// Execute it and verify the value against a host computation.
+	v, err := sys.Call("stmt", sexp.Flonum(1), sexp.Flonum(2), sexp.Flonum(3),
+		sexp.Flonum(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := consts["aarr"].(*sexp.FloatArray)
+	want := a.Data[1*4+2]*a.Data[2*4+3] + a.Data[1*4+3] + 0.25
+	f, _ := sexp.ToFloat(v)
+	if f != want {
+		t.Errorf("stmt = %v, want %v", f, want)
+	}
+}
+
+// Boolean short-circuiting (E2): the compiled conditional network
+// contains no closure construction and no and/or runtime support — just
+// jumps.
+func TestShortCircuitCompilesToJumps(t *testing.T) {
+	src := `
+(defun frotz (x) x)
+(defun gronk (x) x)
+(defun choose (a b c x)
+  (if (and a (or b c)) (frotz x) (gronk x)))`
+	sys := newSys(t, src, nil, nil)
+	lst, err := sys.Listing("choose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(lst, "CLOSE") {
+		t.Errorf("short-circuit must not construct closures:\n%s", lst)
+	}
+	if strings.Contains(lst, "ENV") {
+		t.Errorf("short-circuit must not allocate environments:\n%s", lst)
+	}
+	// Correctness across the truth table.
+	cases := []struct {
+		a, b, c sexp.Value
+		want    string
+	}{
+		{sexp.T, sexp.T, sexp.Nil, "7"},
+		{sexp.T, sexp.Nil, sexp.T, "7"},
+		{sexp.T, sexp.Nil, sexp.Nil, "8"},
+		{sexp.Nil, sexp.T, sexp.T, "8"},
+	}
+	for _, c := range cases {
+		v, err := sys.Call("choose", c.a, c.b, c.c, sexp.Fixnum(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sexp.Print(v)
+		if c.want == "8" {
+			got = sexp.Print(v) // gronk(x)=x too; distinguish via x
+		}
+		_ = got
+	}
+	// Distinguish arms with different functions.
+	src2 := `
+(defun choose2 (a b c)
+  (if (and a (or b c)) 'one 'two))`
+	sys2 := newSys(t, src2, nil, nil)
+	for _, c := range cases {
+		want := "one"
+		if c.want == "8" {
+			want = "two"
+		}
+		v, err := sys2.Call("choose2", c.a, c.b, c.c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sexp.Print(v) != want {
+			t.Errorf("choose2(%s %s %s) = %s want %s",
+				sexp.Print(c.a), sexp.Print(c.b), sexp.Print(c.c),
+				sexp.Print(v), want)
+		}
+	}
+}
+
+// Jump-strategy lambdas: thunks with several tail call sites become
+// labeled blocks with parameter-passing gotos.
+func TestJumpBlocks(t *testing.T) {
+	src := `
+(defun expensive1 (x) (cons x 1))
+(defun expensive2 (x) (cons x 2))
+(defun pick (a b c x)
+  (if (and a (or b c)) (expensive1 x) (expensive2 x)))`
+	sys := newSys(t, src, nil, nil)
+	lst, err := sys.Listing("pick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(lst, "parameter-passing goto") &&
+		!strings.Contains(lst, "TCALL") {
+		t.Errorf("expected jump-block calls or tail calls:\n%s", lst)
+	}
+	if strings.Contains(lst, "CLOSE") {
+		t.Errorf("no closures expected:\n%s", lst)
+	}
+	v, err := sys.Call("pick", sexp.T, sexp.Nil, sexp.T, sexp.Fixnum(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sexp.Print(v) != "(5 . 1)" {
+		t.Errorf("pick = %s", sexp.Print(v))
+	}
+}
+
+// Special-variable caching (E9): with caching, a loop reading a special
+// does one deep search; without, one per read.
+func TestSpecialCachingReducesSearches(t *testing.T) {
+	src := `
+(defvar *s* 2)
+(defun suminto (n)
+  (let ((acc 0))
+    (dotimes (i n acc)
+      (setq acc (+ acc *s*)))))`
+	cached := newSys(t, src, nil, nil)
+	cached.ResetStats()
+	if _, err := cached.Call("suminto", sexp.Fixnum(100)); err != nil {
+		t.Fatal(err)
+	}
+	cachedLookups := cached.Stats().SpecialLookups
+
+	opts := codegen.DefaultOptions()
+	opts.SpecialCaching = false
+	uncached := newSys(t, src, &opts, nil)
+	uncached.ResetStats()
+	if _, err := uncached.Call("suminto", sexp.Fixnum(100)); err != nil {
+		t.Fatal(err)
+	}
+	uncachedLookups := uncached.Stats().SpecialLookups
+	if cachedLookups >= uncachedLookups {
+		t.Errorf("caching should reduce lookups: %d vs %d",
+			cachedLookups, uncachedLookups)
+	}
+	if cachedLookups > 3 {
+		t.Errorf("cached lookups = %d, want O(1)", cachedLookups)
+	}
+	// Same answer.
+	v1, _ := cached.Call("suminto", sexp.Fixnum(10))
+	v2, _ := uncached.Call("suminto", sexp.Fixnum(10))
+	if !sexp.Equal(v1, v2) {
+		t.Errorf("results differ: %s vs %s", sexp.Print(v1), sexp.Print(v2))
+	}
+}
+
+// The optimizer toggle matters: constant folding visible in listings.
+func TestOptimizeToggle(t *testing.T) {
+	src := `(defun f () (+ 1 2))`
+	on := newSys(t, src, nil, nil)
+	lstOn, _ := on.Listing("f")
+	opts := codegen.DefaultOptions()
+	opts.Optimize = false
+	off := newSys(t, src, &opts, nil)
+	lstOff, _ := off.Listing("f")
+	if strings.Contains(lstOn, "SQ-ADD") {
+		t.Errorf("optimized f should fold (+ 1 2):\n%s", lstOn)
+	}
+	if !strings.Contains(lstOff, "SQ-ADD") {
+		t.Errorf("unoptimized f should call SQ-ADD:\n%s", lstOff)
+	}
+	v1, _ := on.Call("f")
+	v2, _ := off.Call("f")
+	if sexp.Print(v1) != "3" || sexp.Print(v2) != "3" {
+		t.Error("both must return 3")
+	}
+}
+
+func TestDeepEnvChain(t *testing.T) {
+	// Three-deep lexical nesting through closures.
+	src := `
+(defun mk (a)
+  (lambda (b)
+    (lambda (c)
+      (lambda (d) (list a b c d)))))
+(defun use (a b c d)
+  (funcall (funcall (funcall (mk a) b) c) d))`
+	sys := newSys(t, src, nil, nil)
+	v, err := sys.Call("use", sexp.Fixnum(1), sexp.Fixnum(2), sexp.Fixnum(3), sexp.Fixnum(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sexp.Print(v) != "(1 2 3 4)" {
+		t.Errorf("use = %s", sexp.Print(v))
+	}
+}
+
+func TestSetqClosedVariable(t *testing.T) {
+	src := `
+(defun mk ()
+  (let ((n 0))
+    (cons (lambda () (setq n (+ n 1)))
+          (lambda () n))))
+(defun use ()
+  (let ((p (mk)))
+    (funcall (car p))
+    (funcall (car p))
+    (funcall (cdr p))))`
+	sys := newSys(t, src, nil, nil)
+	v, err := sys.Call("use")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sexp.Print(v) != "2" {
+		t.Errorf("shared mutable capture = %s", sexp.Print(v))
+	}
+}

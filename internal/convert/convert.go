@@ -1,0 +1,710 @@
+// Package convert implements the compiler's preliminary phase (§4.1 of
+// the paper): syntax checking, macro expansion, resolution of variable
+// references, and conversion of source programs into the internal tree
+// form over the small basic construct set of Table 2.
+//
+// "All other program constructs are expanded as macros or otherwise
+// re-expressed in terms of the small basic set": let becomes a call to a
+// manifest lambda-expression, cond becomes nested ifs, and/or become the
+// lambda/if encodings shown in §5, prog becomes a let containing a
+// progbody, and so on. Every variable binding creates a fresh tree.Var,
+// so the whole program is uniformly alpha-renamed.
+package convert
+
+import (
+	"fmt"
+
+	"repro/internal/sexp"
+	"repro/internal/tree"
+)
+
+// ConvertError reports a syntax error during conversion.
+type ConvertError struct {
+	Form sexp.Value
+	Msg  string
+}
+
+func (e *ConvertError) Error() string {
+	return fmt.Sprintf("convert: %s in %s", e.Msg, sexp.Print(e.Form))
+}
+
+func errf(form sexp.Value, format string, args ...any) error {
+	return &ConvertError{Form: form, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Def is a top-level function definition.
+type Def struct {
+	Name   *sexp.Symbol
+	Lambda *tree.Lambda
+}
+
+// Program is the result of converting a sequence of top-level forms.
+type Program struct {
+	// Defs holds defun'd functions in definition order.
+	Defs []*Def
+	// TopForms holds the remaining top-level expressions (including
+	// defvar initializations) in order.
+	TopForms []tree.Node
+	// Specials is the set of proclaimed special (dynamically scoped)
+	// variable names.
+	Specials map[*sexp.Symbol]bool
+}
+
+// DefNamed returns the definition for name, or nil.
+func (p *Program) DefNamed(name *sexp.Symbol) *Def {
+	for _, d := range p.Defs {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// Converter turns source forms into internal trees.
+type Converter struct {
+	// Specials is the proclaimed-special set; symbols spelled *with
+	// earmuffs* are treated as special as well, following convention.
+	Specials map[*sexp.Symbol]bool
+	// globals maps each special/global symbol to its single shared Var
+	// record (dynamic references all denote the current binding).
+	globals map[*sexp.Symbol]*tree.Var
+	// Constants maps symbols to compile-time constant values: references
+	// become literals (used for the static arrays of the numeric
+	// experiments).
+	Constants map[*sexp.Symbol]sexp.Value
+	// UserMacro, if non-nil, is consulted for unknown head symbols; it
+	// returns the expansion and true if the form was a user macro call.
+	// The core package wires this to defmacro via the interpreter.
+	UserMacro func(head *sexp.Symbol, form sexp.Value) (sexp.Value, bool, error)
+	// OnDefmacro, if non-nil, receives top-level (defmacro name args
+	// body...) definitions; the host registers the expander (typically an
+	// interpreter closure) behind UserMacro.
+	OnDefmacro func(name *sexp.Symbol, lambdaList sexp.Value, body []sexp.Value) error
+}
+
+// New returns a fresh Converter.
+func New() *Converter {
+	return &Converter{
+		Specials: map[*sexp.Symbol]bool{},
+		globals:  map[*sexp.Symbol]*tree.Var{},
+	}
+}
+
+// env is the compile-time lexical environment: a chain of variable
+// bindings plus visible progbodies for go/return resolution.
+type env struct {
+	parent *env
+	vars   map[*sexp.Symbol]*tree.Var
+	// body is a progbody introduced at this level (for prog), if any.
+	body *ProgBodyScope
+}
+
+// ProgBodyScope tracks an open progbody during conversion.
+type ProgBodyScope struct {
+	PB *tree.ProgBody
+}
+
+func (e *env) lookup(s *sexp.Symbol) *tree.Var {
+	for c := e; c != nil; c = c.parent {
+		if c.vars != nil {
+			if v, ok := c.vars[s]; ok {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+func (e *env) child() *env { return &env{parent: e, vars: map[*sexp.Symbol]*tree.Var{}} }
+
+func (e *env) findTag(tag *sexp.Symbol) *tree.ProgBody {
+	for c := e; c != nil; c = c.parent {
+		if c.body != nil && c.body.PB.TagIndex(tag) >= 0 {
+			return c.body.PB
+		}
+	}
+	return nil
+}
+
+func (e *env) innermostBody() *tree.ProgBody {
+	for c := e; c != nil; c = c.parent {
+		if c.body != nil {
+			return c.body.PB
+		}
+	}
+	return nil
+}
+
+// IsSpecial reports whether sym is dynamically scoped.
+func (c *Converter) IsSpecial(sym *sexp.Symbol) bool {
+	if c.Specials[sym] {
+		return true
+	}
+	n := sym.Name
+	return len(n) >= 3 && n[0] == '*' && n[len(n)-1] == '*'
+}
+
+// globalVar returns the shared Var record for a special/global symbol.
+func (c *Converter) globalVar(sym *sexp.Symbol) *tree.Var {
+	if v, ok := c.globals[sym]; ok {
+		return v
+	}
+	v := tree.NewVar(sym)
+	v.Special = true
+	c.globals[sym] = v
+	return v
+}
+
+// ConvertTopLevel converts a whole program.
+func (c *Converter) ConvertTopLevel(forms []sexp.Value) (*Program, error) {
+	p := &Program{Specials: map[*sexp.Symbol]bool{}}
+	// First pass: gather proclamations so that later defuns see them.
+	for _, f := range forms {
+		c.scanProclaim(f)
+	}
+	for _, f := range forms {
+		if err := c.topForm(p, f); err != nil {
+			return nil, err
+		}
+	}
+	for s := range c.Specials {
+		p.Specials[s] = true
+	}
+	return p, nil
+}
+
+func (c *Converter) scanProclaim(form sexp.Value) {
+	items, err := sexp.ListToSlice(form)
+	if err != nil || len(items) == 0 {
+		return
+	}
+	head, ok := items[0].(*sexp.Symbol)
+	if !ok {
+		return
+	}
+	switch head.Name {
+	case "proclaim", "declaim":
+		for _, a := range items[1:] {
+			// (proclaim '(special x y)) or (declaim (special x y))
+			if q, e := sexp.ListToSlice(a); e == nil && len(q) == 2 && q[0] == sexp.Value(sexp.SymQuote) {
+				a = q[1]
+			}
+			decl, e := sexp.ListToSlice(a)
+			if e != nil || len(decl) == 0 {
+				continue
+			}
+			if d, ok := decl[0].(*sexp.Symbol); ok && d.Name == "special" {
+				for _, s := range decl[1:] {
+					if sym, ok := s.(*sexp.Symbol); ok {
+						c.Specials[sym] = true
+					}
+				}
+			}
+		}
+	case "defvar", "defparameter", "defconstant":
+		if len(items) >= 2 {
+			if sym, ok := items[1].(*sexp.Symbol); ok {
+				c.Specials[sym] = true
+			}
+		}
+	}
+}
+
+func (c *Converter) topForm(p *Program, form sexp.Value) error {
+	items, err := sexp.ListToSlice(form)
+	if err == nil && len(items) > 0 {
+		if head, ok := items[0].(*sexp.Symbol); ok {
+			switch head.Name {
+			case "defun":
+				if len(items) < 3 {
+					return errf(form, "defun needs a name and a lambda-list")
+				}
+				name, ok := items[1].(*sexp.Symbol)
+				if !ok {
+					return errf(form, "defun name must be a symbol")
+				}
+				lam, err := c.convertLambdaParts(name.Name, items[2], items[3:], topEnv())
+				if err != nil {
+					return err
+				}
+				p.Defs = append(p.Defs, &Def{Name: name, Lambda: lam})
+				return nil
+			case "defmacro":
+				if c.OnDefmacro == nil {
+					return errf(form, "defmacro is not supported in this context")
+				}
+				if len(items) < 3 {
+					return errf(form, "defmacro needs a name and a lambda-list")
+				}
+				name, ok := items[1].(*sexp.Symbol)
+				if !ok {
+					return errf(form, "defmacro name must be a symbol")
+				}
+				return c.OnDefmacro(name, items[2], items[3:])
+			case "proclaim", "declaim":
+				return nil // handled in scanProclaim
+			case "defvar", "defparameter", "defconstant":
+				if len(items) >= 3 {
+					init, err := c.Convert(items[2], topEnv())
+					if err != nil {
+						return err
+					}
+					v := c.globalVar(items[1].(*sexp.Symbol))
+					p.TopForms = append(p.TopForms, tree.NewSetq(v, init))
+				}
+				return nil
+			}
+		}
+	}
+	n, err := c.Convert(form, topEnv())
+	if err != nil {
+		return err
+	}
+	p.TopForms = append(p.TopForms, n)
+	return nil
+}
+
+func topEnv() *env { return &env{vars: map[*sexp.Symbol]*tree.Var{}} }
+
+// WrapToplevel wraps a converted top-level form in a nullary lambda so it
+// can be compiled and invoked as a function.
+func WrapToplevel(form tree.Node) *tree.Lambda {
+	return &tree.Lambda{Name: "toplevel", Body: form}
+}
+
+// ConvertForm converts a single expression in an empty lexical
+// environment.
+func (c *Converter) ConvertForm(form sexp.Value) (tree.Node, error) {
+	return c.Convert(form, topEnv())
+}
+
+// ConvertLambda converts a (lambda ...) or (defun ...) form to a Lambda
+// node in an empty environment.
+func (c *Converter) ConvertLambda(form sexp.Value) (*tree.Lambda, error) {
+	n, err := c.ConvertForm(form)
+	if err != nil {
+		return nil, err
+	}
+	l, ok := n.(*tree.Lambda)
+	if !ok {
+		return nil, errf(form, "not a lambda-expression")
+	}
+	return l, nil
+}
+
+// Convert converts form in lexical environment e.
+func (c *Converter) Convert(form sexp.Value, e *env) (tree.Node, error) {
+	switch v := form.(type) {
+	case sexp.Fixnum, *sexp.Bignum, *sexp.Ratio, sexp.Flonum, sexp.String,
+		sexp.Character, *sexp.Vector:
+		return tree.NewLiteral(v), nil
+	case *sexp.Symbol:
+		return c.convertSymbol(v, e)
+	case *sexp.Cons:
+		return c.convertList(form, e)
+	}
+	return nil, errf(form, "cannot convert %T", form)
+}
+
+func (c *Converter) convertSymbol(s *sexp.Symbol, e *env) (tree.Node, error) {
+	if s == sexp.Nil || s == sexp.T {
+		return tree.NewLiteral(s), nil
+	}
+	if c.Constants != nil {
+		if v, ok := c.Constants[s]; ok {
+			return tree.NewLiteral(v), nil
+		}
+	}
+	if !c.IsSpecial(s) {
+		if v := e.lookup(s); v != nil {
+			return tree.NewRef(v), nil
+		}
+	}
+	// Free references denote the symbol's dynamic value cell.
+	return tree.NewRef(c.globalVar(s)), nil
+}
+
+func (c *Converter) convertList(form sexp.Value, e *env) (tree.Node, error) {
+	items, err := sexp.ListToSlice(form)
+	if err != nil {
+		return nil, errf(form, "dotted form")
+	}
+	if len(items) == 0 {
+		return tree.NilLiteral(), nil
+	}
+	head, ok := items[0].(*sexp.Symbol)
+	if !ok {
+		// ((lambda ...) args) — direct call of a manifest function.
+		fn, err := c.Convert(items[0], e)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := fn.(*tree.Lambda); !ok {
+			return nil, errf(form, "illegal function position")
+		}
+		return c.finishCall(fn, items[1:], e)
+	}
+	args := items[1:]
+	switch head.Name {
+	case "quote":
+		if len(args) != 1 {
+			return nil, errf(form, "quote takes one argument")
+		}
+		return tree.NewLiteral(args[0]), nil
+	case "function":
+		if len(args) != 1 {
+			return nil, errf(form, "function takes one argument")
+		}
+		if sym, ok := args[0].(*sexp.Symbol); ok {
+			if v := e.lookup(sym); v != nil && !c.IsSpecial(sym) {
+				// #'x where x is lexical: just the variable's value.
+				return tree.NewRef(v), nil
+			}
+			return &tree.FunRef{Name: sym}, nil
+		}
+		return c.Convert(args[0], e) // #'(lambda ...)
+	case "lambda":
+		if len(args) < 1 {
+			return nil, errf(form, "lambda needs a parameter list")
+		}
+		return c.convertLambdaParts("", args[0], args[1:], e)
+	case "if":
+		if len(args) < 2 || len(args) > 3 {
+			return nil, errf(form, "if takes 2 or 3 arguments")
+		}
+		test, err := c.Convert(args[0], e)
+		if err != nil {
+			return nil, err
+		}
+		then, err := c.Convert(args[1], e)
+		if err != nil {
+			return nil, err
+		}
+		var els tree.Node = tree.NilLiteral()
+		if len(args) == 3 {
+			if els, err = c.Convert(args[2], e); err != nil {
+				return nil, err
+			}
+		}
+		return &tree.If{Test: test, Then: then, Else: els}, nil
+	case "progn":
+		return c.convertProgn(args, e)
+	case "setq":
+		return c.convertSetq(form, args, e)
+	case "let":
+		return c.convertLet(form, args, e, false)
+	case "let*":
+		return c.convertLet(form, args, e, true)
+	case "cond":
+		return c.convertCond(args, e)
+	case "and":
+		return c.convertAnd(args, e)
+	case "or":
+		return c.convertOr(args, e)
+	case "when":
+		if len(args) < 1 {
+			return nil, errf(form, "when needs a test")
+		}
+		return c.listToIf(args[0], args[1:], nil, e)
+	case "unless":
+		if len(args) < 1 {
+			return nil, errf(form, "unless needs a test")
+		}
+		return c.listToIf(args[0], nil, args[1:], e)
+	case "prog":
+		return c.convertProg(form, args, e)
+	case "go":
+		if len(args) != 1 {
+			return nil, errf(form, "go takes one tag")
+		}
+		tag, ok := args[0].(*sexp.Symbol)
+		if !ok {
+			return nil, errf(form, "go tag must be a symbol")
+		}
+		target := e.findTag(tag)
+		if target == nil {
+			return nil, errf(form, "go to undefined tag %s", tag.Name)
+		}
+		return &tree.Go{Tag: tag, Target: target}, nil
+	case "return":
+		target := e.innermostBody()
+		if target == nil {
+			return nil, errf(form, "return outside prog")
+		}
+		var val tree.Node = tree.NilLiteral()
+		if len(args) == 1 {
+			var err error
+			if val, err = c.Convert(args[0], e); err != nil {
+				return nil, err
+			}
+		} else if len(args) > 1 {
+			return nil, errf(form, "return takes at most one value")
+		}
+		return &tree.Return{Value: val, Target: target}, nil
+	case "do", "do*":
+		return c.convertDo(form, args, e, head.Name == "do*")
+	case "dotimes":
+		return c.convertDotimes(form, args, e)
+	case "dolist":
+		return c.convertDolist(form, args, e)
+	case "case", "caseq":
+		return c.convertCaseq(form, args, e)
+	case "catch":
+		if len(args) < 1 {
+			return nil, errf(form, "catch needs a tag")
+		}
+		tag, err := c.Convert(args[0], e)
+		if err != nil {
+			return nil, err
+		}
+		body, err := c.convertProgn(args[1:], e)
+		if err != nil {
+			return nil, err
+		}
+		return &tree.Catcher{Tag: tag, Body: body}, nil
+	case "funcall":
+		if len(args) < 1 {
+			return nil, errf(form, "funcall needs a function")
+		}
+		fn, err := c.Convert(args[0], e)
+		if err != nil {
+			return nil, err
+		}
+		return c.finishCall(fn, args[1:], e)
+	case "declare":
+		// Bare declare in expression position: ignored (handled by
+		// binding constructs).
+		return tree.NilLiteral(), nil
+	case "quasiquote":
+		if len(args) != 1 {
+			return nil, errf(form, "quasiquote takes one argument")
+		}
+		expanded, err := expandQuasi(args[0], 1)
+		if err != nil {
+			return nil, err
+		}
+		return c.Convert(expanded, e)
+	case "unquote", "unquote-splicing":
+		return nil, errf(form, "comma outside backquote")
+	case "psetq":
+		return c.convertPsetq(form, args, e)
+	case "incf", "decf":
+		if len(args) < 1 || len(args) > 2 {
+			return nil, errf(form, "%s takes 1 or 2 arguments", head.Name)
+		}
+		delta := sexp.Value(sexp.Fixnum(1))
+		if len(args) == 2 {
+			delta = args[1]
+		}
+		op := "+"
+		if head.Name == "decf" {
+			op = "-"
+		}
+		return c.Convert(sexp.List(sexp.Intern("setq"), args[0],
+			sexp.List(sexp.Intern(op), args[0], delta)), e)
+	case "push":
+		if len(args) != 2 {
+			return nil, errf(form, "push takes 2 arguments")
+		}
+		return c.Convert(sexp.List(sexp.Intern("setq"), args[1],
+			sexp.List(sexp.Intern("cons"), args[0], args[1])), e)
+	case "pop":
+		if len(args) != 1 {
+			return nil, errf(form, "pop takes 1 argument")
+		}
+		// (let ((tmp (car place))) (setq place (cdr place)) tmp)
+		tmp := sexp.Gensym("pop")
+		return c.Convert(sexp.List(sexp.Intern("let"),
+			sexp.List(sexp.List(tmp, sexp.List(sexp.Intern("car"), args[0]))),
+			sexp.List(sexp.Intern("setq"), args[0], sexp.List(sexp.Intern("cdr"), args[0])),
+			tmp), e)
+	}
+	// User macros.
+	if c.UserMacro != nil {
+		if exp, ok, err := c.UserMacro(head, form); err != nil {
+			return nil, err
+		} else if ok {
+			return c.Convert(exp, e)
+		}
+	}
+	// Ordinary call. A lexically bound head symbol is called as a
+	// variable (the internal language is Scheme-like here, matching the
+	// paper's ((lambda (f) (f)) …) forms).
+	if v := e.lookup(head); v != nil && !c.IsSpecial(head) {
+		return c.finishCall(tree.NewRef(v), args, e)
+	}
+	return c.finishCall(&tree.FunRef{Name: head}, args, e)
+}
+
+func (c *Converter) finishCall(fn tree.Node, args []sexp.Value, e *env) (tree.Node, error) {
+	call := &tree.Call{Fn: fn}
+	for _, a := range args {
+		n, err := c.Convert(a, e)
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, n)
+	}
+	return call, nil
+}
+
+func (c *Converter) convertProgn(forms []sexp.Value, e *env) (tree.Node, error) {
+	if len(forms) == 0 {
+		return tree.NilLiteral(), nil
+	}
+	if len(forms) == 1 {
+		return c.Convert(forms[0], e)
+	}
+	out := &tree.Progn{}
+	for _, f := range forms {
+		n, err := c.Convert(f, e)
+		if err != nil {
+			return nil, err
+		}
+		out.Forms = append(out.Forms, n)
+	}
+	return out, nil
+}
+
+func (c *Converter) convertSetq(form sexp.Value, args []sexp.Value, e *env) (tree.Node, error) {
+	if len(args) == 0 || len(args)%2 != 0 {
+		return nil, errf(form, "setq needs variable/value pairs")
+	}
+	var sets []tree.Node
+	for i := 0; i < len(args); i += 2 {
+		sym, ok := args[i].(*sexp.Symbol)
+		if !ok {
+			return nil, errf(form, "setq of non-symbol %s", sexp.Print(args[i]))
+		}
+		val, err := c.Convert(args[i+1], e)
+		if err != nil {
+			return nil, err
+		}
+		var v *tree.Var
+		if !c.IsSpecial(sym) {
+			v = e.lookup(sym)
+		}
+		if v == nil {
+			v = c.globalVar(sym)
+		}
+		sets = append(sets, tree.NewSetq(v, val))
+	}
+	if len(sets) == 1 {
+		return sets[0], nil
+	}
+	return &tree.Progn{Forms: sets}, nil
+}
+
+// listToIf builds (if test (progn then...) (progn else...)).
+func (c *Converter) listToIf(test sexp.Value, then, els []sexp.Value, e *env) (tree.Node, error) {
+	tn, err := c.Convert(test, e)
+	if err != nil {
+		return nil, err
+	}
+	thn, err := c.convertProgn(then, e)
+	if err != nil {
+		return nil, err
+	}
+	eln, err := c.convertProgn(els, e)
+	if err != nil {
+		return nil, err
+	}
+	return &tree.If{Test: tn, Then: thn, Else: eln}, nil
+}
+
+func (c *Converter) convertCond(clauses []sexp.Value, e *env) (tree.Node, error) {
+	if len(clauses) == 0 {
+		return tree.NilLiteral(), nil
+	}
+	cl, err := sexp.ListToSlice(clauses[0])
+	if err != nil || len(cl) == 0 {
+		return nil, errf(clauses[0], "bad cond clause")
+	}
+	// (t e...) final clause.
+	if sym, ok := cl[0].(*sexp.Symbol); ok && sym == sexp.T {
+		return c.convertProgn(cl[1:], e)
+	}
+	if len(cl) == 1 {
+		// (cond (p) rest...) == (or p (cond rest...))
+		rest := append([]sexp.Value{sexp.Intern("cond")}, clauses[1:]...)
+		return c.convertOr([]sexp.Value{cl[0], sexp.List(rest...)}, e)
+	}
+	test, err := c.Convert(cl[0], e)
+	if err != nil {
+		return nil, err
+	}
+	then, err := c.convertProgn(cl[1:], e)
+	if err != nil {
+		return nil, err
+	}
+	els, err := c.convertCond(clauses[1:], e)
+	if err != nil {
+		return nil, err
+	}
+	return &tree.If{Test: test, Then: then, Else: els}, nil
+}
+
+func (c *Converter) convertAnd(args []sexp.Value, e *env) (tree.Node, error) {
+	if len(args) == 0 {
+		return tree.NewLiteral(sexp.T), nil
+	}
+	if len(args) == 1 {
+		return c.Convert(args[0], e)
+	}
+	test, err := c.Convert(args[0], e)
+	if err != nil {
+		return nil, err
+	}
+	rest, err := c.convertAnd(args[1:], e)
+	if err != nil {
+		return nil, err
+	}
+	return &tree.If{Test: test, Then: rest, Else: tree.NilLiteral()}, nil
+}
+
+// convertOr uses the paper's exact encoding: (or b c) becomes
+// ((lambda (v f) (if v v (f))) b (lambda () c)) "to avoid evaluating b
+// twice". The thunk is later integrated away by the optimizer.
+func (c *Converter) convertOr(args []sexp.Value, e *env) (tree.Node, error) {
+	if len(args) == 0 {
+		return tree.NilLiteral(), nil
+	}
+	if len(args) == 1 {
+		return c.Convert(args[0], e)
+	}
+	first, err := c.Convert(args[0], e)
+	if err != nil {
+		return nil, err
+	}
+	v := tree.NewVar(sexp.Gensym("v"))
+	f := tree.NewVar(sexp.Gensym("f"))
+	lam := &tree.Lambda{Required: []*tree.Var{v, f}}
+	v.Binder, f.Binder = lam, lam
+	lam.Body = &tree.If{
+		Test: tree.NewRef(v),
+		Then: tree.NewRef(v),
+		Else: &tree.Call{Fn: tree.NewRef(f)},
+	}
+	restBody, err := c.convertOr(args[1:], e)
+	if err != nil {
+		return nil, err
+	}
+	thunk := &tree.Lambda{Body: restBody}
+	return &tree.Call{Fn: lam, Args: []tree.Node{first, thunk}}, nil
+}
+
+func (c *Converter) convertPsetq(form sexp.Value, args []sexp.Value, e *env) (tree.Node, error) {
+	if len(args)%2 != 0 {
+		return nil, errf(form, "psetq needs pairs")
+	}
+	// (psetq a x b y) == (let ((t1 x) (t2 y)) (setq a t1) (setq b t2))
+	var binds, sets []sexp.Value
+	for i := 0; i < len(args); i += 2 {
+		tmp := sexp.Gensym("ps")
+		binds = append(binds, sexp.List(tmp, args[i+1]))
+		sets = append(sets, sexp.List(sexp.Intern("setq"), args[i], tmp))
+	}
+	body := append([]sexp.Value{sexp.Intern("let"), sexp.List(binds...)}, sets...)
+	body = append(body, sexp.Nil)
+	return c.Convert(sexp.List(body...), e)
+}

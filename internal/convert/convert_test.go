@@ -1,0 +1,437 @@
+package convert
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sexp"
+	"repro/internal/tree"
+)
+
+func conv1(t *testing.T, src string) tree.Node {
+	t.Helper()
+	c := New()
+	n, err := c.ConvertForm(sexp.MustRead(src))
+	if err != nil {
+		t.Fatalf("convert %q: %v", src, err)
+	}
+	if err := tree.Validate(n); err != nil {
+		t.Fatalf("validate %q: %v", src, err)
+	}
+	return n
+}
+
+func show(t *testing.T, src string) string {
+	t.Helper()
+	return tree.Show(conv1(t, src))
+}
+
+func TestQuadraticBackTranslation(t *testing.T) {
+	// The paper's §4.1 example: let becomes a call to a manifest
+	// lambda-expression and cond becomes nested ifs.
+	src := `
+(lambda (a b c)
+  (let ((d (- (* b b) (* 4.0 a c))))
+    (cond ((< d 0) '())
+          ((= d 0) (list (/ (- b) (* 2.0 a))))
+          (t (let ((2a (* 2.0 a)) (sd (sqrt d)))
+               (list (/ (+ (- b) sd) 2a)
+                     (/ (- (- b) sd) 2a)))))))`
+	want := "(lambda (a b c) " +
+		"((lambda (d) " +
+		"(if (< d 0) nil " +
+		"(if (= d 0) (list (/ (- b) (* 2.0 a))) " +
+		"((lambda (2a sd) (list (/ (+ (- b) sd) 2a) (/ (- (- b) sd) 2a))) " +
+		"(* 2.0 a) (sqrt d))))) " +
+		"(- (* b b) (* 4.0 a c))))"
+	if got := show(t, src); got != want {
+		t.Errorf("quadratic:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestBasicForms(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"42", "42"},
+		{"'foo", "'foo"},
+		{"\"s\"", `"s"`},
+		{"nil", "nil"},
+		{"t", "t"},
+		{"(progn)", "nil"},
+		{"(progn 1)", "1"},
+		{"(progn 1 2)", "(progn 1 2)"},
+		{"(if p 1 2)", "(if p 1 2)"},
+		{"(if p 1)", "(if p 1 nil)"},
+		{"(when p 1 2)", "(if p (progn 1 2) nil)"},
+		{"(unless p 1)", "(if p nil 1)"},
+		{"(and)", "t"},
+		{"(and a)", "a"},
+		{"(and a b)", "(if a b nil)"},
+		{"(let ((x 1)) x)", "((lambda (x) x) 1)"},
+		{"(let ((x 1) (y 2)) (+ x y))", "((lambda (x y) (+ x y)) 1 2)"},
+		{"(let* ((x 1) (y x)) y)", "((lambda (x) ((lambda (y) y) x)) 1)"},
+		{"(let (x) x)", "((lambda (x) x) nil)"},
+		{"(setq x 1)", "(setq x 1)"},
+		{"(setq x 1 y 2)", "(progn (setq x 1) (setq y 2))"},
+		{"(foo 1 2)", "(foo 1 2)"},
+		{"(funcall f 1)", "(f 1)"},
+		{"((lambda (x) x) 3)", "((lambda (x) x) 3)"},
+		{"#'car", "#'car"},
+		{"(catch 'done 1 2)", "(catch 'done (progn 1 2))"},
+		{"(cond)", "nil"},
+		{"(cond (t 1))", "1"},
+		{"(cond (a 1) (t 2))", "(if a 1 2)"},
+		{"(incf x)", "(setq x (+ x 1))"},
+		{"(decf x 2)", "(setq x (- x 2))"},
+		{"(push a s)", "(setq s (cons a s))"},
+	}
+	for _, c := range cases {
+		if got := show(t, c.src); got != c.want {
+			t.Errorf("%s:\n got %s\nwant %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestOrUsesPaperEncoding(t *testing.T) {
+	// §5: (or b c) translates to ((lambda (v f) (if v v (f))) b
+	// (lambda () c)).
+	got := show(t, "(or b c)")
+	if !strings.Contains(got, "(lambda (") || !strings.Contains(got, "(lambda nil c)") {
+		t.Errorf("or encoding = %s", got)
+	}
+	// Shape check modulo gensym names.
+	n := conv1(t, "(or b c)").(*tree.Call)
+	lam := n.Fn.(*tree.Lambda)
+	if len(lam.Required) != 2 {
+		t.Fatalf("or lambda should bind v and f")
+	}
+	iff, ok := lam.Body.(*tree.If)
+	if !ok {
+		t.Fatalf("or lambda body should be if")
+	}
+	if iff.Test.(*tree.VarRef).Var != lam.Required[0] {
+		t.Error("or test should reference v")
+	}
+	call, ok := iff.Else.(*tree.Call)
+	if !ok || call.Fn.(*tree.VarRef).Var != lam.Required[1] {
+		t.Error("or else should call f")
+	}
+	if _, ok := n.Args[1].(*tree.Lambda); !ok {
+		t.Error("second or argument should be a thunk")
+	}
+}
+
+func TestScopingResolvesToSameVar(t *testing.T) {
+	n := conv1(t, "(lambda (x) (if x x nil))").(*tree.Lambda)
+	x := n.Required[0]
+	if len(x.Refs) != 2 {
+		t.Fatalf("x should have 2 refs, got %d", len(x.Refs))
+	}
+	iff := n.Body.(*tree.If)
+	if iff.Test.(*tree.VarRef).Var != x || iff.Then.(*tree.VarRef).Var != x {
+		t.Error("references resolve to the binding")
+	}
+}
+
+func TestShadowingCreatesDistinctVars(t *testing.T) {
+	n := conv1(t, "(lambda (x) (let ((x 2)) x))").(*tree.Lambda)
+	outer := n.Required[0]
+	call := n.Body.(*tree.Call)
+	inner := call.Fn.(*tree.Lambda).Required[0]
+	if outer == inner {
+		t.Fatal("shadowed variables must be distinct")
+	}
+	if len(outer.Refs) != 0 {
+		t.Error("outer x is unreferenced")
+	}
+	if len(inner.Refs) != 1 {
+		t.Error("inner x has the reference")
+	}
+}
+
+func TestFreeVariablesAreSpecial(t *testing.T) {
+	n := conv1(t, "(+ x 1)").(*tree.Call)
+	v := n.Args[0].(*tree.VarRef).Var
+	if !v.Special {
+		t.Error("free variable should be a special/global reference")
+	}
+	// Same symbol twice: same shared Var.
+	c := New()
+	n1, _ := c.ConvertForm(sexp.MustRead("x"))
+	n2, _ := c.ConvertForm(sexp.MustRead("x"))
+	if n1.(*tree.VarRef).Var != n2.(*tree.VarRef).Var {
+		t.Error("global references must share one Var record")
+	}
+}
+
+func TestEarmuffsAreSpecial(t *testing.T) {
+	n := conv1(t, "(lambda (*print-depth*) *print-depth*)").(*tree.Lambda)
+	if !n.Required[0].Special {
+		t.Error("*earmuffed* parameter should bind dynamically")
+	}
+	// Body ref goes to the shared dynamic var, not the parameter.
+	ref := n.Body.(*tree.VarRef).Var
+	if ref == n.Required[0] {
+		t.Error("dynamic reference should not resolve lexically")
+	}
+	if !ref.Special {
+		t.Error("dynamic reference should be special")
+	}
+}
+
+func TestDeclareSpecial(t *testing.T) {
+	n := conv1(t, "(lambda (x) (declare (special x)) x)").(*tree.Lambda)
+	if !n.Required[0].Special {
+		t.Error("(declare (special x)) should make the parameter dynamic")
+	}
+}
+
+func TestProclaimSpecial(t *testing.T) {
+	c := New()
+	p, err := c.ConvertTopLevel([]sexp.Value{
+		sexp.MustRead("(proclaim '(special depth))"),
+		sexp.MustRead("(defun f (depth) depth)"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Specials[sexp.Intern("depth")] {
+		t.Error("proclaimed special not recorded")
+	}
+	lam := p.Defs[0].Lambda
+	if !lam.Required[0].Special {
+		t.Error("proclaimed special parameter should bind dynamically")
+	}
+}
+
+func TestOptionalDefaultsSeeEarlierParams(t *testing.T) {
+	// The paper's testfn lambda list: (a &optional (b 3.0) (c a)).
+	n := conv1(t, "(lambda (a &optional (b 3.0) (c a)) c)").(*tree.Lambda)
+	if len(n.Optional) != 2 {
+		t.Fatalf("2 optionals, got %d", len(n.Optional))
+	}
+	def := n.Optional[1].Default.(*tree.VarRef)
+	if def.Var != n.Required[0] {
+		t.Error("default for c should reference parameter a")
+	}
+	if got := tree.Show(n); got != "(lambda (a &optional (b 3.0) (c a)) c)" {
+		t.Errorf("round trip: %s", got)
+	}
+}
+
+func TestRestParameter(t *testing.T) {
+	n := conv1(t, "(lambda (a &rest r) r)").(*tree.Lambda)
+	if n.Rest == nil || n.Rest.Name.Name != "r" {
+		t.Fatal("rest parameter missing")
+	}
+	if n.MaxArgs() != -1 || n.MinArgs() != 1 {
+		t.Error("arity wrong")
+	}
+}
+
+func TestLambdaListErrors(t *testing.T) {
+	bad := []string{
+		"(lambda (&rest) 1)",
+		"(lambda (&rest a b) 1)",
+		"(lambda (a &optional b &optional c) 1)",
+		"(lambda ((a)) 1)",
+		"(lambda (a &rest b &optional c) 1)",
+	}
+	c := New()
+	for _, src := range bad {
+		if _, err := c.ConvertForm(sexp.MustRead(src)); err == nil {
+			t.Errorf("%s should fail", src)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"(if)", "(if a)", "(if a b c d)",
+		"(quote)", "(quote a b)",
+		"(setq x)", "(setq 3 x)",
+		"(go nowhere)",
+		"(return 1)", // outside prog
+		"(let)", "(lambda)",
+		"(function)",
+	}
+	c := New()
+	for _, src := range bad {
+		if _, err := c.ConvertForm(sexp.MustRead(src)); err == nil {
+			t.Errorf("%s should fail to convert", src)
+		}
+	}
+}
+
+func TestProgGoReturn(t *testing.T) {
+	n := conv1(t, `(prog (i)
+	   loop
+	     (if (> i 9) (return i) nil)
+	     (setq i (+ i 1))
+	     (go loop))`)
+	call := n.(*tree.Call)
+	lam := call.Fn.(*tree.Lambda)
+	pb, ok := lam.Body.(*tree.ProgBody)
+	if !ok {
+		t.Fatalf("prog body should be progbody, got %T", lam.Body)
+	}
+	if pb.TagIndex(sexp.Intern("loop")) != 0 {
+		t.Error("tag index")
+	}
+	// go and return resolved to this progbody.
+	found := 0
+	tree.Walk(pb, func(m tree.Node) bool {
+		switch x := m.(type) {
+		case *tree.Go:
+			if x.Target == pb {
+				found++
+			}
+		case *tree.Return:
+			if x.Target == pb {
+				found++
+			}
+		}
+		return true
+	})
+	if found != 2 {
+		t.Errorf("resolved jumps = %d, want 2", found)
+	}
+}
+
+func TestForwardGo(t *testing.T) {
+	conv1(t, "(prog () (go end) (setq x 1) end)")
+}
+
+func TestDoLoop(t *testing.T) {
+	n := conv1(t, `(do ((i 0 (+ i 1)) (acc 1 (* acc 2)))
+	                   ((>= i 5) acc))`)
+	// Shape: a call of a lambda whose body is a progbody.
+	call := n.(*tree.Call)
+	lam := call.Fn.(*tree.Lambda)
+	if _, ok := lam.Body.(*tree.ProgBody); !ok {
+		t.Fatalf("do should produce progbody, got %T", lam.Body)
+	}
+	if len(lam.Required) != 2 && len(lam.Required) != 0 {
+		t.Errorf("do binds loop vars; got %d", len(lam.Required))
+	}
+}
+
+func TestDotimesDolist(t *testing.T) {
+	conv1(t, "(dotimes (i 10) (setq s (+ s i)))")
+	conv1(t, "(dotimes (i 10 s) (setq s (+ s i)))")
+	conv1(t, "(dolist (x l) (setq s (+ s x)))")
+	conv1(t, "(dolist (x l s))")
+}
+
+func TestCaseq(t *testing.T) {
+	n := conv1(t, `(caseq k ((1 2) 'small) (5 'five) (t 'big))`)
+	cq, ok := n.(*tree.Caseq)
+	if !ok {
+		t.Fatalf("got %T", n)
+	}
+	if len(cq.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(cq.Clauses))
+	}
+	if len(cq.Clauses[0].Keys) != 2 || len(cq.Clauses[1].Keys) != 1 {
+		t.Error("keys parsed wrong")
+	}
+	if cq.Default == nil {
+		t.Error("default missing")
+	}
+	if _, err := New().ConvertForm(sexp.MustRead("(caseq k (t 1) (2 3))")); err == nil {
+		t.Error("default clause must be last")
+	}
+}
+
+func TestQuasiquote(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"`a", "'a"},
+		{"`(a b)", "(cons 'a (cons 'b nil))"},
+		{"`(a ,b)", "(cons 'a (cons b nil))"},
+		{"`(a ,@b)", "(cons 'a (append b nil))"},
+	}
+	for _, c := range cases {
+		if got := show(t, c.src); got != c.want {
+			t.Errorf("%s => %s, want %s", c.src, got, c.want)
+		}
+	}
+	if _, err := New().ConvertForm(sexp.MustRead(",x")); err == nil {
+		t.Error("comma outside backquote should fail")
+	}
+}
+
+func TestTopLevelProgram(t *testing.T) {
+	c := New()
+	p, err := c.ConvertTopLevel([]sexp.Value{
+		sexp.MustRead("(defvar *depth* 0)"),
+		sexp.MustRead("(defun f (x) (g x))"),
+		sexp.MustRead("(defun g (x) (* x x))"),
+		sexp.MustRead("(f 3)"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Defs) != 2 {
+		t.Fatalf("defs = %d", len(p.Defs))
+	}
+	if p.DefNamed(sexp.Intern("f")) == nil || p.DefNamed(sexp.Intern("g")) == nil {
+		t.Error("DefNamed")
+	}
+	if p.DefNamed(sexp.Intern("h")) != nil {
+		t.Error("DefNamed of missing function")
+	}
+	if len(p.TopForms) != 2 { // defvar init + call
+		t.Fatalf("top forms = %d", len(p.TopForms))
+	}
+	if !p.Specials[sexp.Intern("*depth*")] {
+		t.Error("defvar should proclaim special")
+	}
+	if p.Defs[0].Lambda.Name != "f" {
+		t.Error("lambda name")
+	}
+}
+
+func TestDefunErrors(t *testing.T) {
+	c := New()
+	if _, err := c.ConvertTopLevel([]sexp.Value{sexp.MustRead("(defun)")}); err == nil {
+		t.Error("(defun) should fail")
+	}
+	if _, err := c.ConvertTopLevel([]sexp.Value{sexp.MustRead("(defun 3 (x) x)")}); err == nil {
+		t.Error("(defun 3 ...) should fail")
+	}
+}
+
+func TestUserMacroHook(t *testing.T) {
+	c := New()
+	c.UserMacro = func(head *sexp.Symbol, form sexp.Value) (sexp.Value, bool, error) {
+		if head.Name == "double" {
+			items, _ := sexp.ListToSlice(form)
+			return sexp.List(sexp.Intern("*"), sexp.Fixnum(2), items[1]), true, nil
+		}
+		return nil, false, nil
+	}
+	n, err := c.ConvertForm(sexp.MustRead("(double 21)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Show(n); got != "(* 2 21)" {
+		t.Errorf("macro expansion = %s", got)
+	}
+}
+
+func TestPsetqIsParallel(t *testing.T) {
+	got := show(t, "(psetq a b b a)")
+	// Both sources evaluated before either assignment.
+	if !strings.Contains(got, "lambda") {
+		t.Errorf("psetq should bind temporaries: %s", got)
+	}
+}
+
+func TestLexicalHeadCallsVariable(t *testing.T) {
+	// ((lambda (f) (f 1)) #'g): inside, (f 1) calls the variable.
+	n := conv1(t, "(let ((f #'g)) (f 1))").(*tree.Call)
+	lam := n.Fn.(*tree.Lambda)
+	inner := lam.Body.(*tree.Call)
+	if _, ok := inner.Fn.(*tree.VarRef); !ok {
+		t.Errorf("lexically bound head should call the variable, got %T", inner.Fn)
+	}
+}

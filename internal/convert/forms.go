@@ -1,0 +1,493 @@
+package convert
+
+import (
+	"repro/internal/sexp"
+	"repro/internal/tree"
+)
+
+// convertLambdaParts parses a lambda list plus body forms into a Lambda
+// node. The parameter syntax supports &optional parameters with default
+// computations that "may perform any computation, and may refer to other
+// parameters occurring earlier in the same formal parameter set", and a
+// &rest parameter.
+func (c *Converter) convertLambdaParts(name string, lambdaList sexp.Value, body []sexp.Value, outer *env) (*tree.Lambda, error) {
+	params, err := sexp.ListToSlice(lambdaList)
+	if err != nil {
+		return nil, errf(lambdaList, "bad lambda list")
+	}
+	lam := &tree.Lambda{Name: name}
+	e := outer.child()
+
+	// Leading (declare (special ...)) forms affect which parameters bind
+	// dynamically.
+	declaredSpecial := map[*sexp.Symbol]bool{}
+	body = c.stripDeclares(body, declaredSpecial)
+
+	bindParam := func(sym *sexp.Symbol) *tree.Var {
+		v := tree.NewVar(sym)
+		v.Binder = lam
+		if c.IsSpecial(sym) || declaredSpecial[sym] {
+			v.Special = true
+			// Dynamic parameters do not enter the lexical environment:
+			// body references go through the shared dynamic Var.
+		} else {
+			e.vars[sym] = v
+		}
+		return v
+	}
+
+	mode := 0 // 0=required 1=optional 2=rest 3=after rest
+	for _, p := range params {
+		if sym, ok := p.(*sexp.Symbol); ok {
+			switch sym.Name {
+			case "&optional":
+				if mode != 0 {
+					return nil, errf(lambdaList, "&optional out of order")
+				}
+				mode = 1
+				continue
+			case "&rest":
+				if mode >= 2 {
+					return nil, errf(lambdaList, "&rest out of order")
+				}
+				mode = 2
+				continue
+			}
+		}
+		switch mode {
+		case 0:
+			sym, ok := p.(*sexp.Symbol)
+			if !ok {
+				return nil, errf(p, "required parameter must be a symbol")
+			}
+			lam.Required = append(lam.Required, bindParam(sym))
+		case 1:
+			var sym *sexp.Symbol
+			var defForm sexp.Value = sexp.Nil
+			switch pp := p.(type) {
+			case *sexp.Symbol:
+				sym = pp
+			case *sexp.Cons:
+				parts, err := sexp.ListToSlice(pp)
+				if err != nil || len(parts) < 1 || len(parts) > 2 {
+					return nil, errf(p, "bad optional parameter")
+				}
+				var ok bool
+				if sym, ok = parts[0].(*sexp.Symbol); !ok {
+					return nil, errf(p, "optional parameter name must be a symbol")
+				}
+				if len(parts) == 2 {
+					defForm = parts[1]
+				}
+			default:
+				return nil, errf(p, "bad optional parameter")
+			}
+			// Defaults see earlier parameters: convert before binding.
+			def, err := c.Convert(defForm, e)
+			if err != nil {
+				return nil, err
+			}
+			lam.Optional = append(lam.Optional, tree.OptParam{Var: bindParam(sym), Default: def})
+		case 2:
+			sym, ok := p.(*sexp.Symbol)
+			if !ok {
+				return nil, errf(p, "&rest parameter must be a symbol")
+			}
+			lam.Rest = bindParam(sym)
+			mode = 3
+		default:
+			return nil, errf(lambdaList, "parameters after &rest")
+		}
+	}
+	if mode == 2 {
+		return nil, errf(lambdaList, "&rest requires a parameter name")
+	}
+	b, err := c.convertProgn(body, e)
+	if err != nil {
+		return nil, err
+	}
+	lam.Body = b
+	return lam, nil
+}
+
+// stripDeclares removes leading (declare ...) forms, recording special
+// declarations.
+func (c *Converter) stripDeclares(body []sexp.Value, specials map[*sexp.Symbol]bool) []sexp.Value {
+	i := 0
+	for ; i < len(body); i++ {
+		items, err := sexp.ListToSlice(body[i])
+		if err != nil || len(items) == 0 {
+			break
+		}
+		head, ok := items[0].(*sexp.Symbol)
+		if !ok || head.Name != "declare" {
+			break
+		}
+		for _, d := range items[1:] {
+			decl, err := sexp.ListToSlice(d)
+			if err != nil || len(decl) == 0 {
+				continue
+			}
+			if ds, ok := decl[0].(*sexp.Symbol); ok && ds.Name == "special" {
+				for _, s := range decl[1:] {
+					if sym, ok := s.(*sexp.Symbol); ok {
+						specials[sym] = true
+					}
+				}
+			}
+			// Type and other declarations are "treated as advice"; the
+			// current compiler ignores them here.
+		}
+	}
+	return body[i:]
+}
+
+// convertLet converts let/let* to a call of a manifest lambda-expression
+// (let* by nesting).
+func (c *Converter) convertLet(form sexp.Value, args []sexp.Value, e *env, sequential bool) (tree.Node, error) {
+	if len(args) < 1 {
+		return nil, errf(form, "let needs a binding list")
+	}
+	binds, err := sexp.ListToSlice(args[0])
+	if err != nil {
+		return nil, errf(form, "bad let binding list")
+	}
+	body := args[1:]
+	if sequential && len(binds) > 1 {
+		// (let* (b1 b2...) body) == (let (b1) (let* (b2...) body))
+		inner := append([]sexp.Value{sexp.Intern("let*"), sexp.List(binds[1:]...)}, body...)
+		return c.convertLet(form, []sexp.Value{sexp.List(binds[0]), sexp.List(inner...)}, e, false)
+	}
+	var names []sexp.Value
+	var initForms []sexp.Value
+	for _, b := range binds {
+		switch bb := b.(type) {
+		case *sexp.Symbol:
+			names = append(names, bb)
+			initForms = append(initForms, sexp.Nil)
+		case *sexp.Cons:
+			parts, err := sexp.ListToSlice(bb)
+			if err != nil || len(parts) < 1 || len(parts) > 2 {
+				return nil, errf(b, "bad let binding")
+			}
+			names = append(names, parts[0])
+			if len(parts) == 2 {
+				initForms = append(initForms, parts[1])
+			} else {
+				initForms = append(initForms, sexp.Nil)
+			}
+		default:
+			return nil, errf(b, "bad let binding")
+		}
+	}
+	// Initializers are evaluated in the outer environment.
+	call := &tree.Call{}
+	for _, init := range initForms {
+		n, err := c.Convert(init, e)
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, n)
+	}
+	lamList := sexp.List(names...)
+	lam, err := c.convertLambdaParts("", lamList, body, e)
+	if err != nil {
+		return nil, err
+	}
+	call.Fn = lam
+	return call, nil
+}
+
+// convertProg converts (prog (bindings) tag-or-statement...): "the usual
+// LISP prog construct translates into a let … containing a progbody".
+func (c *Converter) convertProg(form sexp.Value, args []sexp.Value, e *env) (tree.Node, error) {
+	if len(args) < 1 {
+		return nil, errf(form, "prog needs a binding list")
+	}
+	binds, err := sexp.ListToSlice(args[0])
+	if err != nil {
+		return nil, errf(form, "bad prog binding list")
+	}
+	stmts := args[1:]
+
+	// Build the surrounding let by hand so the progbody's env nests
+	// inside the lambda's parameter scope.
+	var names []sexp.Value
+	var initForms []sexp.Value
+	for _, b := range binds {
+		switch bb := b.(type) {
+		case *sexp.Symbol:
+			names = append(names, bb)
+			initForms = append(initForms, sexp.Nil)
+		case *sexp.Cons:
+			parts, err := sexp.ListToSlice(bb)
+			if err != nil || len(parts) < 1 || len(parts) > 2 {
+				return nil, errf(b, "bad prog binding")
+			}
+			names = append(names, parts[0])
+			if len(parts) == 2 {
+				initForms = append(initForms, parts[1])
+			} else {
+				initForms = append(initForms, sexp.Nil)
+			}
+		default:
+			return nil, errf(b, "bad prog binding")
+		}
+	}
+	lam := &tree.Lambda{}
+	inner := e.child()
+	for _, nm := range names {
+		sym, ok := nm.(*sexp.Symbol)
+		if !ok {
+			return nil, errf(nm, "prog variable must be a symbol")
+		}
+		v := tree.NewVar(sym)
+		v.Binder = lam
+		if c.IsSpecial(sym) {
+			v.Special = true
+		} else {
+			inner.vars[sym] = v
+		}
+		lam.Required = append(lam.Required, v)
+	}
+
+	pb := &tree.ProgBody{}
+	// Pre-scan tags so forward gos resolve.
+	formIdx := 0
+	for _, s := range stmts {
+		if sym, ok := s.(*sexp.Symbol); ok {
+			pb.Tags = append(pb.Tags, tree.ProgTag{Name: sym, Index: formIdx})
+			continue
+		}
+		formIdx++
+	}
+	scope := inner.child()
+	scope.body = &ProgBodyScope{PB: pb}
+	for _, s := range stmts {
+		if _, ok := s.(*sexp.Symbol); ok {
+			continue
+		}
+		n, err := c.Convert(s, scope)
+		if err != nil {
+			return nil, err
+		}
+		pb.Forms = append(pb.Forms, n)
+	}
+	lam.Body = pb
+
+	call := &tree.Call{Fn: lam}
+	for _, init := range initForms {
+		n, err := c.Convert(init, e)
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, n)
+	}
+	return call, nil
+}
+
+// convertDo desugars do/do* into prog (or let* + prog for do*).
+func (c *Converter) convertDo(form sexp.Value, args []sexp.Value, e *env, sequential bool) (tree.Node, error) {
+	if len(args) < 2 {
+		return nil, errf(form, "do needs bindings and an end clause")
+	}
+	binds, err := sexp.ListToSlice(args[0])
+	if err != nil {
+		return nil, errf(form, "bad do binding list")
+	}
+	endClause, err := sexp.ListToSlice(args[1])
+	if err != nil || len(endClause) < 1 {
+		return nil, errf(form, "bad do end clause")
+	}
+	body := args[2:]
+
+	var letBinds, steps []sexp.Value
+	for _, b := range binds {
+		switch bb := b.(type) {
+		case *sexp.Symbol:
+			letBinds = append(letBinds, bb)
+		case *sexp.Cons:
+			parts, err := sexp.ListToSlice(bb)
+			if err != nil || len(parts) < 1 || len(parts) > 3 {
+				return nil, errf(b, "bad do binding")
+			}
+			if len(parts) >= 2 {
+				letBinds = append(letBinds, sexp.List(parts[0], parts[1]))
+			} else {
+				letBinds = append(letBinds, parts[0])
+			}
+			if len(parts) == 3 {
+				steps = append(steps, parts[0], parts[2])
+			}
+		default:
+			return nil, errf(b, "bad do binding")
+		}
+	}
+	loop := sexp.Gensym("do-loop")
+	resultForms := append([]sexp.Value{sexp.Intern("progn")}, endClause[1:]...)
+	var stepForm sexp.Value
+	if len(steps) > 0 {
+		op := "psetq"
+		if sequential {
+			op = "setq"
+		}
+		stepForm = sexp.List(append([]sexp.Value{sexp.Intern(op)}, steps...)...)
+	}
+	progForms := []sexp.Value{loop,
+		sexp.List(sexp.Intern("when"), endClause[0],
+			sexp.List(sexp.Intern("return"), sexp.List(resultForms...)))}
+	progForms = append(progForms, body...)
+	if stepForm != nil {
+		progForms = append(progForms, stepForm)
+	}
+	progForms = append(progForms, sexp.List(sexp.Intern("go"), loop))
+
+	if sequential {
+		prog := append([]sexp.Value{sexp.Intern("prog"), sexp.Nil}, progForms...)
+		out := append([]sexp.Value{sexp.Intern("let*"), sexp.List(letBinds...)},
+			sexp.List(prog...))
+		return c.Convert(sexp.List(out...), e)
+	}
+	prog := append([]sexp.Value{sexp.Intern("prog"), sexp.List(letBinds...)}, progForms...)
+	return c.Convert(sexp.List(prog...), e)
+}
+
+func (c *Converter) convertDotimes(form sexp.Value, args []sexp.Value, e *env) (tree.Node, error) {
+	if len(args) < 1 {
+		return nil, errf(form, "dotimes needs (var count)")
+	}
+	spec, err := sexp.ListToSlice(args[0])
+	if err != nil || len(spec) < 2 || len(spec) > 3 {
+		return nil, errf(form, "bad dotimes spec")
+	}
+	result := sexp.Value(sexp.Nil)
+	if len(spec) == 3 {
+		result = spec[2]
+	}
+	lim := sexp.Gensym("lim")
+	do := []sexp.Value{sexp.Intern("do"),
+		sexp.List(
+			sexp.List(lim, spec[1]),
+			sexp.List(spec[0], sexp.Fixnum(0), sexp.List(sexp.Intern("+"), spec[0], sexp.Fixnum(1)))),
+		sexp.List(sexp.List(sexp.Intern(">="), spec[0], lim), result)}
+	do = append(do, args[1:]...)
+	return c.Convert(sexp.List(do...), e)
+}
+
+func (c *Converter) convertDolist(form sexp.Value, args []sexp.Value, e *env) (tree.Node, error) {
+	if len(args) < 1 {
+		return nil, errf(form, "dolist needs (var list)")
+	}
+	spec, err := sexp.ListToSlice(args[0])
+	if err != nil || len(spec) < 2 || len(spec) > 3 {
+		return nil, errf(form, "bad dolist spec")
+	}
+	result := sexp.Value(sexp.Nil)
+	if len(spec) == 3 {
+		result = spec[2]
+	}
+	tail := sexp.Gensym("tail")
+	bodyLet := append([]sexp.Value{sexp.Intern("let"),
+		sexp.List(sexp.List(spec[0], sexp.List(sexp.Intern("car"), tail)))}, args[1:]...)
+	do := []sexp.Value{sexp.Intern("do"),
+		sexp.List(sexp.List(tail, spec[1], sexp.List(sexp.Intern("cdr"), tail))),
+		sexp.List(sexp.List(sexp.Intern("null"), tail), result),
+		sexp.List(bodyLet...)}
+	return c.Convert(sexp.List(do...), e)
+}
+
+func (c *Converter) convertCaseq(form sexp.Value, args []sexp.Value, e *env) (tree.Node, error) {
+	if len(args) < 1 {
+		return nil, errf(form, "caseq needs a key form")
+	}
+	key, err := c.Convert(args[0], e)
+	if err != nil {
+		return nil, err
+	}
+	out := &tree.Caseq{Key: key}
+	for i, cl := range args[1:] {
+		parts, err := sexp.ListToSlice(cl)
+		if err != nil || len(parts) < 1 {
+			return nil, errf(cl, "bad caseq clause")
+		}
+		body, err := c.convertProgn(parts[1:], e)
+		if err != nil {
+			return nil, err
+		}
+		if sym, ok := parts[0].(*sexp.Symbol); ok && (sym == sexp.T || sym.Name == "otherwise") {
+			if i != len(args[1:])-1 {
+				return nil, errf(cl, "default caseq clause must be last")
+			}
+			out.Default = body
+			continue
+		}
+		var keys []sexp.Value
+		if lst, ok := parts[0].(*sexp.Cons); ok {
+			if keys, err = sexp.ListToSlice(lst); err != nil {
+				return nil, errf(cl, "bad caseq key list")
+			}
+		} else if parts[0] == sexp.Value(sexp.Nil) {
+			keys = nil
+		} else {
+			keys = []sexp.Value{parts[0]}
+		}
+		out.Clauses = append(out.Clauses, tree.CaseClause{Keys: keys, Body: body})
+	}
+	return out, nil
+}
+
+// expandQuasi expands a quasiquoted template at the given nesting depth
+// into cons/append calls.
+func expandQuasi(form sexp.Value, depth int) (sexp.Value, error) {
+	cons, ok := form.(*sexp.Cons)
+	if !ok {
+		return sexp.List(sexp.SymQuote, form), nil
+	}
+	if head, ok := cons.Car.(*sexp.Symbol); ok {
+		items, err := sexp.ListToSlice(form)
+		if err == nil && len(items) == 2 {
+			switch head.Name {
+			case "unquote":
+				if depth == 1 {
+					return items[1], nil
+				}
+				inner, err := expandQuasi(items[1], depth-1)
+				if err != nil {
+					return nil, err
+				}
+				return sexp.List(sexp.Intern("list"),
+					sexp.List(sexp.SymQuote, sexp.Intern("unquote")), inner), nil
+			case "quasiquote":
+				inner, err := expandQuasi(items[1], depth+1)
+				if err != nil {
+					return nil, err
+				}
+				return sexp.List(sexp.Intern("list"),
+					sexp.List(sexp.SymQuote, sexp.Intern("quasiquote")), inner), nil
+			}
+		}
+	}
+	// (a . rest): handle possible splicing of a.
+	if ac, ok := cons.Car.(*sexp.Cons); ok {
+		if h, ok := ac.Car.(*sexp.Symbol); ok && h.Name == "unquote-splicing" && depth == 1 {
+			items, err := sexp.ListToSlice(ac)
+			if err != nil || len(items) != 2 {
+				return nil, errf(ac, "bad ,@ form")
+			}
+			rest, err := expandQuasi(cons.Cdr, depth)
+			if err != nil {
+				return nil, err
+			}
+			return sexp.List(sexp.Intern("append"), items[1], rest), nil
+		}
+	}
+	carExp, err := expandQuasi(cons.Car, depth)
+	if err != nil {
+		return nil, err
+	}
+	cdrExp, err := expandQuasi(cons.Cdr, depth)
+	if err != nil {
+		return nil, err
+	}
+	return sexp.List(sexp.Intern("cons"), carExp, cdrExp), nil
+}

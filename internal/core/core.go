@@ -1,0 +1,262 @@
+// Package core is the public face of the S-1 Lisp reproduction: a System
+// bundles the reader, the preliminary converter, the source-level
+// optimizer, the machine-dependent annotation phases, the code generator,
+// the S-1 simulator, and the reference interpreter. Load Lisp source,
+// call compiled functions, inspect listings and transcripts, and meter
+// everything.
+//
+//	sys := core.NewSystem(core.Options{})
+//	sys.LoadString(`(defun f (x) (* x x))`)
+//	v, _ := sys.Call("f", sexp.Fixnum(9))   // compiled, on the simulator
+//	w, _ := sys.Interpret("f", sexp.Fixnum(9)) // tree interpreter
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/convert"
+	"repro/internal/interp"
+	"repro/internal/s1"
+	"repro/internal/sexp"
+)
+
+// Options configure a System. The zero value enables every compiler
+// phase.
+type Options struct {
+	// Codegen holds the per-phase toggles; zero means all phases on.
+	Codegen *codegen.Options
+	// OptimizerLog receives the §5-style transformation transcript.
+	OptimizerLog io.Writer
+	// Out receives print output from both the machine and the
+	// interpreter.
+	Out io.Writer
+	// Constants are symbols resolved at compile time to literal values
+	// (the static arrays of the §6.1 experiments).
+	Constants map[string]sexp.Value
+}
+
+// System is a complete Lisp implementation instance.
+type System struct {
+	Machine  *s1.Machine
+	Interp   *interp.Interp
+	Conv     *convert.Converter
+	Compiler *codegen.Compiler
+	// Defs holds the converted program definitions for inspection.
+	Defs map[string]int // name -> function index
+
+	macros        map[*sexp.Symbol]*interp.Closure
+	toplevelCount int
+}
+
+// NewSystem builds a system.
+func NewSystem(opts Options) *System {
+	m := s1.New()
+	in := interp.New()
+	if opts.Out != nil {
+		m.Out = opts.Out
+		in.Out = opts.Out
+	}
+	// The machine's fallback primitives are the interpreter's builtins.
+	m.SetPrimHook(func(name string, args []sexp.Value) (sexp.Value, error) {
+		return in.CallNamed(sexp.Intern(name), args...)
+	})
+	co := codegen.DefaultOptions()
+	if opts.Codegen != nil {
+		co = *opts.Codegen
+	}
+	if opts.OptimizerLog != nil {
+		co.OptimizerLog = opts.OptimizerLog
+	}
+	conv := convert.New()
+	if len(opts.Constants) > 0 {
+		consts := map[*sexp.Symbol]sexp.Value{}
+		for k, v := range opts.Constants {
+			consts[sexp.Intern(k)] = v
+		}
+		conv.Constants = consts
+	}
+	sys := &System{
+		Machine:  m,
+		Interp:   in,
+		Conv:     conv,
+		Compiler: codegen.New(m, co),
+		Defs:     map[string]int{},
+		macros:   map[*sexp.Symbol]*interp.Closure{},
+	}
+	// defmacro: expanders are interpreter closures applied to the
+	// unevaluated argument forms.
+	conv.OnDefmacro = func(name *sexp.Symbol, lambdaList sexp.Value, body []sexp.Value) error {
+		items := append([]sexp.Value{sexp.SymLambda, lambdaList}, body...)
+		lam, err := conv.ConvertLambda(sexp.List(items...))
+		if err != nil {
+			return err
+		}
+		sys.macros[name] = &interp.Closure{Lambda: lam}
+		return nil
+	}
+	conv.UserMacro = func(head *sexp.Symbol, form sexp.Value) (sexp.Value, bool, error) {
+		cl, ok := sys.macros[head]
+		if !ok {
+			return nil, false, nil
+		}
+		args, err := sexp.ListToSlice(form)
+		if err != nil {
+			return nil, false, err
+		}
+		exp, err := in.Apply(cl, args[1:])
+		if err != nil {
+			return nil, false, fmt.Errorf("core: expanding macro %s: %w", head.Name, err)
+		}
+		return exp, true, nil
+	}
+	return sys
+}
+
+// LoadString reads, converts, compiles and executes a program: defuns
+// are compiled to machine code (and also installed in the interpreter),
+// other top-level forms run on the simulator.
+func (s *System) LoadString(src string) error {
+	_, err := s.EvalString(src)
+	return err
+}
+
+// EvalString is LoadString returning the value of the last top-level
+// form (nil when the program is definitions only) — the REPL entry.
+func (s *System) EvalString(src string) (sexp.Value, error) {
+	forms, err := sexp.ReadAll(src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := s.Conv.ConvertTopLevel(forms)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range prog.Defs {
+		// The interpreter gets the unoptimized tree (its role is the
+		// semantic baseline).
+		s.Interp.DefineFunction(d.Name, &interp.Closure{Lambda: d.Lambda})
+		idx, err := s.Compiler.CompileFunction(d.Name.Name, d.Lambda)
+		if err != nil {
+			return nil, fmt.Errorf("compiling %s: %w", d.Name.Name, err)
+		}
+		s.Defs[d.Name.Name] = idx
+	}
+	var last sexp.Value = sexp.Nil
+	for i, form := range prog.TopForms {
+		s.toplevelCount++
+		name := fmt.Sprintf("%%toplevel-%d", s.toplevelCount)
+		lam := convert.WrapToplevel(form)
+		idx, err := s.Compiler.CompileFunction(name, lam)
+		if err != nil {
+			return nil, fmt.Errorf("compiling top-level form %d: %w", i, err)
+		}
+		w, err := s.Machine.CallIndex(idx)
+		if err != nil {
+			return nil, fmt.Errorf("running top-level form %d: %w", i, err)
+		}
+		if last, err = s.Machine.ToValue(w); err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// Call invokes a compiled function on the simulator with host values.
+func (s *System) Call(name string, args ...sexp.Value) (sexp.Value, error) {
+	words := make([]s1.Word, len(args))
+	for i, a := range args {
+		words[i] = s.Machine.FromValue(a)
+	}
+	w, err := s.Machine.CallFunction(name, words...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Machine.ToValue(w)
+}
+
+// Interpret invokes the same function in the reference interpreter.
+// Global value cells established by top-level forms (which execute on the
+// simulator) are mirrored into the interpreter first, so defvar'd
+// specials are visible; thereafter the two engines' dynamic states evolve
+// independently.
+func (s *System) Interpret(name string, args ...sexp.Value) (sexp.Value, error) {
+	for i := range s.Machine.Syms {
+		cell := &s.Machine.Syms[i]
+		if !cell.HasValue {
+			continue
+		}
+		sym := sexp.Intern(cell.Name)
+		if _, ok := s.Interp.Globals[sym]; ok {
+			continue
+		}
+		v, err := s.Machine.ToValue(cell.Value)
+		if err != nil {
+			continue // machine-only values stay machine-only
+		}
+		s.Interp.Globals[sym] = v
+	}
+	return s.Interp.CallNamed(sexp.Intern(name), args...)
+}
+
+// Listing returns the assembly listing of a compiled function.
+func (s *System) Listing(name string) (string, error) {
+	idx, ok := s.Defs[name]
+	if !ok {
+		return "", fmt.Errorf("core: no compiled function %q", name)
+	}
+	f := s.Machine.Funcs[idx]
+	var b strings.Builder
+	fmt.Fprintf(&b, ";;; %s (entry %d)\n", f.Name, f.Entry)
+	b.WriteString(s1.Listing(s.Machine.Code, f.Entry, f.End))
+	return b.String(), nil
+}
+
+// StaticMOVs counts MOV instructions in a compiled function (the §6.1
+// code-quality metric).
+func (s *System) StaticMOVs(name string) (int, error) {
+	idx, ok := s.Defs[name]
+	if !ok {
+		return 0, fmt.Errorf("core: no compiled function %q", name)
+	}
+	f := s.Machine.Funcs[idx]
+	return s1.CountMOVs(s.Machine.Code, f.Entry, f.End), nil
+}
+
+// InstructionCount returns the number of instructions in a compiled
+// function.
+func (s *System) InstructionCount(name string) (int, error) {
+	idx, ok := s.Defs[name]
+	if !ok {
+		return 0, fmt.Errorf("core: no compiled function %q", name)
+	}
+	f := s.Machine.Funcs[idx]
+	return f.End - f.Entry, nil
+}
+
+// ReadConstArray reads back the machine's copy of a compile-time constant
+// float array (writes by compiled code land in the machine heap, not in
+// the host object).
+func (s *System) ReadConstArray(fa *sexp.FloatArray) (*sexp.FloatArray, error) {
+	w, ok := s.Compiler.ConstArrayWord(fa)
+	if !ok {
+		return nil, fmt.Errorf("core: array was never used by compiled code")
+	}
+	v, err := s.Machine.ToValue(w)
+	if err != nil {
+		return nil, err
+	}
+	out, ok := v.(*sexp.FloatArray)
+	if !ok {
+		return nil, fmt.Errorf("core: constant is not a float array")
+	}
+	return out, nil
+}
+
+// Stats exposes the simulator's meters.
+func (s *System) Stats() *s1.Stats { return &s.Machine.Stats }
+
+// ResetStats clears the simulator meters.
+func (s *System) ResetStats() { s.Machine.ResetStats() }

@@ -1,0 +1,182 @@
+package opt
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/sexp"
+	"repro/internal/tree"
+)
+
+// EliminateCommonSubexpressions is the phase the paper designed but had
+// "not yet been implemented": common sub-expression elimination
+// "expressed as tree transformations that can be back-translated into
+// source-level let constructs". It is deliberately a separate phase
+// (§4.3: separating it from the source-level optimizer "avoids the
+// possibility of an endless cycle of introductions and eliminations").
+//
+// A candidate is a pure call (no effects at all, reading only never-
+// assigned lexical variables) of complexity ≥ 4. Occurrences with the
+// same alpha-renamed printed form are rewritten to a reference to a
+// fresh variable bound at their lowest common ancestor:
+//
+//	(+ (* a b) (* a b))  ==>  ((lambda (cse1) (+ cse1 cse1)) (* a b))
+//
+// Hoisting to the LCA may evaluate the expression on paths that skipped
+// it; this is semantics-preserving for the pure candidates chosen (modulo
+// run-time type errors surfacing earlier, the usual Lisp-compiler
+// license).
+//
+// The return value is the number of introductions performed. Run after
+// Optimize; the result remains back-translatable source.
+func EliminateCommonSubexpressions(root tree.Node) int {
+	introduced := 0
+	for iter := 0; iter < 100; iter++ {
+		analysis.Analyze(root)
+		newRoot, did := cseOnce(root)
+		root = newRoot
+		if !did {
+			break
+		}
+		introduced++
+	}
+	return introduced
+}
+
+// cseOnce finds one duplicated candidate group and rewrites it.
+func cseOnce(root tree.Node) (tree.Node, bool) {
+	groups := map[string][]tree.Node{}
+	order := []string{}
+	tree.Walk(root, func(n tree.Node) bool {
+		if !cseCandidate(n) {
+			return true
+		}
+		key := sexp.Print(tree.BackTranslateUnique(n))
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], n)
+		return true // descend: inner duplicates are independent groups
+	})
+	for _, key := range order {
+		occs := groups[key]
+		if len(occs) < 2 {
+			continue
+		}
+		if !sameFrame(occs) {
+			continue
+		}
+		lca := lcaNodes(occs)
+		if lca == nil || containsAny(occsContain(occs), lca) {
+			continue
+		}
+		return rewriteCSE(root, lca, occs), true
+	}
+	return root, false
+}
+
+// cseCandidate: a pure call worth naming.
+func cseCandidate(n tree.Node) bool {
+	c, ok := n.(*tree.Call)
+	if !ok {
+		return false
+	}
+	if _, ok := c.Fn.(*tree.FunRef); !ok {
+		return false
+	}
+	in := n.Info()
+	if !in.Effects.Pure() || in.Complexity < 4 {
+		return false
+	}
+	for v := range in.Reads {
+		if v.Special || v.Assigned() {
+			return false
+		}
+	}
+	return true
+}
+
+// sameFrame checks that every lambda strictly between an occurrence and
+// the group's LCA is a directly-called (open) lambda, so all occurrences
+// execute in one activation and the binding variable is visible.
+func sameFrame(occs []tree.Node) bool {
+	lca := lcaNodes(occs)
+	if lca == nil {
+		return false
+	}
+	for _, o := range occs {
+		for m := o.Info().Parent; m != nil && m != lca; m = m.Info().Parent {
+			if l, ok := m.(*tree.Lambda); ok {
+				call, ok := l.Info().Parent.(*tree.Call)
+				if !ok || call.Fn != tree.Node(l) {
+					return false // escaping lambda between occurrence and LCA
+				}
+			}
+		}
+	}
+	return true
+}
+
+func pathToRoot(n tree.Node) []tree.Node {
+	var p []tree.Node
+	for m := n; m != nil; m = m.Info().Parent {
+		p = append(p, m)
+	}
+	// reverse to root-first
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+func lcaNodes(nodes []tree.Node) tree.Node {
+	cur := pathToRoot(nodes[0])
+	for _, n := range nodes[1:] {
+		p := pathToRoot(n)
+		k := 0
+		for k < len(cur) && k < len(p) && cur[k] == p[k] {
+			k++
+		}
+		cur = cur[:k]
+	}
+	if len(cur) == 0 {
+		return nil
+	}
+	return cur[len(cur)-1]
+}
+
+func occsContain(occs []tree.Node) map[tree.Node]bool {
+	m := map[tree.Node]bool{}
+	for _, o := range occs {
+		m[o] = true
+	}
+	return m
+}
+
+func containsAny(set map[tree.Node]bool, n tree.Node) bool { return set[n] }
+
+// rewriteCSE performs the introduction and returns the (possibly new)
+// root.
+func rewriteCSE(root, lca tree.Node, occs []tree.Node) tree.Node {
+	v := tree.NewVar(sexp.Gensym("cse"))
+	// The first occurrence becomes the initializer; the rest are
+	// discarded.
+	init := occs[0]
+	for _, o := range occs {
+		ref := tree.NewRef(v)
+		parent := o.Info().Parent
+		tree.ReplaceChild(parent, o, ref)
+		if o != init {
+			tree.Detach(o)
+		}
+	}
+	lam := &tree.Lambda{Required: []*tree.Var{v}}
+	v.Binder = lam
+	call := &tree.Call{Fn: lam, Args: []tree.Node{init}}
+	if lca == root {
+		lam.Body = lca
+		return call
+	}
+	parent := lca.Info().Parent
+	lam.Body = lca
+	tree.ReplaceChild(parent, lca, call)
+	return root
+}

@@ -1,0 +1,206 @@
+// Package opt is the source-level optimizer of §5: a fixpoint engine over
+// tree-to-tree transformations, every one of which preserves
+// back-translatability into source. The three beta-conversion rules, the
+// nested-if transformation (from which boolean short-circuiting "falls
+// out"), compile-time expression evaluation, dead-code elimination,
+// associative/commutative canonicalization and the machine-inspired
+// sin$f→sinc$f rewrite are all here.
+//
+// Each applied transformation is logged in the paper's transcript style:
+//
+//	;**** Optimizing this form: (+$f a b c)
+//	;**** to be this form: (+$f (+$f c b) a)
+//	;**** courtesy of META-EVALUATE-ASSOC-COMMUT-CALL
+package opt
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/interp"
+	"repro/internal/tree"
+)
+
+// Options control the optimizer.
+type Options struct {
+	// Log, if non-nil, receives the transformation transcript.
+	Log io.Writer
+	// MaxPasses bounds the fixpoint iteration.
+	MaxPasses int
+	// SubstituteComplexity is the size threshold below which a pure
+	// expression may be substituted for a variable with several
+	// references ("this is primarily to aid the optimizer in deciding
+	// whether to substitute copies of the initializing expression for
+	// several occurrences of a variable").
+	SubstituteComplexity int
+	// Disabled rules by name (for ablation benchmarks).
+	Disabled map[string]bool
+}
+
+// DefaultOptions returns the standard settings.
+func DefaultOptions() Options {
+	return Options{MaxPasses: 60, SubstituteComplexity: 6}
+}
+
+// Optimizer rewrites trees to a fixpoint.
+type Optimizer struct {
+	opts Options
+	in   *interp.Interp
+	// Applied counts transformations by rule name.
+	Applied map[string]int
+	changed bool
+}
+
+// New returns an optimizer; in supplies the apply engine for compile-time
+// expression evaluation (nil for a fresh interpreter).
+func New(opts Options, in *interp.Interp) *Optimizer {
+	if in == nil {
+		in = interp.New()
+	}
+	if opts.MaxPasses <= 0 {
+		opts.MaxPasses = 60
+	}
+	if opts.SubstituteComplexity <= 0 {
+		opts.SubstituteComplexity = 6
+	}
+	return &Optimizer{opts: opts, in: in, Applied: map[string]int{}}
+}
+
+// Optimize rewrites root until no transformation applies (or MaxPasses).
+// It returns the new root (the root node itself may be rewritten).
+func (o *Optimizer) Optimize(root tree.Node) tree.Node {
+	for pass := 0; pass < o.opts.MaxPasses; pass++ {
+		analysis.Analyze(root)
+		o.changed = false
+		root = o.rewrite(root)
+		if !o.changed {
+			break
+		}
+	}
+	analysis.Analyze(root)
+	return root
+}
+
+func (o *Optimizer) enabled(rule string) bool { return !o.opts.Disabled[rule] }
+
+// logRule emits a transcript entry for a transformation that replaced the
+// form printed as before with newN.
+func (o *Optimizer) logRule(rule, before string, newN tree.Node) {
+	o.Applied[rule]++
+	o.changed = true
+	if o.opts.Log == nil {
+		return
+	}
+	fmt.Fprintf(o.opts.Log, ";**** Optimizing this form: %s\n", before)
+	fmt.Fprintf(o.opts.Log, ";**** to be this form: %s\n", tree.Show(newN))
+	fmt.Fprintf(o.opts.Log, ";**** courtesy of %s\n", rule)
+}
+
+// rewrite rewrites children bottom-up, then applies node-local rules until
+// none fires.
+func (o *Optimizer) rewrite(n tree.Node) tree.Node {
+	// Rewrite children in place.
+	switch x := n.(type) {
+	case *tree.Setq:
+		x.Value = o.rewrite(x.Value)
+	case *tree.If:
+		x.Test = o.rewrite(x.Test)
+		x.Then = o.rewrite(x.Then)
+		x.Else = o.rewrite(x.Else)
+	case *tree.Progn:
+		for i := range x.Forms {
+			x.Forms[i] = o.rewrite(x.Forms[i])
+		}
+	case *tree.Call:
+		x.Fn = o.rewrite(x.Fn)
+		for i := range x.Args {
+			x.Args[i] = o.rewrite(x.Args[i])
+		}
+	case *tree.Lambda:
+		for i := range x.Optional {
+			x.Optional[i].Default = o.rewrite(x.Optional[i].Default)
+		}
+		x.Body = o.rewrite(x.Body)
+	case *tree.ProgBody:
+		for i := range x.Forms {
+			x.Forms[i] = o.rewrite(x.Forms[i])
+		}
+	case *tree.Return:
+		x.Value = o.rewrite(x.Value)
+	case *tree.Catcher:
+		x.Tag = o.rewrite(x.Tag)
+		x.Body = o.rewrite(x.Body)
+	case *tree.Caseq:
+		x.Key = o.rewrite(x.Key)
+		for i := range x.Clauses {
+			x.Clauses[i].Body = o.rewrite(x.Clauses[i].Body)
+		}
+		if x.Default != nil {
+			x.Default = o.rewrite(x.Default)
+		}
+	}
+	// Apply local rules to a fixpoint at this node.
+	for i := 0; i < 50; i++ {
+		nn, fired := o.applyRules(n)
+		if !fired {
+			break
+		}
+		n = nn
+	}
+	return n
+}
+
+// applyRules tries each rule once; returns the (possibly new) node and
+// whether any rule fired.
+func (o *Optimizer) applyRules(n tree.Node) (tree.Node, bool) {
+	type rule struct {
+		name string
+		fn   func(tree.Node) (tree.Node, bool)
+	}
+	var rules []rule
+	switch n.Kind() {
+	case tree.KindCall:
+		rules = []rule{
+			{"META-CALL-LAMBDA", o.ruleCallLambda},
+			{"META-SUBSTITUTE", o.ruleSubstitute},
+			{"META-DROP-UNUSED-ARGUMENT", o.ruleDropUnused},
+			{"META-EVALUATE-ASSOC-COMMUT-CALL", o.ruleAssocCommut},
+			{"CONSIDER-REVERSING-ARGUMENTS", o.ruleReverseArgs},
+			{"META-IDENTITY-OPERAND", o.ruleIdentity},
+			{"META-EVALUATE-CONSTANT-CALL", o.ruleConstantFold},
+			{"META-SIN-TO-SINC", o.ruleSinToSinc},
+			{"META-HOIST-PROGN-ARGUMENT", o.ruleHoistProgn},
+		}
+	case tree.KindIf:
+		rules = []rule{
+			{"META-IF-PROGN", o.ruleIfProgn},
+			{"META-IF-CONSTANT-PREDICATE", o.ruleIfConstant},
+			{"META-IF-KNOWN-TEST", o.ruleIfKnownTest},
+			{"META-IF-NOT", o.ruleIfNot},
+			{"META-IF-IF", o.ruleIfIf},
+		}
+	case tree.KindProgn:
+		rules = []rule{
+			{"META-PROGN-FLATTEN", o.rulePrognFlatten},
+		}
+	case tree.KindCaseq:
+		rules = []rule{
+			{"META-CASEQ-CONSTANT-KEY", o.ruleCaseqConstant},
+		}
+	}
+	before := ""
+	if o.opts.Log != nil {
+		before = tree.Show(n)
+	}
+	for _, r := range rules {
+		if !o.enabled(r.name) {
+			continue
+		}
+		if nn, fired := r.fn(n); fired {
+			o.logRule(r.name, before, nn)
+			return nn, true
+		}
+	}
+	return n, false
+}

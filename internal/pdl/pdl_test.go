@@ -1,0 +1,150 @@
+package pdl
+
+import (
+	"testing"
+
+	"repro/internal/binding"
+	"repro/internal/convert"
+	"repro/internal/rep"
+	"repro/internal/sexp"
+	"repro/internal/tree"
+)
+
+func prep(t *testing.T, src string) *tree.Lambda {
+	t.Helper()
+	c := convert.New()
+	n, err := c.ConvertForm(sexp.MustRead(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam := n.(*tree.Lambda)
+	binding.AnnotateFunction(lam)
+	rep.Annotate(lam, true)
+	Annotate(lam, true)
+	return lam
+}
+
+func TestSafeOpAuthorizesPdl(t *testing.T) {
+	// In (+$f x y), x is permitted to produce a pdl number.
+	lam := prep(t, "(lambda (x y) (+$f x y))")
+	call := lam.Body.(*tree.Call)
+	if call.Args[0].Info().PdlOkP == nil {
+		t.Error("argument of a safe operation should be pdl-authorized")
+	}
+}
+
+func TestUnsafeOpForbidsPdl(t *testing.T) {
+	// In (rplaca x y), y may not produce a pdl number.
+	lam := prep(t, "(lambda (x y) (rplaca x y))")
+	call := lam.Body.(*tree.Call)
+	if call.Args[1].Info().PdlOkP != nil {
+		t.Error("rplaca argument must not be pdl-authorized")
+	}
+}
+
+func TestAuthorizingNodeIsLifetimeBound(t *testing.T) {
+	// The paper's example: in (atan2 (if p x y) 3.0), x's PDLOKP points
+	// at the atan call node, not the if node.
+	lam := prep(t, "(lambda (p x y) (frotz (if p x y) 3.0))")
+	call := lam.Body.(*tree.Call)
+	iff := call.Args[0].(*tree.If)
+	if iff.Then.Info().PdlOkP != tree.Node(call) {
+		t.Errorf("if arm's authorizer should be the call node, got %T",
+			iff.Then.Info().PdlOkP)
+	}
+	// The predicate is authorized by the if itself.
+	if iff.Test.Info().PdlOkP != tree.Node(iff) {
+		t.Errorf("test's authorizer should be the if node")
+	}
+}
+
+func TestFloatCallIsPdlnump(t *testing.T) {
+	lam := prep(t, "(lambda (x y) (frotz (+$f x y)))")
+	call := lam.Body.(*tree.Call)
+	arg := call.Args[0]
+	if !arg.Info().PdlNumP {
+		t.Error("(+$f x y) might produce a pdl number")
+	}
+	if !WantsPdlSlot(arg) {
+		t.Errorf("float passed to user call should get a pdl slot (okp=%v nump=%v want=%v is=%v)",
+			arg.Info().PdlOkP != nil, arg.Info().PdlNumP,
+			arg.Info().WantRep, arg.Info().IsRep)
+	}
+}
+
+func TestCarIsNotPdlnump(t *testing.T) {
+	lam := prep(t, "(lambda (x) (frotz (car x)))")
+	call := lam.Body.(*tree.Call)
+	if call.Args[0].Info().PdlNumP {
+		t.Error("(car x) never produces a pdl number")
+	}
+}
+
+func TestReturnValueNotPdl(t *testing.T) {
+	// "Returning a value from a procedure is not a 'safe' operation, so a
+	// pdl number may not be used" — the body of a standard function has
+	// no authorization.
+	lam := prep(t, "(lambda (x y) (+$f x y))")
+	if lam.Body.Info().PdlOkP != nil {
+		t.Error("function result must not be a pdl number")
+	}
+	if WantsPdlSlot(lam.Body) {
+		t.Error("return conversion must heap-allocate")
+	}
+}
+
+func TestLetBindingAuthorizesPdl(t *testing.T) {
+	// The testfn pattern: d and e are letbound floats later passed to
+	// frotz — stack allocation suffices.
+	lam := prep(t, `(lambda (a b)
+	  ((lambda (d e) (frotz d e (max$f d e))) (+$f a b) (*$f a b)))`)
+	let := lam.Body.(*tree.Call)
+	for i, a := range let.Args {
+		if !WantsPdlSlot(a) {
+			t.Errorf("let arg %d should be a pdl slot (okp=%v nump=%v want=%v is=%v)",
+				i, a.Info().PdlOkP != nil, a.Info().PdlNumP,
+				a.Info().WantRep, a.Info().IsRep)
+		}
+	}
+}
+
+func TestClosedVarInitNotPdl(t *testing.T) {
+	// A float bound to a variable captured by an escaping closure must be
+	// heap-allocated.
+	lam := prep(t, `(lambda (a b)
+	  ((lambda (d) (lambda (z) (frotz d z))) (+$f a b)))`)
+	let := lam.Body.(*tree.Call)
+	if WantsPdlSlot(let.Args[0]) {
+		t.Error("captured variable's value must not be stack-allocated")
+	}
+}
+
+func TestDisabledClearsAuthorizations(t *testing.T) {
+	c := convert.New()
+	n, _ := c.ConvertForm(sexp.MustRead("(lambda (x y) (frotz (+$f x y)))"))
+	lam := n.(*tree.Lambda)
+	binding.AnnotateFunction(lam)
+	rep.Annotate(lam, true)
+	Annotate(lam, false)
+	call := lam.Body.(*tree.Call)
+	if WantsPdlSlot(call.Args[0]) {
+		t.Error("disabled pdl analysis should force heap allocation")
+	}
+}
+
+func TestSetqToLocalAuthorized(t *testing.T) {
+	lam := prep(t, "(lambda (x) (let ((acc 0.0)) (setq acc (+$f x x)) (frotz acc)))")
+	var sq *tree.Setq
+	tree.Walk(lam, func(n tree.Node) bool {
+		if s, ok := n.(*tree.Setq); ok && s.Var.Name.Name == "acc" {
+			sq = s
+		}
+		return true
+	})
+	if sq == nil {
+		t.Fatal("no setq")
+	}
+	if sq.Value.Info().PdlOkP == nil {
+		t.Error("setq to a frame variable should authorize pdl")
+	}
+}

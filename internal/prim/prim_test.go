@@ -1,0 +1,128 @@
+package prim
+
+import (
+	"testing"
+
+	"repro/internal/sexp"
+	"repro/internal/tree"
+)
+
+func TestLookup(t *testing.T) {
+	if Lookup(sexp.Intern("cons")) == nil {
+		t.Fatal("cons missing")
+	}
+	if Lookup(sexp.Intern("no-such-primitive")) != nil {
+		t.Fatal("unknown name should miss")
+	}
+	if !IsPrimitive(sexp.Intern("car")) || IsPrimitive(sexp.Intern("frotz")) {
+		t.Fatal("IsPrimitive")
+	}
+	if LookupString("+$f") == nil {
+		t.Fatal("+$f missing")
+	}
+}
+
+func TestSafetyClassification(t *testing.T) {
+	// §6.3: "checking the type of a pointer is safe, as is passing a
+	// pointer to a procedure. However, storing a pointer into a global
+	// variable or into a heap object (as with rplaca) is unsafe."
+	for _, safe := range []string{"consp", "null", "+$f", "cons", "car", "eq"} {
+		if p := LookupString(safe); p == nil || !p.Safe {
+			t.Errorf("%s should be safe", safe)
+		}
+	}
+	for _, unsafe := range []string{"rplaca", "rplacd", "set", "aset", "throw"} {
+		if p := LookupString(unsafe); p == nil || p.Safe {
+			t.Errorf("%s should be unsafe", unsafe)
+		}
+	}
+}
+
+func TestAssocCommutIdentity(t *testing.T) {
+	add := LookupString("+$f")
+	if !add.Assoc || !add.Commut {
+		t.Error("+$f is associative and commutative")
+	}
+	if !sexp.Eql(add.Identity, sexp.Flonum(0)) {
+		t.Errorf("+$f identity = %v", add.Identity)
+	}
+	sub := LookupString("-$f")
+	if sub.Assoc || sub.Commut {
+		t.Error("-$f must not be reassociated")
+	}
+	mul := LookupString("*")
+	if !sexp.Eql(mul.Identity, sexp.Fixnum(1)) {
+		t.Error("* identity")
+	}
+}
+
+func TestRepresentationSignatures(t *testing.T) {
+	if p := LookupString("+$f"); p.ArgRep != tree.RepSWFLO || p.ResRep != tree.RepSWFLO {
+		t.Error("+$f signature")
+	}
+	if p := LookupString("+&"); p.ArgRep != tree.RepSWFIX || p.ResRep != tree.RepSWFIX {
+		t.Error("+& signature")
+	}
+	if p := LookupString("<$f"); p.ArgRep != tree.RepSWFLO || !p.Jumpable {
+		t.Error("<$f should take raw floats and deliver a jump")
+	}
+	if p := LookupString("+"); p.ArgRep != tree.RepUnknown {
+		t.Error("generic + has no fixed arg rep")
+	}
+	if p := LookupString("aref$f"); p.ResRep != tree.RepSWFLO {
+		t.Error("aref$f yields raw floats")
+	}
+}
+
+func TestEffectsClassification(t *testing.T) {
+	if !LookupString("+").Foldable {
+		t.Error("+ foldable")
+	}
+	if LookupString("cons").Foldable {
+		t.Error("cons is not foldable (allocation identity)")
+	}
+	if LookupString("rplaca").Effects&tree.EffWrite == 0 {
+		t.Error("rplaca writes")
+	}
+	if LookupString("car").Effects&tree.EffRead == 0 {
+		t.Error("car reads mutable state")
+	}
+	if LookupString("funcall").Effects != tree.EffAny {
+		t.Error("funcall may do anything")
+	}
+	if LookupString("throw").Effects&tree.EffControl == 0 {
+		t.Error("throw transfers control")
+	}
+}
+
+func TestMachineOpMapping(t *testing.T) {
+	cases := map[string]string{
+		"+$f": "FADD", "-$f": "FSUB", "*$f": "FMULT", "/$f": "FDIV",
+		"max$f": "FMAX", "min$f": "FMIN",
+	}
+	for name, op := range cases {
+		if got := BinaryFloatOp(name); got != op {
+			t.Errorf("BinaryFloatOp(%s) = %s want %s", name, got, op)
+		}
+	}
+	if BinaryFloatOp("car") != "" {
+		t.Error("car is not a float op")
+	}
+	if BinaryFixOp("+&") != "ADD" || BinaryFixOp("*&") != "MULT" {
+		t.Error("fix op mapping")
+	}
+	if BinaryFixOp("cons") != "" {
+		t.Error("cons is not a fix op")
+	}
+}
+
+func TestJumpablePredicates(t *testing.T) {
+	for _, n := range []string{"null", "zerop", "eq", "<", "=$f", "<&"} {
+		if p := LookupString(n); p == nil || !p.Jumpable {
+			t.Errorf("%s should be jumpable", n)
+		}
+	}
+	if LookupString("cons").Jumpable {
+		t.Error("cons is not a predicate")
+	}
+}

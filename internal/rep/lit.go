@@ -1,0 +1,16 @@
+package rep
+
+import (
+	"repro/internal/sexp"
+	"repro/internal/tree"
+)
+
+func flonumValue(l *tree.Literal) bool {
+	_, ok := l.Value.(sexp.Flonum)
+	return ok
+}
+
+func isFixnumLit(l *tree.Literal) bool {
+	_, ok := l.Value.(sexp.Fixnum)
+	return ok
+}

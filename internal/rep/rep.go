@@ -1,0 +1,465 @@
+// Package rep implements the representation analysis of §6.2: a top-down
+// pass assigns every node a desired representation (WANTREP), a bottom-up
+// pass a deliverable representation (ISREP), and code generation inserts
+// a coercion wherever they differ. The aim is to interface the "pointer
+// world" of LISP objects and the "number world" of raw machine values at
+// least cost — in particular, to avoid the expensive raw→pointer
+// conversion, which "may entail allocation of new storage and consequent
+// garbage-collection overhead".
+package rep
+
+import (
+	"repro/internal/prim"
+	"repro/internal/tree"
+)
+
+// VarReps records the chosen run-time representation for each variable.
+// Variables whose references disagree fall back to POINTER — "if not all
+// the references to a variable agree as to what type is desirable for
+// it, the type POINTER can always be used".
+type VarReps map[*tree.Var]tree.Rep
+
+// Annotate runs representation analysis over a function. Enabled=false
+// (the E5 ablation) forces POINTER everywhere, modeling a compiler
+// without the phase.
+func Annotate(root tree.Node, enabled bool) VarReps {
+	vr := VarReps{}
+	if !enabled {
+		forcePointer(root)
+		return vr
+	}
+	want(root, tree.RepPOINTER)
+	decideVarReps(root, vr)
+	is(root, vr)
+	return vr
+}
+
+// Rep returns the representation of a variable (POINTER by default).
+func (vr VarReps) Rep(v *tree.Var) tree.Rep {
+	if r, ok := vr[v]; ok {
+		return r
+	}
+	return tree.RepPOINTER
+}
+
+func forcePointer(n tree.Node) {
+	tree.PostWalk(n, func(m tree.Node) {
+		in := m.Info()
+		in.WantRep = tree.RepPOINTER
+		in.IsRep = tree.RepPOINTER
+		if _, ok := m.(*tree.Progn); ok {
+			return
+		}
+	})
+	// Test positions may still jump.
+	markJumpTests(n)
+}
+
+func markJumpTests(n tree.Node) {
+	tree.Walk(n, func(m tree.Node) bool {
+		if iff, ok := m.(*tree.If); ok {
+			iff.Test.Info().WantRep = tree.RepJUMP
+		}
+		return true
+	})
+}
+
+// want is the top-down WANTREP pass: "the WANTREP for a node is
+// determined by its context within its parent node and by the WANTREP of
+// the parent".
+func want(n tree.Node, w tree.Rep) {
+	n.Info().WantRep = w
+	switch x := n.(type) {
+	case *tree.Literal, *tree.VarRef, *tree.FunRef, *tree.Go:
+
+	case *tree.Setq:
+		// The stored value's representation is fixed by the variable;
+		// decided later, default POINTER for safety.
+		want(x.Value, tree.RepPOINTER)
+
+	case *tree.If:
+		// "For an if expression (if p x y), the WANTREP for the
+		// expression p is JUMP; we would prefer that the result of
+		// calculating p be a conditional jump rather than an actual
+		// value."
+		want(x.Test, tree.RepJUMP)
+		want(x.Then, w)
+		want(x.Else, w)
+
+	case *tree.Progn:
+		for i, f := range x.Forms {
+			if i == len(x.Forms)-1 {
+				want(f, w)
+			} else {
+				want(f, tree.RepNONE)
+			}
+		}
+
+	case *tree.Call:
+		switch fn := x.Fn.(type) {
+		case *tree.FunRef:
+			// Array accessors have mixed signatures: pointer array, raw
+			// fixnum subscripts, raw float element.
+			switch fn.Name.Name {
+			case "aref$f":
+				for i, a := range x.Args {
+					if i == 0 {
+						want(a, tree.RepPOINTER)
+					} else {
+						want(a, tree.RepSWFIX)
+					}
+				}
+				return
+			case "aset$f":
+				for i, a := range x.Args {
+					switch i {
+					case 0:
+						want(a, tree.RepPOINTER)
+					case 1:
+						want(a, tree.RepSWFLO)
+					default:
+						want(a, tree.RepSWFIX)
+					}
+				}
+				return
+			}
+			p := prim.Lookup(fn.Name)
+			argRep := tree.RepPOINTER
+			if p != nil && p.ArgRep != tree.RepUnknown {
+				argRep = p.ArgRep
+			}
+			for _, a := range x.Args {
+				want(a, argRep)
+			}
+		case *tree.Lambda:
+			// A let: each argument wants the representation its variable
+			// will use; decided in decideVarReps, refined in the is pass.
+			// First approximation: derive from the variable's uses later;
+			// here pass UNKNOWN placeholders as POINTER.
+			for _, a := range x.Args {
+				want(a, tree.RepPOINTER)
+			}
+			want(x.Fn, w)
+		default:
+			want(x.Fn, tree.RepPOINTER)
+			for _, a := range x.Args {
+				want(a, tree.RepPOINTER)
+			}
+		}
+	case *tree.Lambda:
+		for _, o := range x.Optional {
+			want(o.Default, tree.RepPOINTER)
+		}
+		// A function body delivers a pointer (the uniform procedure
+		// interface of §6.3: "all arguments to user functions must be in
+		// pointer format", and so must results). For OPEN/JUMP lambdas
+		// the body inherits the call's context via the call node's
+		// WANTREP, propagated by codegen; representation-wise we keep
+		// POINTER except when the call wants raw, handled below.
+		bodyWant := tree.RepPOINTER
+		if x.Strategy == tree.StrategyOpen || x.Strategy == tree.StrategyJump {
+			if c, ok := x.Info().Parent.(*tree.Call); ok && c.Fn == tree.Node(x) {
+				bodyWant = c.Info().WantRep
+			}
+		}
+		want(x.Body, bodyWant)
+
+	case *tree.ProgBody:
+		for _, f := range x.Forms {
+			want(f, tree.RepNONE)
+		}
+
+	case *tree.Return:
+		want(x.Value, tree.RepPOINTER)
+
+	case *tree.Catcher:
+		want(x.Tag, tree.RepPOINTER)
+		want(x.Body, tree.RepPOINTER)
+
+	case *tree.Caseq:
+		want(x.Key, tree.RepPOINTER)
+		for _, cl := range x.Clauses {
+			want(cl.Body, w)
+		}
+		if x.Default != nil {
+			want(x.Default, w)
+		}
+	}
+}
+
+// decideVarReps solves the variable loop heuristically: a variable of an
+// OPEN lambda gets a raw representation when (a) it is lexical,
+// unassigned-or-consistently-assigned, not closed over, (b) every
+// reference wants that raw representation, and (c) its initializer can
+// deliver it. Otherwise POINTER.
+func decideVarReps(root tree.Node, vr VarReps) {
+	tree.Walk(root, func(n tree.Node) bool {
+		call, ok := n.(*tree.Call)
+		if !ok {
+			return true
+		}
+		lam, ok := call.Fn.(*tree.Lambda)
+		if !ok || lam.Strategy != tree.StrategyOpen {
+			return true
+		}
+		for i, v := range lam.Required {
+			if i >= len(call.Args) {
+				break
+			}
+			if v.Special || v.Closed {
+				continue
+			}
+			r := commonRefWant(v)
+			if !r.Raw() {
+				continue
+			}
+			if naturalRep(call.Args[i]) != r {
+				continue
+			}
+			// Assignments must also deliver the representation.
+			ok := true
+			for _, s := range v.Sets {
+				if naturalRep(s.Value) != r {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				vr[v] = r
+			}
+		}
+		return true
+	})
+}
+
+// commonRefWant returns the representation every reference wants, or
+// POINTER on disagreement.
+func commonRefWant(v *tree.Var) tree.Rep {
+	out := tree.RepUnknown
+	for _, r := range v.Refs {
+		w := r.NodeInfo.WantRep
+		if w == tree.RepNONE {
+			continue
+		}
+		if w == tree.RepJUMP {
+			w = tree.RepPOINTER
+		}
+		if out == tree.RepUnknown {
+			out = w
+		} else if out != w {
+			return tree.RepPOINTER
+		}
+	}
+	if out == tree.RepUnknown {
+		return tree.RepPOINTER
+	}
+	return out
+}
+
+// naturalRep is the representation a node delivers in isolation, ignoring
+// coercions — used to break the variable cycle.
+func naturalRep(n tree.Node) tree.Rep {
+	switch x := n.(type) {
+	case *tree.Literal:
+		return litRep(x)
+	case *tree.VarRef:
+		return tree.RepPOINTER // refined in the is pass
+	case *tree.Call:
+		if fr, ok := x.Fn.(*tree.FunRef); ok {
+			if p := prim.Lookup(fr.Name); p != nil && p.ResRep != tree.RepUnknown {
+				return p.ResRep
+			}
+		}
+		return tree.RepPOINTER
+	case *tree.If:
+		t := naturalRep(x.Then)
+		e := naturalRep(x.Else)
+		if t == e {
+			return t
+		}
+		return tree.RepPOINTER
+	}
+	return tree.RepPOINTER
+}
+
+func litRep(l *tree.Literal) tree.Rep {
+	// In isolation a literal delivers a pointer; in a raw context the is
+	// pass lets it be emitted directly in raw form (literalIsRep). For
+	// the natural-rep cycle-breaking heuristic, numeric literals count as
+	// matching any raw context of their own type.
+	if isFlonumLit(l) {
+		return tree.RepSWFLO
+	}
+	if isFixnumLit(l) {
+		return tree.RepSWFIX
+	}
+	return tree.RepPOINTER
+}
+
+// is is the bottom-up ISREP pass: "calculated for the node on the basis
+// of the ISREP information for its descendants and the operation
+// performed by the node itself".
+func is(n tree.Node, vr VarReps) tree.Rep {
+	in := n.Info()
+	var r tree.Rep
+	switch x := n.(type) {
+	case *tree.Literal:
+		// Literals are chameleons: deliver raw when raw is wanted and the
+		// constant fits.
+		r = literalIsRep(x, in.WantRep)
+
+	case *tree.VarRef:
+		r = vr.Rep(x.Var)
+
+	case *tree.FunRef:
+		r = tree.RepPOINTER
+
+	case *tree.Setq:
+		vRep := vr.Rep(x.Var)
+		x.Value.Info().WantRep = vRep
+		is(x.Value, vr)
+		r = vRep
+
+	case *tree.If:
+		is(x.Test, vr)
+		t := is(x.Then, vr)
+		e := is(x.Else, vr)
+		r = reconcileIf(in.WantRep, t, e)
+
+	case *tree.Progn:
+		r = tree.RepNONE
+		for _, f := range x.Forms {
+			r = is(f, vr)
+		}
+		if len(x.Forms) == 0 {
+			r = tree.RepPOINTER
+		}
+
+	case *tree.Call:
+		for _, a := range x.Args {
+			is(a, vr)
+		}
+		switch fn := x.Fn.(type) {
+		case *tree.FunRef:
+			p := prim.Lookup(fn.Name)
+			switch {
+			case p != nil && p.ResRep != tree.RepUnknown:
+				r = p.ResRep
+			case p != nil && p.Jumpable && in.WantRep == tree.RepJUMP:
+				r = tree.RepJUMP
+			default:
+				r = tree.RepPOINTER
+			}
+		case *tree.Lambda:
+			// Let: propagate variable representations into argument
+			// WANTREPs, then take the body's ISREP.
+			for i, v := range fn.Required {
+				if i < len(x.Args) {
+					x.Args[i].Info().WantRep = vr.Rep(v)
+					is(x.Args[i], vr)
+				}
+			}
+			r = is(x.Fn, vr)
+		default:
+			is(x.Fn, vr)
+			r = tree.RepPOINTER
+		}
+
+	case *tree.Lambda:
+		for _, o := range x.Optional {
+			is(o.Default, vr)
+		}
+		body := is(x.Body, vr)
+		if x.Strategy == tree.StrategyOpen || x.Strategy == tree.StrategyJump {
+			r = body
+		} else {
+			r = tree.RepPOINTER // a closure value
+		}
+
+	case *tree.ProgBody:
+		for _, f := range x.Forms {
+			is(f, vr)
+		}
+		r = tree.RepPOINTER
+
+	case *tree.Return:
+		is(x.Value, vr)
+		r = tree.RepNONE
+
+	case *tree.Go:
+		r = tree.RepNONE
+
+	case *tree.Catcher:
+		is(x.Tag, vr)
+		is(x.Body, vr)
+		r = tree.RepPOINTER
+
+	case *tree.Caseq:
+		is(x.Key, vr)
+		r = tree.RepUnknown
+		for _, cl := range x.Clauses {
+			cr := is(cl.Body, vr)
+			r = mergeRep(r, cr)
+		}
+		if x.Default != nil {
+			r = mergeRep(r, is(x.Default, vr))
+		}
+		if r == tree.RepUnknown {
+			r = tree.RepPOINTER
+		}
+	}
+	in.IsRep = r
+	return r
+}
+
+func mergeRep(a, b tree.Rep) tree.Rep {
+	if a == tree.RepUnknown {
+		return b
+	}
+	if a == b {
+		return a
+	}
+	return tree.RepPOINTER
+}
+
+// reconcileIf implements the paper's if-arm policy: if both arms agree,
+// use that; if one arm already delivers the WANTREP and the other is
+// convertible, use the WANTREP (so "when the conditional succeeds, no
+// conversion … will be necessary; when the conditional fails, the result
+// … will merely be dereferenced"); otherwise POINTER.
+func reconcileIf(want, t, e tree.Rep) tree.Rep {
+	if want == tree.RepNONE {
+		return tree.RepNONE
+	}
+	if t == e {
+		return t
+	}
+	if want.Raw() && (t == want || e == want) {
+		other := t
+		if t == want {
+			other = e
+		}
+		if other == tree.RepPOINTER {
+			return want
+		}
+	}
+	return tree.RepPOINTER
+}
+
+// literalIsRep lets constants be emitted directly in raw form when the
+// context wants it.
+func literalIsRep(l *tree.Literal, want tree.Rep) tree.Rep {
+	switch want {
+	case tree.RepSWFLO:
+		if isFlonumLit(l) {
+			return tree.RepSWFLO
+		}
+	case tree.RepSWFIX:
+		if isFixnumLit(l) {
+			return tree.RepSWFIX
+		}
+	}
+	return tree.RepPOINTER
+}
+
+func isFlonumLit(l *tree.Literal) bool { return flonumValue(l) }

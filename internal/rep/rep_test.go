@@ -1,0 +1,282 @@
+package rep
+
+import (
+	"testing"
+
+	"repro/internal/binding"
+	"repro/internal/convert"
+	"repro/internal/sexp"
+	"repro/internal/tree"
+)
+
+func prep(t *testing.T, src string) (*tree.Lambda, VarReps) {
+	t.Helper()
+	c := convert.New()
+	n, err := c.ConvertForm(sexp.MustRead(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam := n.(*tree.Lambda)
+	binding.AnnotateFunction(lam)
+	vr := Annotate(lam, true)
+	return lam, vr
+}
+
+func TestFloatOpWantsRawArgs(t *testing.T) {
+	lam, _ := prep(t, "(lambda (x y) (+$f x y))")
+	call := lam.Body.(*tree.Call)
+	for _, a := range call.Args {
+		if a.Info().WantRep != tree.RepSWFLO {
+			t.Errorf("arg wantrep = %v", a.Info().WantRep)
+		}
+	}
+	if call.Info().IsRep != tree.RepSWFLO {
+		t.Errorf("call isrep = %v", call.Info().IsRep)
+	}
+	// Body of a standard function must deliver a pointer.
+	if call.Info().WantRep != tree.RepPOINTER {
+		t.Errorf("body wantrep = %v", call.Info().WantRep)
+	}
+}
+
+func TestIfTestWantsJump(t *testing.T) {
+	lam, _ := prep(t, "(lambda (p x y) (if p x y))")
+	iff := lam.Body.(*tree.If)
+	if iff.Test.Info().WantRep != tree.RepJUMP {
+		t.Errorf("test wantrep = %v", iff.Test.Info().WantRep)
+	}
+}
+
+func TestJumpablePrimDeliversJump(t *testing.T) {
+	lam, _ := prep(t, "(lambda (x y) (if (<$f x y) 1 2))")
+	iff := lam.Body.(*tree.If)
+	if iff.Test.Info().IsRep != tree.RepJUMP {
+		t.Errorf("comparison isrep = %v, want JUMP", iff.Test.Info().IsRep)
+	}
+}
+
+// The paper's §6.2 example: (+$f (if p (sqrt$f q) (car r)) 3.0).
+// The if's ISREP must be SWFLO: the sqrt arm needs no conversion, the car
+// arm is merely dereferenced.
+func TestIfArmReconciliation(t *testing.T) {
+	lam, _ := prep(t, "(lambda (p q r) (+$f (if p (sqrt$f q) (car r)) 3.0))")
+	add := lam.Body.(*tree.Call)
+	iff := add.Args[0].(*tree.If)
+	if iff.Info().WantRep != tree.RepSWFLO {
+		t.Errorf("if wantrep = %v", iff.Info().WantRep)
+	}
+	if iff.Then.Info().IsRep != tree.RepSWFLO {
+		t.Errorf("sqrt arm isrep = %v", iff.Then.Info().IsRep)
+	}
+	if iff.Else.Info().IsRep != tree.RepPOINTER {
+		t.Errorf("car arm isrep = %v", iff.Else.Info().IsRep)
+	}
+	if iff.Info().IsRep != tree.RepSWFLO {
+		t.Errorf("if isrep = %v, want SWFLO (the paper's example)", iff.Info().IsRep)
+	}
+}
+
+func TestConsForcesPointer(t *testing.T) {
+	// (cons (+& (*& a 3) b) 'foo): the + result must become a heap
+	// object; the * result stays raw.
+	lam, _ := prep(t, "(lambda (a b) (cons (+& (*& a 3) b) 'foo))")
+	cons := lam.Body.(*tree.Call)
+	add := cons.Args[0].(*tree.Call)
+	if add.Info().WantRep != tree.RepPOINTER {
+		t.Errorf("+ wantrep = %v (cons needs a pointer)", add.Info().WantRep)
+	}
+	if add.Info().IsRep != tree.RepSWFIX {
+		t.Errorf("+ isrep = %v", add.Info().IsRep)
+	}
+	mul := add.Args[0].(*tree.Call)
+	if mul.Info().WantRep != tree.RepSWFIX || mul.Info().IsRep != tree.RepSWFIX {
+		t.Errorf("* reps = %v/%v (should stay raw)",
+			mul.Info().WantRep, mul.Info().IsRep)
+	}
+}
+
+func TestVariableRepUnifiesToFloat(t *testing.T) {
+	// s is used only in float contexts and initialized by a float op:
+	// it gets the SWFLO representation.
+	lam, vr := prep(t, "(lambda (a b) (let ((s (*$f a b))) (+$f s 1.0)))")
+	var sVar *tree.Var
+	tree.Walk(lam, func(n tree.Node) bool {
+		if l, ok := n.(*tree.Lambda); ok {
+			for _, v := range l.Params() {
+				if v.Name.Name == "s" {
+					sVar = v
+				}
+			}
+		}
+		return true
+	})
+	if sVar == nil {
+		t.Fatal("no s")
+	}
+	if vr.Rep(sVar) != tree.RepSWFLO {
+		t.Errorf("s rep = %v, want SWFLO", vr.Rep(sVar))
+	}
+}
+
+func TestVariableRepDisagreementFallsBackToPointer(t *testing.T) {
+	// The paper's testfn d: used by both frotz (pointer) and max$f
+	// (float) → POINTER.
+	lam, vr := prep(t, "(lambda (a b) (let ((d (+$f a b))) (frotz d (max$f d d))))")
+	var dVar *tree.Var
+	tree.Walk(lam, func(n tree.Node) bool {
+		if l, ok := n.(*tree.Lambda); ok {
+			for _, v := range l.Params() {
+				if v.Name.Name == "d" {
+					dVar = v
+				}
+			}
+		}
+		return true
+	})
+	if vr.Rep(dVar) != tree.RepPOINTER {
+		t.Errorf("d rep = %v, want POINTER", vr.Rep(dVar))
+	}
+}
+
+func TestLiteralChameleon(t *testing.T) {
+	lam, _ := prep(t, "(lambda (x) (+$f x 3.0))")
+	call := lam.Body.(*tree.Call)
+	lit := call.Args[1]
+	if lit.Info().IsRep != tree.RepSWFLO {
+		t.Errorf("float literal in SWFLO context: %v", lit.Info().IsRep)
+	}
+}
+
+func TestDisabledForcesPointer(t *testing.T) {
+	c := convert.New()
+	n, _ := c.ConvertForm(sexp.MustRead("(lambda (x y) (+$f x y))"))
+	lam := n.(*tree.Lambda)
+	binding.AnnotateFunction(lam)
+	Annotate(lam, false)
+	call := lam.Body.(*tree.Call)
+	if call.Info().IsRep != tree.RepPOINTER {
+		t.Errorf("disabled rep analysis should force POINTER, got %v",
+			call.Info().IsRep)
+	}
+}
+
+func TestFixOpsWantFixnum(t *testing.T) {
+	lam, _ := prep(t, "(lambda (i j) (+& (*& i 8) j))")
+	add := lam.Body.(*tree.Call)
+	if add.Args[0].Info().WantRep != tree.RepSWFIX {
+		t.Errorf("fix arg wantrep = %v", add.Args[0].Info().WantRep)
+	}
+	if add.Info().IsRep != tree.RepSWFIX {
+		t.Errorf("fix result isrep = %v", add.Info().IsRep)
+	}
+}
+
+func TestProgBodyRepsPointer(t *testing.T) {
+	lam, _ := prep(t, `(lambda (n)
+	  (prog (i) (setq i 0)
+	   loop (if (>= i n) (return i) nil)
+	        (setq i (+ i 1)) (go loop)))`)
+	// prog translates to a call of a lambda whose body is a progbody.
+	call := lam.Body.(*tree.Call)
+	pb := call.Fn.(*tree.Lambda).Body
+	if pb.Info().IsRep != tree.RepPOINTER {
+		t.Errorf("progbody isrep = %v", pb.Info().IsRep)
+	}
+}
+
+func TestCatcherRepsPointer(t *testing.T) {
+	lam, _ := prep(t, "(lambda (x) (catch 'k (+$f x 1.0)))")
+	cat := lam.Body.(*tree.Catcher)
+	if cat.Info().IsRep != tree.RepPOINTER {
+		t.Errorf("catcher isrep = %v", cat.Info().IsRep)
+	}
+	// The body's float result must be coerced to a pointer.
+	if cat.Body.Info().WantRep != tree.RepPOINTER {
+		t.Errorf("catch body wantrep = %v", cat.Body.Info().WantRep)
+	}
+}
+
+func TestCaseqMergesArmReps(t *testing.T) {
+	lam, _ := prep(t, "(lambda (k x) (caseq k (1 (+$f x 1.0)) (t (car x))))")
+	cq := lam.Body.(*tree.Caseq)
+	if cq.Info().IsRep != tree.RepPOINTER {
+		t.Errorf("mixed caseq isrep = %v", cq.Info().IsRep)
+	}
+}
+
+func TestSetqRepFollowsVariable(t *testing.T) {
+	lam, vr := prep(t, `(lambda (x)
+	  (let ((acc 0.0))
+	    (setq acc (+$f acc x))
+	    (+$f acc 1.0)))`)
+	var accVar *tree.Var
+	tree.Walk(lam, func(n tree.Node) bool {
+		if l, ok := n.(*tree.Lambda); ok {
+			for _, v := range l.Params() {
+				if v.Name.Name == "acc" {
+					accVar = v
+				}
+			}
+		}
+		return true
+	})
+	if accVar == nil {
+		t.Fatal("no acc")
+	}
+	if vr.Rep(accVar) != tree.RepSWFLO {
+		t.Errorf("acc rep = %v (setq value is SWFLO, refs want SWFLO)", vr.Rep(accVar))
+	}
+	var sq *tree.Setq
+	tree.Walk(lam, func(n tree.Node) bool {
+		if s, ok := n.(*tree.Setq); ok {
+			sq = s
+		}
+		return true
+	})
+	if sq.Info().IsRep != tree.RepSWFLO {
+		t.Errorf("setq isrep = %v", sq.Info().IsRep)
+	}
+}
+
+func TestArefSubscriptsWantFixnum(t *testing.T) {
+	lam, _ := prep(t, "(lambda (a i j) (aref$f a i j))")
+	call := lam.Body.(*tree.Call)
+	if call.Args[0].Info().WantRep != tree.RepPOINTER {
+		t.Errorf("array wantrep = %v", call.Args[0].Info().WantRep)
+	}
+	for _, sub := range call.Args[1:] {
+		if sub.Info().WantRep != tree.RepSWFIX {
+			t.Errorf("subscript wantrep = %v", sub.Info().WantRep)
+		}
+	}
+	lam2, _ := prep(t, "(lambda (a v i) (aset$f a v i))")
+	call2 := lam2.Body.(*tree.Call)
+	if call2.Args[1].Info().WantRep != tree.RepSWFLO {
+		t.Errorf("stored value wantrep = %v", call2.Args[1].Info().WantRep)
+	}
+}
+
+func TestClosedVarStaysPointer(t *testing.T) {
+	// A captured variable must be a pointer even if every use is a float.
+	lam, vr := prep(t, `(lambda (x)
+	  (let ((s (+$f x 1.0)))
+	    (frotz (lambda () (+$f s 2.0)))
+	    (+$f s 3.0)))`)
+	var sVar *tree.Var
+	tree.Walk(lam, func(n tree.Node) bool {
+		if l, ok := n.(*tree.Lambda); ok {
+			for _, v := range l.Params() {
+				if v.Name.Name == "s" {
+					sVar = v
+				}
+			}
+		}
+		return true
+	})
+	if sVar == nil {
+		t.Fatal("no s")
+	}
+	if vr.Rep(sVar) != tree.RepPOINTER {
+		t.Errorf("closed s rep = %v, must be POINTER", vr.Rep(sVar))
+	}
+}

@@ -1,0 +1,201 @@
+package s1
+
+import (
+	"fmt"
+
+	"repro/internal/sexp"
+)
+
+// FromValue converts a host S-expression into a machine word, allocating
+// heap structure as needed. Used for literals at load time and for the
+// results of fallback primitives.
+func (m *Machine) FromValue(v sexp.Value) Word {
+	switch x := v.(type) {
+	case *sexp.Symbol:
+		if x == sexp.Nil {
+			return NilWord
+		}
+		if x == sexp.T {
+			return TWord
+		}
+		return Ptr(TagSymbol, uint64(m.InternSym(x.Name)))
+	case sexp.Fixnum:
+		return FixnumWord(int64(x))
+	case sexp.Flonum:
+		return m.ConsFlonum(float64(x))
+	case *sexp.Cons:
+		car := m.FromValue(x.Car)
+		cdr := m.FromValue(x.Cdr)
+		return m.Cons(car, cdr)
+	case *sexp.Vector:
+		a := m.Alloc(1 + len(x.Items))
+		m.heap[a-HeapBase] = RawInt(int64(len(x.Items)))
+		for i, it := range x.Items {
+			m.heap[a-HeapBase+1+uint64(i)] = m.FromValue(it)
+		}
+		return Ptr(TagVector, a)
+	case *sexp.Array:
+		a := m.Alloc(1 + len(x.Dims) + len(x.Items))
+		m.heap[a-HeapBase] = RawInt(int64(len(x.Dims)))
+		for i, d := range x.Dims {
+			m.heap[a-HeapBase+1+uint64(i)] = RawInt(int64(d))
+		}
+		base := a - HeapBase + 1 + uint64(len(x.Dims))
+		for i, it := range x.Items {
+			m.heap[base+uint64(i)] = m.FromValue(it)
+		}
+		return Ptr(TagArray, a)
+	case *sexp.FloatArray:
+		a := m.Alloc(1 + len(x.Dims) + len(x.Data))
+		m.heap[a-HeapBase] = RawInt(int64(len(x.Dims)))
+		for i, d := range x.Dims {
+			m.heap[a-HeapBase+1+uint64(i)] = RawInt(int64(d))
+		}
+		base := a - HeapBase + 1 + uint64(len(x.Dims))
+		for i, f := range x.Data {
+			m.heap[base+uint64(i)] = RawFloat(f)
+		}
+		return Ptr(TagFArray, a)
+	case *sexp.Bignum, *sexp.Ratio, sexp.String, sexp.Character:
+		return m.Box(v)
+	}
+	return m.Box(v)
+}
+
+// ToValue converts a machine word back into a host S-expression.
+// Functions and closures convert to unreadable boxed placeholders.
+// Arrays convert to fresh host arrays (the fallback primitives that use
+// this conversion never mutate their arguments).
+func (m *Machine) ToValue(w Word) (sexp.Value, error) {
+	switch w.Tag {
+	case TagNil:
+		return sexp.Nil, nil
+	case TagT:
+		return sexp.T, nil
+	case TagFixnum:
+		return sexp.Fixnum(w.Int()), nil
+	case TagFlonum:
+		v, err := m.load(w.Bits)
+		if err != nil {
+			return nil, err
+		}
+		return sexp.Flonum(v.Float()), nil
+	case TagSymbol:
+		return sexp.Intern(m.Syms[w.Bits].Name), nil
+	case TagBoxed:
+		return m.Boxes[w.Bits], nil
+	case TagCons:
+		return m.consToValue(w, 0)
+	case TagVector:
+		n, err := m.load(w.Bits)
+		if err != nil {
+			return nil, err
+		}
+		out := &sexp.Vector{Items: make([]sexp.Value, n.Int())}
+		for i := int64(0); i < n.Int(); i++ {
+			it, err := m.load(w.Bits + 1 + uint64(i))
+			if err != nil {
+				return nil, err
+			}
+			if out.Items[i], err = m.ToValue(it); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	case TagArray:
+		dims, base, err := m.arrayHeader(w)
+		if err != nil {
+			return nil, err
+		}
+		n := 1
+		for _, d := range dims {
+			n *= d
+		}
+		out := sexp.NewArray(dims, sexp.Nil)
+		for i := 0; i < n; i++ {
+			it, err := m.load(base + uint64(i))
+			if err != nil {
+				return nil, err
+			}
+			if out.Items[i], err = m.ToValue(it); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	case TagFArray:
+		dims, base, err := m.arrayHeader(w)
+		if err != nil {
+			return nil, err
+		}
+		out := sexp.NewFloatArray(dims)
+		for i := range out.Data {
+			it, err := m.load(base + uint64(i))
+			if err != nil {
+				return nil, err
+			}
+			out.Data[i] = it.Float()
+		}
+		return out, nil
+	case TagFunc:
+		return sexp.String(fmt.Sprintf("#<function %s>", m.Funcs[w.Bits].Name)), nil
+	case TagClosure:
+		return sexp.String("#<closure>"), nil
+	}
+	return nil, &RuntimeError{PC: m.pc, Msg: "cannot convert word " + w.String()}
+}
+
+func (m *Machine) consToValue(w Word, depth int) (sexp.Value, error) {
+	if depth > 1_000_000 {
+		return nil, &RuntimeError{PC: m.pc, Msg: "list too deep (circular?)"}
+	}
+	if w.Tag == TagNil {
+		return sexp.Nil, nil
+	}
+	if w.Tag != TagCons {
+		return m.ToValue(w)
+	}
+	car, err := m.load(w.Bits)
+	if err != nil {
+		return nil, err
+	}
+	cdr, err := m.load(w.Bits + 1)
+	if err != nil {
+		return nil, err
+	}
+	cv, err := m.ToValue(car)
+	if err != nil {
+		return nil, err
+	}
+	dv, err := m.consToValue(cdr, depth+1)
+	if err != nil {
+		return nil, err
+	}
+	return sexp.NewCons(cv, dv), nil
+}
+
+// arrayHeader reads [rank, dims...] and returns dims plus the data base
+// address.
+func (m *Machine) arrayHeader(w Word) ([]int, uint64, error) {
+	rank, err := m.load(w.Bits)
+	if err != nil {
+		return nil, 0, err
+	}
+	dims := make([]int, rank.Int())
+	for i := range dims {
+		d, err := m.load(w.Bits + 1 + uint64(i))
+		if err != nil {
+			return nil, 0, err
+		}
+		dims[i] = int(d.Int())
+	}
+	return dims, w.Bits + 1 + uint64(len(dims)), nil
+}
+
+// PrintWord renders a word as its Lisp value where possible.
+func (m *Machine) PrintWord(w Word) string {
+	v, err := m.ToValue(w)
+	if err != nil {
+		return w.String()
+	}
+	return sexp.Print(v)
+}

@@ -1,0 +1,166 @@
+package s1
+
+// A mark-sweep garbage collector for the simulator heap. The paper's
+// runtime "and especially the garbage collector, has been written with
+// multiprocessing in mind"; ours is a stop-the-world single-threaded
+// collector — the compilation techniques under study interact with it
+// only through allocation pressure, which the pdl-number machinery
+// exists to reduce.
+//
+// The collector is non-moving: freed blocks go on per-size free lists
+// and Alloc reuses them. Roots are the registers, the live stack extent,
+// the deep-binding stack, catch frames, symbol value/function cells, and
+// every immediate operand in compiled code (quoted constants).
+
+// allocRec tracks one heap block.
+type allocRec struct {
+	size   int
+	marked bool
+	free   bool
+}
+
+// GCStats meters collector activity.
+type GCStats struct {
+	Collections    int64
+	WordsReclaimed int64
+	BlocksFreed    int64
+	WordsReused    int64
+}
+
+func (m *Machine) gcEnsure() {
+	if m.allocRecs == nil {
+		m.allocRecs = map[uint64]*allocRec{}
+		m.freeLists = map[int][]uint64{}
+	}
+}
+
+// GCThresholdWords, when >0, triggers a collection automatically whenever
+// live heap growth since the last collection exceeds the threshold.
+func (m *Machine) SetGCThreshold(words int64) { m.gcThreshold = words }
+
+// GC runs a full mark-sweep collection and returns the number of words
+// reclaimed.
+func (m *Machine) GC() int64 {
+	m.gcEnsure()
+	m.GCMeters.Collections++
+
+	// --- mark ---
+	var mark func(w Word)
+	mark = func(w Word) {
+		var scan bool
+		switch w.Tag {
+		case TagCons, TagFlonum, TagClosure, TagEnv, TagVector, TagArray, TagFArray:
+			scan = true
+		default:
+			return
+		}
+		addr := w.Bits
+		rec, ok := m.allocRecs[addr]
+		if !ok || rec.marked || rec.free {
+			return
+		}
+		rec.marked = true
+		if !scan {
+			return
+		}
+		// Scan pointer-bearing payloads; raw payloads (flonum data,
+		// float-array data) contain no pointers but marking the whole
+		// block is harmless since raw words carry TagRaw.
+		for i := 0; i < rec.size; i++ {
+			mark(m.heap[addr-HeapBase+uint64(i)])
+		}
+	}
+
+	for _, r := range m.regs {
+		mark(r)
+	}
+	sp := m.regs[RegSP].Bits
+	if IsStackAddr(sp) {
+		for a := uint64(StackBase); a < sp; a++ {
+			mark(m.stack[a-StackBase])
+		}
+	}
+	for _, b := range m.bindStack {
+		mark(b.val)
+	}
+	for _, f := range m.catchStack {
+		mark(f.tag)
+	}
+	for i := range m.Syms {
+		mark(m.Syms[i].Value)
+		mark(m.Syms[i].Function)
+	}
+	for i := range m.Code {
+		ins := &m.Code[i]
+		for _, op := range []Operand{ins.A, ins.B, ins.C} {
+			if op.Mode == MImm {
+				mark(op.Imm)
+			}
+		}
+	}
+
+	// --- sweep ---
+	var reclaimed, blocks int64
+	for addr, rec := range m.allocRecs {
+		if rec.free {
+			continue
+		}
+		if rec.marked {
+			rec.marked = false
+			continue
+		}
+		rec.free = true
+		m.freeLists[rec.size] = append(m.freeLists[rec.size], addr)
+		reclaimed += int64(rec.size)
+		blocks++
+		// Poison the block to catch dangling pointers in tests.
+		for i := 0; i < rec.size; i++ {
+			m.heap[addr-HeapBase+uint64(i)] = Word{Tag: TagGC, Bits: 0xdead}
+		}
+	}
+	m.GCMeters.WordsReclaimed += reclaimed
+	m.GCMeters.BlocksFreed += blocks
+	m.liveSinceGC = 0
+	return reclaimed
+}
+
+// gcAlloc is Alloc with free-list reuse and the auto-collect trigger.
+func (m *Machine) gcAlloc(n int) uint64 {
+	m.gcEnsure()
+	if m.gcThreshold > 0 && m.liveSinceGC >= m.gcThreshold {
+		m.GC()
+	}
+	if lst := m.freeLists[n]; len(lst) > 0 {
+		addr := lst[len(lst)-1]
+		m.freeLists[n] = lst[:len(lst)-1]
+		rec := m.allocRecs[addr]
+		rec.free = false
+		rec.marked = false
+		for i := 0; i < n; i++ {
+			m.heap[addr-HeapBase+uint64(i)] = Word{}
+		}
+		m.GCMeters.WordsReused += int64(n)
+		m.Stats.HeapAllocs++
+		m.liveSinceGC += int64(n)
+		return addr
+	}
+	base := HeapBase + uint64(len(m.heap))
+	m.heap = append(m.heap, make([]Word, n)...)
+	m.Stats.HeapWords += int64(n)
+	m.Stats.HeapAllocs++
+	m.allocRecs[base] = &allocRec{size: n}
+	m.liveSinceGC += int64(n)
+	return base
+}
+
+// LiveHeapWords reports the words in non-free blocks.
+func (m *Machine) LiveHeapWords() int64 {
+	m.gcEnsure()
+	var live int64
+	for _, rec := range m.allocRecs {
+		if !rec.free {
+			live += int64(rec.size)
+		}
+	}
+	return live
+}

@@ -1,0 +1,138 @@
+package s1
+
+import (
+	"testing"
+
+	"repro/internal/sexp"
+)
+
+func TestGCReclaimsGarbage(t *testing.T) {
+	m := New()
+	// Allocate a chain, keep a pointer to part of it in a register, drop
+	// the rest.
+	keep := m.Cons(FixnumWord(1), NilWord)
+	for i := 0; i < 100; i++ {
+		m.Cons(FixnumWord(int64(i)), NilWord) // garbage
+	}
+	m.regs[RegA] = keep
+	live0 := m.LiveHeapWords()
+	reclaimed := m.GC()
+	if reclaimed != 200 {
+		t.Errorf("reclaimed = %d, want 200 (100 conses)", reclaimed)
+	}
+	if got := m.LiveHeapWords(); got != live0-200 {
+		t.Errorf("live = %d", got)
+	}
+	// The kept cell survives and still reads correctly.
+	v, err := m.ToValue(keep)
+	if err != nil || sexp.Print(v) != "(1)" {
+		t.Errorf("kept value = %v %v", v, err)
+	}
+}
+
+func TestGCTracesDeepStructure(t *testing.T) {
+	m := New()
+	// A 50-deep list reachable only through a symbol value cell.
+	lst := NilWord
+	for i := 0; i < 50; i++ {
+		lst = m.Cons(FixnumWord(int64(i)), lst)
+	}
+	m.SetGlobal("*keep*", lst)
+	m.regs[RegA] = NilWord
+	if got := m.GC(); got != 0 {
+		t.Errorf("nothing should be reclaimed, got %d", got)
+	}
+	v, err := m.ToValue(m.Syms[m.InternSym("*keep*")].Value)
+	if err != nil || sexp.Length(v) != 50 {
+		t.Errorf("list damaged: %v %v", v, err)
+	}
+}
+
+func TestGCTracesStackAndBindings(t *testing.T) {
+	m := New()
+	c1 := m.Cons(FixnumWord(1), NilWord)
+	c2 := m.Cons(FixnumWord(2), NilWord)
+	c3 := m.Cons(FixnumWord(3), NilWord)
+	m.regs[RegSP] = RawInt(StackBase)
+	if err := m.push(c1); err != nil {
+		t.Fatal(err)
+	}
+	m.bindStack = append(m.bindStack, bindEntry{sym: 0, val: c2})
+	m.catchStack = append(m.catchStack, catchFrame{tag: c3})
+	m.regs[RegA] = NilWord
+	if got := m.GC(); got != 0 {
+		t.Errorf("stack/bindings/catch roots missed: reclaimed %d", got)
+	}
+}
+
+func TestGCFreeListReuse(t *testing.T) {
+	m := New()
+	m.Cons(FixnumWord(1), NilWord) // garbage cons (2 words)
+	m.regs[RegA] = NilWord
+	m.GC()
+	before := len(m.heap)
+	w := m.Cons(FixnumWord(9), NilWord)
+	if len(m.heap) != before {
+		t.Errorf("new cons should reuse the freed block")
+	}
+	if m.GCMeters.WordsReused != 2 {
+		t.Errorf("words reused = %d", m.GCMeters.WordsReused)
+	}
+	v, _ := m.ToValue(w)
+	if sexp.Print(v) != "(9)" {
+		t.Errorf("reused block reads %s", sexp.Print(v))
+	}
+}
+
+func TestGCCodeImmediatesAreRoots(t *testing.T) {
+	m := New()
+	lst := m.FromValue(sexp.MustRead("(1 2 3)"))
+	if _, err := m.AddFunction("f", 0, 0, []Item{
+		InstrItem(Instr{Op: OpMOV, A: R(RegA), B: Imm(lst)}),
+		InstrItem(Instr{Op: OpRET}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.regs[RegA] = NilWord
+	if got := m.GC(); got != 0 {
+		t.Errorf("quoted constant collected: %d words", got)
+	}
+	got, err := m.CallFunction("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.ToValue(got)
+	if sexp.Print(v) != "(1 2 3)" {
+		t.Errorf("constant = %s", sexp.Print(v))
+	}
+}
+
+func TestGCAutoThreshold(t *testing.T) {
+	m := New()
+	m.SetGCThreshold(64)
+	m.regs[RegA] = NilWord
+	for i := 0; i < 200; i++ {
+		m.Cons(FixnumWord(int64(i)), NilWord)
+	}
+	if m.GCMeters.Collections == 0 {
+		t.Error("auto GC never triggered")
+	}
+	// Heap growth bounded: 200 conses = 400 words but collections reuse.
+	if len(m.heap) > 200 {
+		t.Errorf("heap grew to %d words despite GC", len(m.heap))
+	}
+}
+
+func TestGCPoisonCatchesDanglers(t *testing.T) {
+	m := New()
+	dead := m.Cons(FixnumWord(1), NilWord)
+	m.regs[RegA] = NilWord
+	m.GC()
+	w, err := m.load(dead.Bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Tag != TagGC {
+		t.Errorf("freed block should be poisoned, got %v", w)
+	}
+}

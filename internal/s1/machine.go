@@ -1,0 +1,866 @@
+package s1
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sexp"
+)
+
+// FuncDesc describes one compiled function.
+type FuncDesc struct {
+	Name             string
+	Entry, End       int
+	MinArgs, MaxArgs int // MaxArgs -1 for &rest
+}
+
+// SymCell is a symbol's runtime record: a value cell (the global/dynamic
+// binding of last resort) and a function cell.
+type SymCell struct {
+	Name     string
+	Value    Word
+	HasValue bool
+	Function Word
+}
+
+type bindEntry struct {
+	sym int
+	val Word
+}
+
+type catchFrame struct {
+	tag       Word
+	sp, fp    Word
+	ep        Word
+	handler   int
+	bindDepth int
+}
+
+// Stats are the simulator's meters; every experiment in EXPERIMENTS.md is
+// expressed in these.
+type Stats struct {
+	Cycles int64
+	Instrs int64
+	// Movs counts dynamically executed MOV instructions (the static count
+	// comes from CountMOVs over the listing).
+	Movs int64
+	// Heap traffic.
+	HeapWords    int64
+	HeapAllocs   int64
+	ConsAllocs   int64
+	FlonumAllocs int64 // the E5/E6 metric: boxed floats created
+	EnvAllocs    int64
+	// MaxStack is the deepest stack extent reached (E3's metric).
+	MaxStack int64
+	// Pointer certification (§6.3).
+	Certifies     int64
+	CertifyCopies int64
+	// Deep binding (§4.4 / E9).
+	SpecialLookups     int64
+	SpecialSearchSteps int64
+	// Linkage.
+	Calls     int64
+	TailCalls int64
+	SQCalls   int64
+}
+
+// RuntimeError is a Lisp-level runtime error raised by compiled code.
+type RuntimeError struct {
+	PC  int
+	Msg string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("s1: runtime error at %d: %s", e.PC, e.Msg)
+}
+
+// Machine is an S-1 simulator instance with its Lisp runtime state.
+type Machine struct {
+	Code  []Instr
+	Funcs []FuncDesc
+	Syms  []SymCell
+	// Boxes holds immutable objects outside the word format (bignums,
+	// ratios, strings, characters, host symbols for literals).
+	Boxes []sexp.Value
+
+	// Out receives print output.
+	Out io.Writer
+	// StepLimit bounds execution (instructions).
+	StepLimit int64
+	// Stats accumulates the meters.
+	Stats Stats
+	// GCMeters accumulates garbage-collector activity.
+	GCMeters GCStats
+
+	funcIdx  map[string]int
+	symIdx   map[string]int
+	primHook PrimHook
+
+	stack []Word
+	heap  []Word
+	// GC state (gc.go).
+	allocRecs   map[uint64]*allocRec
+	freeLists   map[int][]uint64
+	gcThreshold int64
+	liveSinceGC int64
+	regs        [NumRegs]Word
+	bindStack   []bindEntry
+	catchStack  []catchFrame
+	pc          int
+	halted      bool
+}
+
+// New creates an empty machine. Code index 0 is a HALT used as the
+// top-level return address.
+func New() *Machine {
+	m := &Machine{
+		Code:      []Instr{{Op: OpHALT, Comment: "top-level return"}},
+		Out:       io.Discard,
+		StepLimit: 2_000_000_000,
+		funcIdx:   map[string]int{},
+		symIdx:    map[string]int{},
+		stack:     make([]Word, StackLimit-StackBase),
+	}
+	return m
+}
+
+// AddFunction assembles a function body into the machine and registers
+// its descriptor; returns the function index.
+func (m *Machine) AddFunction(name string, minArgs, maxArgs int, items []Item) (int, error) {
+	code, entry, err := assemble(name, items, m.Code)
+	if err != nil {
+		return 0, err
+	}
+	m.Code = code
+	idx := len(m.Funcs)
+	m.Funcs = append(m.Funcs, FuncDesc{
+		Name: name, Entry: entry, End: len(code),
+		MinArgs: minArgs, MaxArgs: maxArgs,
+	})
+	m.funcIdx[name] = idx
+	return idx, nil
+}
+
+// FuncNamed returns the descriptor index for name, or -1.
+func (m *Machine) FuncNamed(name string) int {
+	if i, ok := m.funcIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// InternSym returns the runtime symbol index for name.
+func (m *Machine) InternSym(name string) int {
+	if i, ok := m.symIdx[name]; ok {
+		return i
+	}
+	i := len(m.Syms)
+	m.Syms = append(m.Syms, SymCell{Name: name, Function: NilWord})
+	m.symIdx[name] = i
+	return i
+}
+
+// SetSymbolFunction installs a function word in a symbol's function cell.
+func (m *Machine) SetSymbolFunction(name string, fn Word) {
+	m.Syms[m.InternSym(name)].Function = fn
+}
+
+// SetGlobal sets a symbol's global value cell.
+func (m *Machine) SetGlobal(name string, v Word) {
+	i := m.InternSym(name)
+	m.Syms[i].Value = v
+	m.Syms[i].HasValue = true
+}
+
+// Box interns an immutable host object and returns its boxed word.
+func (m *Machine) Box(v sexp.Value) Word {
+	m.Boxes = append(m.Boxes, v)
+	return Ptr(TagBoxed, uint64(len(m.Boxes)-1))
+}
+
+// Alloc allocates n heap words and returns the base address, reusing
+// collected blocks when the garbage collector has produced any.
+func (m *Machine) Alloc(n int) uint64 { return m.gcAlloc(n) }
+
+// Cons allocates a cons cell.
+func (m *Machine) Cons(car, cdr Word) Word {
+	a := m.Alloc(2)
+	m.heap[a-HeapBase] = car
+	m.heap[a-HeapBase+1] = cdr
+	m.Stats.ConsAllocs++
+	return Ptr(TagCons, a)
+}
+
+// ConsFlonum heap-allocates a float object (the costly conversion of
+// §6.2: "conversion from a raw number back to pointer format … may entail
+// allocation of new storage and consequent garbage-collection overhead").
+func (m *Machine) ConsFlonum(f float64) Word {
+	a := m.Alloc(1)
+	m.heap[a-HeapBase] = RawFloat(f)
+	m.Stats.FlonumAllocs++
+	return Ptr(TagFlonum, a)
+}
+
+func (m *Machine) load(addr uint64) (Word, error) {
+	switch {
+	case IsStackAddr(addr):
+		return m.stack[addr-StackBase], nil
+	case addr >= HeapBase && addr < HeapBase+uint64(len(m.heap)):
+		return m.heap[addr-HeapBase], nil
+	}
+	return Word{}, &RuntimeError{PC: m.pc, Msg: fmt.Sprintf("load from bad address %#x", addr)}
+}
+
+func (m *Machine) store(addr uint64, w Word) error {
+	switch {
+	case IsStackAddr(addr):
+		m.stack[addr-StackBase] = w
+		return nil
+	case addr >= HeapBase && addr < HeapBase+uint64(len(m.heap)):
+		m.heap[addr-HeapBase] = w
+		return nil
+	}
+	return &RuntimeError{PC: m.pc, Msg: fmt.Sprintf("store to bad address %#x", addr)}
+}
+
+func (m *Machine) effaddr(o Operand) (uint64, error) {
+	switch o.Mode {
+	case MMem:
+		return uint64(int64(m.regs[o.Base].Bits) + o.Off), nil
+	case MAbs:
+		return uint64(o.Off), nil
+	case MIdx:
+		a := o.Off
+		if o.Base != NoReg {
+			a += int64(m.regs[o.Base].Bits)
+		}
+		if o.Index != NoReg {
+			a += int64(m.regs[o.Index].Bits) << o.Shift
+		}
+		return uint64(a), nil
+	}
+	return 0, &RuntimeError{PC: m.pc, Msg: "operand has no effective address"}
+}
+
+func (m *Machine) value(o Operand) (Word, error) {
+	switch o.Mode {
+	case MReg:
+		return m.regs[o.Base], nil
+	case MImm:
+		return o.Imm, nil
+	case MMem, MAbs, MIdx:
+		a, err := m.effaddr(o)
+		if err != nil {
+			return Word{}, err
+		}
+		return m.load(a)
+	}
+	return Word{}, &RuntimeError{PC: m.pc, Msg: "unreadable operand"}
+}
+
+func (m *Machine) setValue(o Operand, w Word) error {
+	switch o.Mode {
+	case MReg:
+		m.regs[o.Base] = w
+		return nil
+	case MMem, MAbs, MIdx:
+		a, err := m.effaddr(o)
+		if err != nil {
+			return err
+		}
+		return m.store(a, w)
+	}
+	return &RuntimeError{PC: m.pc, Msg: "unwritable operand"}
+}
+
+func (m *Machine) push(w Word) error {
+	sp := m.regs[RegSP].Bits
+	if !IsStackAddr(sp) {
+		return &RuntimeError{PC: m.pc, Msg: "stack overflow"}
+	}
+	m.stack[sp-StackBase] = w
+	m.regs[RegSP] = RawInt(int64(sp + 1))
+	if d := int64(sp + 1 - StackBase); d > m.Stats.MaxStack {
+		m.Stats.MaxStack = d
+	}
+	return nil
+}
+
+func (m *Machine) pop() (Word, error) {
+	sp := m.regs[RegSP].Bits - 1
+	if !IsStackAddr(sp) {
+		return Word{}, &RuntimeError{PC: m.pc, Msg: "stack underflow"}
+	}
+	m.regs[RegSP] = RawInt(int64(sp))
+	return m.stack[sp-StackBase], nil
+}
+
+// resolveFn resolves a callable word to a descriptor index and
+// environment.
+func (m *Machine) resolveFn(w Word) (int, Word, error) {
+	switch w.Tag {
+	case TagSymbol:
+		f := m.Syms[w.Bits].Function
+		if f.Tag == TagNil {
+			return 0, NilWord, &RuntimeError{PC: m.pc,
+				Msg: "undefined function " + m.Syms[w.Bits].Name}
+		}
+		return m.resolveFn(f)
+	case TagFunc:
+		return int(w.Bits), NilWord, nil
+	case TagClosure:
+		fnw, err := m.load(w.Bits)
+		if err != nil {
+			return 0, NilWord, err
+		}
+		env, err := m.load(w.Bits + 1)
+		if err != nil {
+			return 0, NilWord, err
+		}
+		return int(fnw.Bits), env, nil
+	}
+	return 0, NilWord, &RuntimeError{PC: m.pc, Msg: "not a function: " + w.String()}
+}
+
+// CallFunction invokes a function by name with the given argument words
+// and runs to completion, returning the result word.
+func (m *Machine) CallFunction(name string, args ...Word) (Word, error) {
+	idx := m.FuncNamed(name)
+	if idx < 0 {
+		return Word{}, fmt.Errorf("s1: no function %q", name)
+	}
+	return m.CallIndex(idx, args...)
+}
+
+// CallIndex invokes function index idx with args.
+func (m *Machine) CallIndex(idx int, args ...Word) (Word, error) {
+	m.regs[RegSP] = RawInt(StackBase)
+	m.regs[RegFP] = RawInt(StackBase)
+	m.regs[RegEP] = NilWord
+	m.halted = false
+	for _, a := range args {
+		if err := m.push(a); err != nil {
+			return Word{}, err
+		}
+	}
+	if err := m.enterFrame(len(args), 0, Ptr(TagFunc, uint64(idx)), false); err != nil {
+		return Word{}, err
+	}
+	if err := m.Run(); err != nil {
+		return Word{}, err
+	}
+	return m.pop()
+}
+
+// enterFrame performs the CALL microcode: frame = [args..., nargs,
+// retPC, oldFP, oldEP]; FP points past the saved words.
+func (m *Machine) enterFrame(nargs, retPC int, fn Word, fast bool) error {
+	idx, env, err := m.resolveFn(fn)
+	if err != nil {
+		return err
+	}
+	if err := m.push(RawInt(int64(nargs))); err != nil {
+		return err
+	}
+	if err := m.push(RawInt(int64(retPC))); err != nil {
+		return err
+	}
+	if err := m.push(m.regs[RegFP]); err != nil {
+		return err
+	}
+	if err := m.push(m.regs[RegEP]); err != nil {
+		return err
+	}
+	m.regs[RegFP] = m.regs[RegSP]
+	m.regs[RegEP] = env
+	m.regs[RegR3] = RawInt(int64(nargs))
+	m.pc = m.Funcs[idx].Entry
+	if fast {
+		m.Stats.Calls++
+	} else {
+		m.Stats.Calls++
+	}
+	return nil
+}
+
+// Run executes until HALT or error.
+func (m *Machine) Run() error {
+	for !m.halted {
+		if m.Stats.Instrs >= m.StepLimit {
+			return &RuntimeError{PC: m.pc, Msg: "step limit exceeded"}
+		}
+		if m.pc < 0 || m.pc >= len(m.Code) {
+			return &RuntimeError{PC: m.pc, Msg: "PC out of range"}
+		}
+		if err := m.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Machine) step() error {
+	ins := &m.Code[m.pc]
+	m.Stats.Instrs++
+	m.Stats.Cycles += cycleCost[ins.Op]
+	next := m.pc + 1
+
+	switch ins.Op {
+	case OpNOP:
+
+	case OpHALT:
+		m.halted = true
+		return nil
+
+	case OpMOV:
+		v, err := m.value(ins.B)
+		if err != nil {
+			return err
+		}
+		if err := m.setValue(ins.A, v); err != nil {
+			return err
+		}
+		m.Stats.Movs++
+
+	case OpMOVP:
+		a, err := m.effaddr(ins.B)
+		if err != nil {
+			return err
+		}
+		if err := m.setValue(ins.A, Ptr(Tag(ins.TagArg), a)); err != nil {
+			return err
+		}
+
+	case OpTAG:
+		v, err := m.value(ins.B)
+		if err != nil {
+			return err
+		}
+		if err := m.setValue(ins.A, RawInt(int64(v.Tag))); err != nil {
+			return err
+		}
+
+	case OpADD, OpSUB, OpMULT, OpDIV, OpASH:
+		x, y, err := m.binOperands(ins)
+		if err != nil {
+			return err
+		}
+		var r int64
+		switch ins.Op {
+		case OpADD:
+			r = x.Int() + y.Int()
+		case OpSUB:
+			r = x.Int() - y.Int()
+		case OpMULT:
+			r = x.Int() * y.Int()
+		case OpDIV:
+			if y.Int() == 0 {
+				return &RuntimeError{PC: m.pc, Msg: "integer division by zero"}
+			}
+			r = x.Int() / y.Int()
+		case OpASH:
+			s := y.Int()
+			if s >= 0 {
+				r = x.Int() << uint(s&63)
+			} else {
+				r = x.Int() >> uint((-s)&63)
+			}
+		}
+		if err := m.setValue(ins.A, RawInt(r)); err != nil {
+			return err
+		}
+
+	case OpFADD, OpFSUB, OpFMULT, OpFDIV, OpFMAX, OpFMIN:
+		x, y, err := m.binOperands(ins)
+		if err != nil {
+			return err
+		}
+		var r float64
+		switch ins.Op {
+		case OpFADD:
+			r = x.Float() + y.Float()
+		case OpFSUB:
+			r = x.Float() - y.Float()
+		case OpFMULT:
+			r = x.Float() * y.Float()
+		case OpFDIV:
+			r = x.Float() / y.Float()
+		case OpFMAX:
+			r = fmax(x.Float(), y.Float())
+		case OpFMIN:
+			r = fmin(x.Float(), y.Float())
+		}
+		if err := m.setValue(ins.A, RawFloat(r)); err != nil {
+			return err
+		}
+
+	case OpFSIN, OpFCOS, OpFSQRT, OpFATAN, OpFEXP, OpFLOG, OpFABS, OpFNEG,
+		OpFLT, OpFIX:
+		v, err := m.value(ins.B)
+		if err != nil {
+			return err
+		}
+		out, err := m.unaryOp(ins.Op, v)
+		if err != nil {
+			return err
+		}
+		if err := m.setValue(ins.A, out); err != nil {
+			return err
+		}
+
+	case OpJMP:
+		next = ins.target
+
+	case OpJEQ, OpJNE, OpJLT, OpJLE, OpJGT, OpJGE:
+		x, err := m.value(ins.A)
+		if err != nil {
+			return err
+		}
+		y, err := m.value(ins.B)
+		if err != nil {
+			return err
+		}
+		if intCond(ins.Op, x.Int(), y.Int()) {
+			next = ins.target
+		}
+
+	case OpFJEQ, OpFJNE, OpFJLT, OpFJLE, OpFJGT, OpFJGE:
+		x, err := m.value(ins.A)
+		if err != nil {
+			return err
+		}
+		y, err := m.value(ins.B)
+		if err != nil {
+			return err
+		}
+		if floatCond(ins.Op, x.Float(), y.Float()) {
+			next = ins.target
+		}
+
+	case OpJNIL, OpJNNIL:
+		v, err := m.value(ins.A)
+		if err != nil {
+			return err
+		}
+		if (v.Tag == TagNil) == (ins.Op == OpJNIL) {
+			next = ins.target
+		}
+
+	case OpJTAG, OpJNTAG:
+		v, err := m.value(ins.A)
+		if err != nil {
+			return err
+		}
+		if (v.Tag == Tag(ins.TagArg)) == (ins.Op == OpJTAG) {
+			next = ins.target
+		}
+
+	case OpJEQW, OpJNEW:
+		x, err := m.value(ins.A)
+		if err != nil {
+			return err
+		}
+		y, err := m.value(ins.B)
+		if err != nil {
+			return err
+		}
+		if (x == y) == (ins.Op == OpJEQW) {
+			next = ins.target
+		}
+
+	case OpPUSH:
+		v, err := m.value(ins.A)
+		if err != nil {
+			return err
+		}
+		if err := m.push(v); err != nil {
+			return err
+		}
+
+	case OpPOP:
+		v, err := m.pop()
+		if err != nil {
+			return err
+		}
+		if ins.A.Mode != MNone {
+			if err := m.setValue(ins.A, v); err != nil {
+				return err
+			}
+		}
+
+	case OpALLOC:
+		n, err := m.value(ins.B)
+		if err != nil {
+			return err
+		}
+		base := m.Alloc(int(n.Int()))
+		if err := m.setValue(ins.A, RawInt(int64(base))); err != nil {
+			return err
+		}
+
+	case OpCALL, OpCALLF:
+		fn, err := m.value(ins.A)
+		if err != nil {
+			return err
+		}
+		return m.enterFrame(int(ins.TagArg), next, fn, ins.Op == OpCALLF)
+
+	case OpTCALL, OpTCALLF:
+		fn, err := m.value(ins.A)
+		if err != nil {
+			return err
+		}
+		m.Stats.TailCalls++
+		return m.tailCall(int(ins.TagArg), fn)
+
+	case OpRET:
+		return m.ret()
+
+	case OpCLOSE:
+		env, err := m.value(ins.B)
+		if err != nil {
+			return err
+		}
+		a := m.Alloc(2)
+		m.heap[a-HeapBase] = RawInt(ins.TagArg)
+		m.heap[a-HeapBase+1] = env
+		if err := m.setValue(ins.A, Ptr(TagClosure, a)); err != nil {
+			return err
+		}
+
+	case OpENV:
+		parent, err := m.value(ins.B)
+		if err != nil {
+			return err
+		}
+		n := int(ins.TagArg)
+		a := m.Alloc(1 + n)
+		m.heap[a-HeapBase] = parent
+		for i := 0; i < n; i++ {
+			m.heap[a-HeapBase+1+uint64(i)] = NilWord
+		}
+		m.Stats.EnvAllocs++
+		if err := m.setValue(ins.A, Ptr(TagEnv, a)); err != nil {
+			return err
+		}
+
+	case OpSPECBIND:
+		v, err := m.value(ins.A)
+		if err != nil {
+			return err
+		}
+		m.bindStack = append(m.bindStack, bindEntry{sym: int(ins.TagArg), val: v})
+
+	case OpSPECUNBIND:
+		n := int(ins.TagArg)
+		if n > len(m.bindStack) {
+			return &RuntimeError{PC: m.pc, Msg: "binding stack underflow"}
+		}
+		m.bindStack = m.bindStack[:len(m.bindStack)-n]
+
+	case OpCATCH:
+		tag, err := m.value(ins.A)
+		if err != nil {
+			return err
+		}
+		m.catchStack = append(m.catchStack, catchFrame{
+			tag: tag, sp: m.regs[RegSP], fp: m.regs[RegFP], ep: m.regs[RegEP],
+			handler: ins.target, bindDepth: len(m.bindStack),
+		})
+
+	case OpENDCATCH:
+		if len(m.catchStack) == 0 {
+			return &RuntimeError{PC: m.pc, Msg: "catch stack underflow"}
+		}
+		m.catchStack = m.catchStack[:len(m.catchStack)-1]
+
+	case OpCALLSQ:
+		m.Stats.SQCalls++
+		jumped, err := m.callSQ(int(ins.TagArg), ins)
+		if err != nil {
+			return err
+		}
+		if jumped {
+			return nil
+		}
+
+	default:
+		return &RuntimeError{PC: m.pc, Msg: "bad opcode " + ins.Op.String()}
+	}
+	m.pc = next
+	return nil
+}
+
+// binOperands fetches the source operands of a 2- or 3-operand
+// arithmetic instruction (dst := dst op B, or dst := B op C).
+func (m *Machine) binOperands(ins *Instr) (Word, Word, error) {
+	if ins.C.Mode == MNone {
+		x, err := m.value(ins.A)
+		if err != nil {
+			return Word{}, Word{}, err
+		}
+		y, err := m.value(ins.B)
+		return x, y, err
+	}
+	x, err := m.value(ins.B)
+	if err != nil {
+		return Word{}, Word{}, err
+	}
+	y, err := m.value(ins.C)
+	return x, y, err
+}
+
+func (m *Machine) unaryOp(op Op, v Word) (Word, error) {
+	switch op {
+	case OpFSIN:
+		return RawFloat(sinCycles(v.Float())), nil
+	case OpFCOS:
+		return RawFloat(cosCycles(v.Float())), nil
+	case OpFSQRT:
+		return RawFloat(sqrt(v.Float())), nil
+	case OpFATAN:
+		return RawFloat(atan(v.Float())), nil
+	case OpFEXP:
+		return RawFloat(exp(v.Float())), nil
+	case OpFLOG:
+		return RawFloat(logf(v.Float())), nil
+	case OpFABS:
+		return RawFloat(fabs(v.Float())), nil
+	case OpFNEG:
+		return RawFloat(-v.Float()), nil
+	case OpFLT:
+		return RawFloat(float64(v.Int())), nil
+	case OpFIX:
+		return RawInt(int64(v.Float())), nil
+	}
+	return Word{}, &RuntimeError{PC: m.pc, Msg: "bad unary op"}
+}
+
+func (m *Machine) ret() error {
+	fp := m.regs[RegFP].Bits
+	nw, err := m.load(fp - 4)
+	if err != nil {
+		return err
+	}
+	retw, err := m.load(fp - 3)
+	if err != nil {
+		return err
+	}
+	oldFP, err := m.load(fp - 2)
+	if err != nil {
+		return err
+	}
+	oldEP, err := m.load(fp - 1)
+	if err != nil {
+		return err
+	}
+	m.regs[RegSP] = RawInt(int64(fp) - 4 - nw.Int())
+	m.regs[RegFP] = oldFP
+	m.regs[RegEP] = oldEP
+	if err := m.push(m.regs[RegA]); err != nil {
+		return err
+	}
+	m.pc = int(retw.Int())
+	if m.pc == 0 {
+		m.halted = true
+	}
+	return nil
+}
+
+// tailCall reuses the current frame: "a procedure call in this case is
+// more akin to a parameter-passing goto than to a recursive call".
+func (m *Machine) tailCall(k int, fn Word) error {
+	idx, env, err := m.resolveFn(fn)
+	if err != nil {
+		return err
+	}
+	// Pop the k outgoing arguments.
+	args := make([]Word, k)
+	for i := k - 1; i >= 0; i-- {
+		if args[i], err = m.pop(); err != nil {
+			return err
+		}
+	}
+	fp := m.regs[RegFP].Bits
+	nw, err := m.load(fp - 4)
+	if err != nil {
+		return err
+	}
+	savedRet, err := m.load(fp - 3)
+	if err != nil {
+		return err
+	}
+	savedFP, err := m.load(fp - 2)
+	if err != nil {
+		return err
+	}
+	savedEP, err := m.load(fp - 1)
+	if err != nil {
+		return err
+	}
+	m.regs[RegSP] = RawInt(int64(fp) - 4 - nw.Int())
+	for _, a := range args {
+		if err := m.push(a); err != nil {
+			return err
+		}
+	}
+	if err := m.push(RawInt(int64(k))); err != nil {
+		return err
+	}
+	if err := m.push(savedRet); err != nil {
+		return err
+	}
+	if err := m.push(savedFP); err != nil {
+		return err
+	}
+	if err := m.push(savedEP); err != nil {
+		return err
+	}
+	m.regs[RegFP] = m.regs[RegSP]
+	m.regs[RegEP] = env
+	m.regs[RegR3] = RawInt(int64(k))
+	m.pc = m.Funcs[idx].Entry
+	return nil
+}
+
+func intCond(op Op, x, y int64) bool {
+	switch op {
+	case OpJEQ:
+		return x == y
+	case OpJNE:
+		return x != y
+	case OpJLT:
+		return x < y
+	case OpJLE:
+		return x <= y
+	case OpJGT:
+		return x > y
+	case OpJGE:
+		return x >= y
+	}
+	return false
+}
+
+func floatCond(op Op, x, y float64) bool {
+	switch op {
+	case OpFJEQ:
+		return x == y
+	case OpFJNE:
+		return x != y
+	case OpFJLT:
+		return x < y
+	case OpFJLE:
+		return x <= y
+	case OpFJGT:
+		return x > y
+	case OpFJGE:
+		return x >= y
+	}
+	return false
+}
+
+// ResetStats clears the meters (not the machine state).
+func (m *Machine) ResetStats() { m.Stats = Stats{} }
+
+// HeapLoad reads a heap word (for tests and the disassembler).
+func (m *Machine) HeapLoad(addr uint64) (Word, error) { return m.load(addr) }

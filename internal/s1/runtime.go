@@ -1,0 +1,582 @@
+package s1
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sexp"
+)
+
+// Hardware math. FSIN/FCOS take their arguments in cycles, as the S-1's
+// instructions do (§7: "the S-1 SIN instruction assumes its argument to
+// be in cycles").
+func sinCycles(x float64) float64 { return math.Sin(2 * math.Pi * x) }
+func cosCycles(x float64) float64 { return math.Cos(2 * math.Pi * x) }
+func sqrt(x float64) float64      { return math.Sqrt(x) }
+func atan(x float64) float64      { return math.Atan(x) }
+func exp(x float64) float64       { return math.Exp(x) }
+func logf(x float64) float64      { return math.Log(x) }
+func fabs(x float64) float64      { return math.Abs(x) }
+func fmax(x, y float64) float64   { return math.Max(x, y) }
+func fmin(x, y float64) float64   { return math.Min(x, y) }
+
+// SQ system routines (the *:SQ-... world of Table 4). Conventions:
+// binary routines take arguments in A and B and return in A; THROW takes
+// tag in A and value in B; the variadic routines take counts from the
+// instruction's B operand.
+const (
+	SQWrongArgs = iota
+	SQWrongType
+	SQAdd
+	SQSub
+	SQMul
+	SQDiv
+	SQNumEq
+	SQLt
+	SQGt
+	SQLe
+	SQGe
+	SQEql
+	SQEqual
+	SQCons
+	SQCar
+	SQCdr
+	SQRplaca
+	SQRplacd
+	SQList
+	SQFlonumCons
+	SQFixnumCons
+	SQCertify
+	SQSpecFind
+	SQSpecRead
+	SQSpecWrite
+	SQSpecReadSym
+	SQSpecWriteSym
+	SQThrow
+	SQRestify
+	SQApplyList
+	SQPrim
+	SQPrimFrame
+	SQPrint
+	SQError
+	SQCount // number of routines
+)
+
+var sqNames = [SQCount]string{
+	"*:SQ-WRONG-NUMBER-OF-ARGUMENTS", "*:SQ-WRONG-TYPE", "*:SQ-ADD",
+	"*:SQ-SUB", "*:SQ-MUL", "*:SQ-DIV", "*:SQ-NUM-EQUAL", "*:SQ-LESS",
+	"*:SQ-GREATER", "*:SQ-LESS-EQ", "*:SQ-GREATER-EQ", "*:SQ-EQL",
+	"*:SQ-EQUAL", "*:SQ-CONS", "*:SQ-CAR", "*:SQ-CDR", "*:SQ-RPLACA",
+	"*:SQ-RPLACD", "*:SQ-LIST", "*:SQ-SINGLE-FLONUM-CONS",
+	"*:SQ-FIXNUM-CONS", "*:SQ-CERTIFY", "*:SQ-SPECIAL-FIND",
+	"*:SQ-SPECIAL-READ", "*:SQ-SPECIAL-WRITE", "*:SQ-SPECIAL-READ-DEEP",
+	"*:SQ-SPECIAL-WRITE-DEEP", "*:SQ-THROW", "*:SQ-RESTIFY",
+	"*:SQ-APPLY-LIST", "*:SQ-PRIMITIVE", "*:SQ-PRIMITIVE-FRAME",
+	"*:SQ-PRINT", "*:SQ-ERROR",
+}
+
+// SQName renders an SQ routine index.
+func SQName(i int) string {
+	if i >= 0 && i < SQCount {
+		return sqNames[i]
+	}
+	return fmt.Sprintf("*:SQ-%d", i)
+}
+
+// sqCost approximates each routine's cycle cost beyond the CALLSQ
+// dispatch.
+var sqCost = [SQCount]int64{
+	2, 2, 25, 25, 28, 40, 20, 20, 20, 20, 20, 10, 40, 12, 4, 4, 4, 4, 10,
+	8, 6, 6, 8, 2, 2, 10, 10, 20, 20, 15, 60, 60, 80, 10,
+}
+
+// PrimHook lets the host supply implementations for primitives without a
+// native SQ routine (the non-mutating library tail: append, member,
+// print formatting, ...). Wired to the interpreter's builtins by the
+// core package.
+type PrimHook func(name string, args []sexp.Value) (sexp.Value, error)
+
+// SetPrimHook installs the fallback primitive implementation.
+func (m *Machine) SetPrimHook(h PrimHook) { m.primHook = h }
+
+// callSQ executes a system routine; jumped reports that control
+// transferred (pc already set).
+func (m *Machine) callSQ(idx int, ins *Instr) (bool, error) {
+	m.Stats.Cycles += sqCost[idx]
+	A := m.regs[RegA]
+	B := m.regs[RegB]
+	setA := func(w Word) { m.regs[RegA] = w }
+
+	lispErr := func(format string, args ...any) error {
+		return &RuntimeError{PC: m.pc, Msg: fmt.Sprintf(format, args...)}
+	}
+
+	switch idx {
+	case SQWrongArgs:
+		return false, lispErr("wrong number of arguments")
+	case SQWrongType:
+		return false, lispErr("wrong type of argument: %s", A)
+
+	case SQAdd, SQSub, SQMul, SQDiv, SQNumEq, SQLt, SQGt, SQLe, SQGe:
+		x, err := m.numValue(A)
+		if err != nil {
+			return false, err
+		}
+		y, err := m.numValue(B)
+		if err != nil {
+			return false, err
+		}
+		out, err := m.genericNum(idx, x, y)
+		if err != nil {
+			return false, &RuntimeError{PC: m.pc, Msg: err.Error()}
+		}
+		setA(out)
+
+	case SQEql:
+		x, err := m.ToValue(A)
+		if err != nil {
+			return false, err
+		}
+		y, err := m.ToValue(B)
+		if err != nil {
+			return false, err
+		}
+		setA(boolWord(sexp.Eql(x, y)))
+
+	case SQEqual:
+		x, err := m.ToValue(A)
+		if err != nil {
+			return false, err
+		}
+		y, err := m.ToValue(B)
+		if err != nil {
+			return false, err
+		}
+		setA(boolWord(sexp.Equal(x, y)))
+
+	case SQCons:
+		setA(m.Cons(A, B))
+
+	case SQCar, SQCdr:
+		if A.Tag == TagNil {
+			setA(NilWord)
+			break
+		}
+		if A.Tag != TagCons {
+			return false, lispErr("car/cdr of non-list %s", A)
+		}
+		off := uint64(0)
+		if idx == SQCdr {
+			off = 1
+		}
+		w, err := m.load(A.Bits + off)
+		if err != nil {
+			return false, err
+		}
+		setA(w)
+
+	case SQRplaca, SQRplacd:
+		if A.Tag != TagCons {
+			return false, lispErr("rplaca/rplacd of non-cons %s", A)
+		}
+		off := uint64(0)
+		if idx == SQRplacd {
+			off = 1
+		}
+		if err := m.store(A.Bits+off, B); err != nil {
+			return false, err
+		}
+
+	case SQList:
+		n, err := m.value(ins.B)
+		if err != nil {
+			return false, err
+		}
+		out := NilWord
+		for i := int64(0); i < n.Int(); i++ {
+			w, err := m.pop()
+			if err != nil {
+				return false, err
+			}
+			out = m.Cons(w, out)
+		}
+		setA(out)
+
+	case SQFlonumCons:
+		setA(m.ConsFlonum(A.Float()))
+
+	case SQFixnumCons:
+		setA(FixnumWord(A.Int()))
+
+	case SQCertify:
+		// §6.3: before an unsafe operation, a potentially unsafe pointer
+		// must be certified — shown safe, or copied into the heap.
+		m.Stats.Certifies++
+		if A.Tag == TagFlonum && IsStackAddr(A.Bits) {
+			v, err := m.load(A.Bits)
+			if err != nil {
+				return false, err
+			}
+			m.Stats.CertifyCopies++
+			setA(m.ConsFlonum(v.Float()))
+		}
+
+	case SQSpecFind:
+		symOp, err := m.value(ins.B)
+		if err != nil {
+			return false, err
+		}
+		setA(RawInt(m.specFind(int(symOp.Int()))))
+
+	case SQSpecRead:
+		w, err := m.specRead(A.Int())
+		if err != nil {
+			return false, err
+		}
+		setA(w)
+
+	case SQSpecWrite:
+		if err := m.specWrite(A.Int(), B); err != nil {
+			return false, err
+		}
+		setA(B)
+
+	case SQSpecReadSym:
+		symOp, err := m.value(ins.B)
+		if err != nil {
+			return false, err
+		}
+		w, err := m.specRead(m.specFind(int(symOp.Int())))
+		if err != nil {
+			return false, err
+		}
+		setA(w)
+
+	case SQSpecWriteSym:
+		symOp, err := m.value(ins.B)
+		if err != nil {
+			return false, err
+		}
+		if err := m.specWrite(m.specFind(int(symOp.Int())), A); err != nil {
+			return false, err
+		}
+
+	case SQThrow:
+		return m.throw(A, B)
+
+	case SQRestify:
+		k, err := m.value(ins.B)
+		if err != nil {
+			return false, err
+		}
+		if err := m.restify(int(k.Int())); err != nil {
+			return false, err
+		}
+
+	case SQApplyList:
+		// A = function, B = argument list. Push the spread arguments and
+		// enter the function; return lands after this instruction.
+		n := 0
+		for w := B; w.Tag != TagNil; {
+			if w.Tag != TagCons {
+				return false, lispErr("apply: improper argument list")
+			}
+			car, err := m.load(w.Bits)
+			if err != nil {
+				return false, err
+			}
+			if err := m.push(car); err != nil {
+				return false, err
+			}
+			n++
+			if w, err = m.load(w.Bits + 1); err != nil {
+				return false, err
+			}
+		}
+		if err := m.enterFrame(n, m.pc+1, A, false); err != nil {
+			return false, err
+		}
+		return true, nil
+
+	case SQPrim:
+		nameOp, err := m.value(ins.B)
+		if err != nil {
+			return false, err
+		}
+		argcOp, err := m.value(ins.C)
+		if err != nil {
+			return false, err
+		}
+		if m.primHook == nil {
+			return false, lispErr("no primitive hook installed")
+		}
+		name := m.Syms[nameOp.Int()].Name
+		argc := int(argcOp.Int())
+		args := make([]sexp.Value, argc)
+		for i := argc - 1; i >= 0; i-- {
+			w, err := m.pop()
+			if err != nil {
+				return false, err
+			}
+			if args[i], err = m.ToValue(w); err != nil {
+				return false, err
+			}
+		}
+		out, err := m.primHook(name, args)
+		if err != nil {
+			return false, &RuntimeError{PC: m.pc, Msg: err.Error()}
+		}
+		setA(m.FromValue(out))
+
+	case SQPrimFrame:
+		// The body of a primitive stub function: gather this frame's
+		// arguments and invoke the fallback primitive.
+		nameOp, err := m.value(ins.B)
+		if err != nil {
+			return false, err
+		}
+		if m.primHook == nil {
+			return false, lispErr("no primitive hook installed")
+		}
+		fp := m.regs[RegFP].Bits
+		nw, err := m.load(fp - 4)
+		if err != nil {
+			return false, err
+		}
+		n := int(nw.Int())
+		args := make([]sexp.Value, n)
+		for i := 0; i < n; i++ {
+			w, err := m.load(fp - 4 - uint64(n) + uint64(i))
+			if err != nil {
+				return false, err
+			}
+			if args[i], err = m.ToValue(w); err != nil {
+				return false, err
+			}
+		}
+		name := m.Syms[nameOp.Int()].Name
+		out, err := m.primHook(name, args)
+		if err != nil {
+			return false, &RuntimeError{PC: m.pc, Msg: err.Error()}
+		}
+		m.regs[RegA] = m.FromValue(out)
+
+	case SQPrint:
+		v, err := m.ToValue(A)
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintf(m.Out, "\n%s ", sexp.Print(v))
+
+	case SQError:
+		v, _ := m.ToValue(A)
+		return false, lispErr("error: %s", sexp.Print(v))
+
+	default:
+		return false, lispErr("bad SQ routine %d", idx)
+	}
+	return false, nil
+}
+
+func boolWord(b bool) Word {
+	if b {
+		return TWord
+	}
+	return NilWord
+}
+
+// numValue converts a pointer-world word to a host number for the
+// generic arithmetic routines.
+func (m *Machine) numValue(w Word) (sexp.Value, error) {
+	switch w.Tag {
+	case TagFixnum:
+		return sexp.Fixnum(w.Int()), nil
+	case TagFlonum:
+		v, err := m.load(w.Bits)
+		if err != nil {
+			return nil, err
+		}
+		return sexp.Flonum(v.Float()), nil
+	case TagBoxed:
+		b := m.Boxes[w.Bits]
+		if sexp.IsNumber(b) {
+			return b, nil
+		}
+	}
+	return nil, &RuntimeError{PC: m.pc, Msg: "not a number: " + w.String()}
+}
+
+func (m *Machine) genericNum(idx int, x, y sexp.Value) (Word, error) {
+	switch idx {
+	case SQAdd:
+		v, err := sexp.Add(x, y)
+		if err != nil {
+			return Word{}, err
+		}
+		return m.FromValue(v), nil
+	case SQSub:
+		v, err := sexp.Sub(x, y)
+		if err != nil {
+			return Word{}, err
+		}
+		return m.FromValue(v), nil
+	case SQMul:
+		v, err := sexp.Mul(x, y)
+		if err != nil {
+			return Word{}, err
+		}
+		return m.FromValue(v), nil
+	case SQDiv:
+		v, err := sexp.Div(x, y)
+		if err != nil {
+			return Word{}, err
+		}
+		return m.FromValue(v), nil
+	}
+	c, err := sexp.Compare(x, y)
+	if err != nil {
+		return Word{}, err
+	}
+	switch idx {
+	case SQNumEq:
+		return boolWord(c == 0), nil
+	case SQLt:
+		return boolWord(c < 0), nil
+	case SQGt:
+		return boolWord(c > 0), nil
+	case SQLe:
+		return boolWord(c <= 0), nil
+	case SQGe:
+		return boolWord(c >= 0), nil
+	}
+	return Word{}, fmt.Errorf("bad numeric SQ %d", idx)
+}
+
+// specFind performs the deep-binding search: a linear scan of the
+// binding stack, newest first (§4.4). The returned handle is a binding
+// stack index, or -(sym+1) for the global value cell.
+func (m *Machine) specFind(sym int) int64 {
+	m.Stats.SpecialLookups++
+	for i := len(m.bindStack) - 1; i >= 0; i-- {
+		m.Stats.SpecialSearchSteps++
+		m.Stats.Cycles += 2 // two cycles per probe
+		if m.bindStack[i].sym == sym {
+			return int64(i)
+		}
+	}
+	return -int64(sym) - 1
+}
+
+func (m *Machine) specRead(handle int64) (Word, error) {
+	if handle >= 0 {
+		if int(handle) >= len(m.bindStack) {
+			return Word{}, &RuntimeError{PC: m.pc, Msg: "stale special handle"}
+		}
+		return m.bindStack[handle].val, nil
+	}
+	sym := int(-handle - 1)
+	if !m.Syms[sym].HasValue {
+		return Word{}, &RuntimeError{PC: m.pc, Msg: "unbound variable " + m.Syms[sym].Name}
+	}
+	return m.Syms[sym].Value, nil
+}
+
+func (m *Machine) specWrite(handle int64, v Word) error {
+	if handle >= 0 {
+		if int(handle) >= len(m.bindStack) {
+			return &RuntimeError{PC: m.pc, Msg: "stale special handle"}
+		}
+		m.bindStack[handle].val = v
+		return nil
+	}
+	sym := int(-handle - 1)
+	m.Syms[sym].Value = v
+	m.Syms[sym].HasValue = true
+	return nil
+}
+
+// throw unwinds to the innermost catch frame with an eql tag.
+func (m *Machine) throw(tag, val Word) (bool, error) {
+	for i := len(m.catchStack) - 1; i >= 0; i-- {
+		f := m.catchStack[i]
+		if m.eqlWords(f.tag, tag) {
+			m.catchStack = m.catchStack[:i]
+			m.regs[RegSP] = f.sp
+			m.regs[RegFP] = f.fp
+			m.regs[RegEP] = f.ep
+			m.bindStack = m.bindStack[:f.bindDepth]
+			m.regs[RegA] = val
+			m.pc = f.handler
+			return true, nil
+		}
+	}
+	tv, _ := m.ToValue(tag)
+	return false, &RuntimeError{PC: m.pc, Msg: "uncaught throw to " + sexp.Print(tv)}
+}
+
+func (m *Machine) eqlWords(a, b Word) bool {
+	if a == b {
+		return true
+	}
+	if a.Tag == TagFlonum && b.Tag == TagFlonum {
+		x, err1 := m.load(a.Bits)
+		y, err2 := m.load(b.Bits)
+		return err1 == nil && err2 == nil && x.Float() == y.Float()
+	}
+	if a.Tag == TagBoxed && b.Tag == TagBoxed {
+		return sexp.Eql(m.Boxes[a.Bits], m.Boxes[b.Bits])
+	}
+	return false
+}
+
+// restify rebuilds the just-entered frame of a &rest function: arguments
+// beyond the first k are collected into a list, giving the normalized
+// layout [arg0..argk-1, restlist] with nargs = k+1. Called at the top of
+// the prologue, when SP == FP.
+func (m *Machine) restify(k int) error {
+	fp := m.regs[RegFP].Bits
+	nw, err := m.load(fp - 4)
+	if err != nil {
+		return err
+	}
+	n := int(nw.Int())
+	if n < k {
+		return &RuntimeError{PC: m.pc, Msg: "wrong number of arguments"}
+	}
+	base := fp - 4 - uint64(n)
+	// Collect args k..n-1 into a list (backwards for order).
+	rest := NilWord
+	for i := n - 1; i >= k; i-- {
+		w, err := m.load(base + uint64(i))
+		if err != nil {
+			return err
+		}
+		rest = m.Cons(w, rest)
+	}
+	saved := make([]Word, 4)
+	for i := 0; i < 4; i++ {
+		w, err := m.load(fp - 4 + uint64(i))
+		if err != nil {
+			return err
+		}
+		saved[i] = w
+	}
+	// Rebuild: [arg0..argk-1, rest, nargs=k+1, ret, fp, ep].
+	if err := m.store(base+uint64(k), rest); err != nil {
+		return err
+	}
+	saved[0] = RawInt(int64(k + 1))
+	for i := 0; i < 4; i++ {
+		if err := m.store(base+uint64(k)+1+uint64(i), saved[i]); err != nil {
+			return err
+		}
+	}
+	newFP := base + uint64(k) + 5
+	m.regs[RegFP] = RawInt(int64(newFP))
+	m.regs[RegSP] = m.regs[RegFP]
+	m.regs[RegR3] = RawInt(int64(k + 1))
+	return nil
+}
+
+// BindingDepth reports the current depth of the deep-binding stack.
+func (m *Machine) BindingDepth() int { return len(m.bindStack) }

@@ -1,0 +1,175 @@
+// Package s1 is the target substrate of the reproduction: a simulator for
+// an S-1-like architecture, its assembler, and its Lisp runtime.
+//
+// The real S-1 Mark IIA has 36-bit words, 31-bit+5-tag virtual addresses,
+// 32 general registers of which RTA (R4) and RTB (R6) serve as the
+// "2½-address" bottleneck registers, rich indexed addressing, hardware
+// SIN/SQRT/etc., and sixteen rounding modes. The simulator keeps every
+// feature the compiler's decisions depend on — the tag architecture, the
+// RT-register operand rule (enforced by the assembler), indexed
+// addressing, hardware transcendentals, per-opcode cycle costs, and a
+// stack/heap split that makes "does this pointer point into the stack?"
+// a cheap test (the pdl-number certification of §6.3) — while widening
+// the word to 64 bits (see DESIGN.md §2).
+package s1
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tag is a 5-bit data-type tag. Nine of the 32 possible tags are reserved
+// to the architecture for MULTICS-like ring protection (§3); the rest are
+// user data-type tags, and the Lisp system uses them as below.
+type Tag uint8
+
+// Tag assignments.
+const (
+	TagRaw     Tag = 0  // raw machine word (untyped bits; int or float)
+	TagNil     Tag = 1  // the empty list / false
+	TagT       Tag = 2  // truth
+	TagFixnum  Tag = 3  // immediate integer in the pointer world
+	TagCons    Tag = 4  // address of a 2-word cell [car, cdr]
+	TagFlonum  Tag = 5  // address of a 1-word raw float object
+	TagSymbol  Tag = 6  // symbol-table index
+	TagFunc    Tag = 7  // function-descriptor index
+	TagClosure Tag = 8  // address of [fnIndex, envPtr]
+	TagEnv     Tag = 9  // address of [parent, slot0, ...]
+	TagVector  Tag = 10 // address of [len, item0, ...]
+	TagArray   Tag = 11 // address of [rank, dims..., items...] (pointers)
+	TagFArray  Tag = 12 // address of [rank, dims..., raw floats...]
+	TagBoxed   Tag = 13 // index into the boxed-object table (bignum, ...)
+	TagGC      Tag = 14 // the DTP-GC scratch marker of Table 4
+	// Tags 23..31 are reserved for the ring-protection mechanism.
+	TagRingBase Tag = 23
+)
+
+var tagNames = map[Tag]string{
+	TagRaw: "RAW", TagNil: "NIL", TagT: "T", TagFixnum: "FIXNUM",
+	TagCons: "CONS", TagFlonum: "FLONUM", TagSymbol: "SYMBOL",
+	TagFunc: "FUNCTION", TagClosure: "CLOSURE", TagEnv: "ENV",
+	TagVector: "VECTOR", TagArray: "ARRAY", TagFArray: "FLOAT-ARRAY",
+	TagBoxed: "BOXED", TagGC: "GC",
+}
+
+func (t Tag) String() string {
+	if s, ok := tagNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TAG%d", uint8(t))
+}
+
+// Word is one machine word: a 5-bit tag plus payload bits. A raw word's
+// bits are interpreted by the instruction that touches them (two's-
+// complement integer or IEEE float); tagged words carry addresses or
+// immediates.
+type Word struct {
+	Tag  Tag
+	Bits uint64
+}
+
+// Distinguished constant words.
+var (
+	NilWord = Word{Tag: TagNil}
+	TWord   = Word{Tag: TagT}
+	ZeroRaw = Word{Tag: TagRaw}
+)
+
+// RawInt builds a raw word holding a two's-complement integer.
+func RawInt(v int64) Word { return Word{Tag: TagRaw, Bits: uint64(v)} }
+
+// RawFloat builds a raw word holding float bits.
+func RawFloat(f float64) Word { return Word{Tag: TagRaw, Bits: math.Float64bits(f)} }
+
+// FixnumWord builds an immediate pointer-world integer.
+func FixnumWord(v int64) Word { return Word{Tag: TagFixnum, Bits: uint64(v)} }
+
+// Ptr builds a tagged pointer to addr.
+func Ptr(tag Tag, addr uint64) Word { return Word{Tag: tag, Bits: addr} }
+
+// Int reads the word's bits as a signed integer.
+func (w Word) Int() int64 { return int64(w.Bits) }
+
+// Float reads the word's bits as a float.
+func (w Word) Float() float64 { return math.Float64frombits(w.Bits) }
+
+// Addr reads the word's bits as an address.
+func (w Word) Addr() uint64 { return w.Bits }
+
+// Truthy implements Lisp truth on pointer-world words.
+func (w Word) Truthy() bool { return w.Tag != TagNil }
+
+// String renders the word for disassembly and diagnostics.
+func (w Word) String() string {
+	switch w.Tag {
+	case TagRaw:
+		return fmt.Sprintf("#x%x", w.Bits)
+	case TagNil:
+		return "NIL"
+	case TagT:
+		return "T"
+	case TagFixnum:
+		return fmt.Sprintf("%d", w.Int())
+	default:
+		return fmt.Sprintf("%s@%d", w.Tag, w.Bits)
+	}
+}
+
+// Register assignments. The S-1's RTA and RTB are general registers 4 and
+// 6; SP, FP and TP follow the paper's frame conventions; A is the value
+// register through which results return; EP is the current lexical
+// environment for closure bodies.
+const (
+	RegRTA = 4
+	RegRTB = 6
+	RegA   = 8  // value register
+	RegB   = 9  // second system-routine argument
+	RegR2  = 2  // prologue scratch (argument-count dispatch)
+	RegR3  = 3  // argument count on entry
+	RegEP  = 28 // environment pointer
+	RegSP  = 29 // stack pointer (grows upward)
+	RegFP  = 30 // frame pointer
+	RegTP  = 31 // temporaries (scratch/pdl-number) pointer
+
+	NumRegs = 32
+)
+
+// RegName renders a register for listings.
+func RegName(r uint8) string {
+	switch r {
+	case RegRTA:
+		return "RTA"
+	case RegRTB:
+		return "RTB"
+	case RegA:
+		return "A"
+	case RegB:
+		return "B"
+	case RegEP:
+		return "EP"
+	case RegSP:
+		return "SP"
+	case RegFP:
+		return "FP"
+	case RegTP:
+		return "TP"
+	}
+	return fmt.Sprintf("R%d", r)
+}
+
+// AllocatableRegs lists the general registers available to TNBIND packing
+// (caller-saved scratch world; SP/FP/TP/EP and the prologue registers are
+// excluded, RTA/RTB are handled specially).
+var AllocatableRegs = []uint8{10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27}
+
+// Memory geometry: the stack and heap live in disjoint address ranges so
+// that pointer certification (§6.3: "determining at run time that the
+// pointer is safe (does not point into the stack)") is a range test.
+const (
+	StackBase  = 0x0010_0000
+	StackLimit = 0x0020_0000
+	HeapBase   = 0x0040_0000
+)
+
+// IsStackAddr reports whether addr lies in the stack region.
+func IsStackAddr(addr uint64) bool { return addr >= StackBase && addr < StackLimit }

@@ -1,0 +1,67 @@
+package sexp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Array is a general multi-dimensional array of Lisp values, stored
+// row-major.
+type Array struct {
+	Dims  []int
+	Items []Value
+}
+
+// Write renders the array unreadably (as most Lisps do for arrays).
+func (a *Array) Write(b *strings.Builder) {
+	fmt.Fprintf(b, "#<array %v>", a.Dims)
+}
+
+// FloatArray is a specialized array of raw machine flonums — the
+// "number world" storage used by the numeric kernels of §6.
+type FloatArray struct {
+	Dims []int
+	Data []float64
+}
+
+// Write renders the float array unreadably.
+func (a *FloatArray) Write(b *strings.Builder) {
+	fmt.Fprintf(b, "#<float-array %v>", a.Dims)
+}
+
+// NewArray allocates a general array filled with initial.
+func NewArray(dims []int, initial Value) *Array {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	items := make([]Value, n)
+	for i := range items {
+		items[i] = initial
+	}
+	return &Array{Dims: append([]int(nil), dims...), Items: items}
+}
+
+// NewFloatArray allocates a float array of zeros.
+func NewFloatArray(dims []int) *FloatArray {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	return &FloatArray{Dims: append([]int(nil), dims...), Data: make([]float64, n)}
+}
+
+// RowMajorIndex computes the flat index for subscripts, checking bounds.
+func RowMajorIndex(dims []int, subs []int) (int, error) {
+	if len(subs) != len(dims) {
+		return 0, fmt.Errorf("sexp: array takes %d subscripts, got %d", len(dims), len(subs))
+	}
+	idx := 0
+	for i, s := range subs {
+		if s < 0 || s >= dims[i] {
+			return 0, fmt.Errorf("sexp: subscript %d out of range [0,%d)", s, dims[i])
+		}
+		idx = idx*dims[i] + s
+	}
+	return idx, nil
+}

@@ -1,0 +1,409 @@
+package sexp
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+	"unicode"
+)
+
+// Reader parses S-expressions from text. Supported syntax: symbols
+// (downcased; `|...|` preserves case), fixnums/bignums, ratios (`n/d`),
+// flonums, strings, characters (`#\x`), lists and dotted pairs, `'`
+// quote, `#'` function, “ ` “/`,`/`,@` quasiquote, `#(...)` vectors and
+// `;` line comments plus `#|...|#` block comments.
+type Reader struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+// SyntaxError describes a reader failure with its source line.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sexp: line %d: %s", e.Line, e.Msg)
+}
+
+// NewReader returns a Reader over src.
+func NewReader(src string) *Reader {
+	return &Reader{src: []rune(src), line: 1}
+}
+
+// ReadAll parses every form in src.
+func ReadAll(src string) ([]Value, error) {
+	r := NewReader(src)
+	var out []Value
+	for {
+		v, err := r.Read()
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return out, nil
+		}
+		out = append(out, v)
+	}
+}
+
+// ReadOne parses exactly one form from src, failing on trailing junk.
+func ReadOne(src string) (Value, error) {
+	r := NewReader(src)
+	v, err := r.Read()
+	if err != nil {
+		return nil, err
+	}
+	if v == nil {
+		return nil, &SyntaxError{Line: r.line, Msg: "empty input"}
+	}
+	if tail, err := r.Read(); err != nil {
+		return nil, err
+	} else if tail != nil {
+		return nil, &SyntaxError{Line: r.line, Msg: "trailing form " + Print(tail)}
+	}
+	return v, nil
+}
+
+// MustRead parses one form and panics on error; intended for tests and
+// table literals.
+func MustRead(src string) Value {
+	v, err := ReadOne(src)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Read returns the next form, or (nil, nil) at end of input.
+func (r *Reader) Read() (Value, error) {
+	r.skipSpace()
+	if r.pos >= len(r.src) {
+		return nil, nil
+	}
+	c := r.src[r.pos]
+	switch c {
+	case '(':
+		r.pos++
+		return r.readList(')')
+	case ')':
+		return nil, &SyntaxError{Line: r.line, Msg: "unexpected )"}
+	case '\'':
+		r.pos++
+		return r.readWrapped(SymQuote)
+	case '`':
+		r.pos++
+		return r.readWrapped(Intern("quasiquote"))
+	case ',':
+		r.pos++
+		if r.pos < len(r.src) && r.src[r.pos] == '@' {
+			r.pos++
+			return r.readWrapped(Intern("unquote-splicing"))
+		}
+		return r.readWrapped(Intern("unquote"))
+	case '"':
+		r.pos++
+		return r.readString()
+	case '#':
+		return r.readHash()
+	case ';':
+		r.skipLineComment()
+		return r.Read()
+	default:
+		return r.readAtom()
+	}
+}
+
+func (r *Reader) readWrapped(head *Symbol) (Value, error) {
+	v, err := r.Read()
+	if err != nil {
+		return nil, err
+	}
+	if v == nil {
+		return nil, &SyntaxError{Line: r.line, Msg: "end of input after " + head.Name}
+	}
+	return List(head, v), nil
+}
+
+func (r *Reader) readHash() (Value, error) {
+	r.pos++ // past '#'
+	if r.pos >= len(r.src) {
+		return nil, &SyntaxError{Line: r.line, Msg: "end of input after #"}
+	}
+	switch r.src[r.pos] {
+	case '\'':
+		r.pos++
+		return r.readWrapped(SymFunction)
+	case '(':
+		r.pos++
+		lst, err := r.readList(')')
+		if err != nil {
+			return nil, err
+		}
+		items, err := ListToSlice(lst)
+		if err != nil {
+			return nil, err
+		}
+		return &Vector{Items: items}, nil
+	case '\\':
+		r.pos++
+		return r.readCharacter()
+	case '|':
+		r.pos++
+		if err := r.skipBlockComment(); err != nil {
+			return nil, err
+		}
+		return r.Read()
+	}
+	return nil, &SyntaxError{Line: r.line, Msg: fmt.Sprintf("unknown dispatch #%c", r.src[r.pos])}
+}
+
+func (r *Reader) readCharacter() (Value, error) {
+	start := r.pos
+	for r.pos < len(r.src) && !isDelimiter(r.src[r.pos]) {
+		r.pos++
+	}
+	name := string(r.src[start:r.pos])
+	switch strings.ToLower(name) {
+	case "space":
+		return Character(' '), nil
+	case "newline":
+		return Character('\n'), nil
+	case "tab":
+		return Character('\t'), nil
+	}
+	runes := []rune(name)
+	if len(runes) != 1 {
+		return nil, &SyntaxError{Line: r.line, Msg: "bad character name #\\" + name}
+	}
+	return Character(runes[0]), nil
+}
+
+func (r *Reader) readList(close rune) (Value, error) {
+	var items []Value
+	var tail Value = Nil
+	for {
+		r.skipSpace()
+		if r.pos >= len(r.src) {
+			return nil, &SyntaxError{Line: r.line, Msg: "unterminated list"}
+		}
+		if r.src[r.pos] == close {
+			r.pos++
+			break
+		}
+		if r.src[r.pos] == '.' && r.pos+1 < len(r.src) && isDelimiter(r.src[r.pos+1]) {
+			if len(items) == 0 {
+				return nil, &SyntaxError{Line: r.line, Msg: "dot at head of list"}
+			}
+			r.pos++
+			v, err := r.Read()
+			if err != nil {
+				return nil, err
+			}
+			if v == nil {
+				return nil, &SyntaxError{Line: r.line, Msg: "end of input after dot"}
+			}
+			tail = v
+			r.skipSpace()
+			if r.pos >= len(r.src) || r.src[r.pos] != close {
+				return nil, &SyntaxError{Line: r.line, Msg: "expected ) after dotted tail"}
+			}
+			r.pos++
+			break
+		}
+		v, err := r.Read()
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return nil, &SyntaxError{Line: r.line, Msg: "unterminated list"}
+		}
+		items = append(items, v)
+	}
+	out := tail
+	for i := len(items) - 1; i >= 0; i-- {
+		out = NewCons(items[i], out)
+	}
+	return out, nil
+}
+
+func (r *Reader) readString() (Value, error) {
+	var b strings.Builder
+	for {
+		if r.pos >= len(r.src) {
+			return nil, &SyntaxError{Line: r.line, Msg: "unterminated string"}
+		}
+		c := r.src[r.pos]
+		r.pos++
+		switch c {
+		case '"':
+			return String(b.String()), nil
+		case '\\':
+			if r.pos >= len(r.src) {
+				return nil, &SyntaxError{Line: r.line, Msg: "unterminated string escape"}
+			}
+			e := r.src[r.pos]
+			r.pos++
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				b.WriteRune(e)
+			}
+		case '\n':
+			r.line++
+			b.WriteRune(c)
+		default:
+			b.WriteRune(c)
+		}
+	}
+}
+
+func (r *Reader) readAtom() (Value, error) {
+	if r.src[r.pos] == '|' {
+		r.pos++
+		start := r.pos
+		for r.pos < len(r.src) && r.src[r.pos] != '|' {
+			r.pos++
+		}
+		if r.pos >= len(r.src) {
+			return nil, &SyntaxError{Line: r.line, Msg: "unterminated |symbol|"}
+		}
+		name := string(r.src[start:r.pos])
+		r.pos++
+		return Intern(name), nil
+	}
+	start := r.pos
+	for r.pos < len(r.src) && !isDelimiter(r.src[r.pos]) {
+		r.pos++
+	}
+	tok := string(r.src[start:r.pos])
+	if v, ok := parseNumber(tok); ok {
+		return v, nil
+	}
+	return Intern(strings.ToLower(tok)), nil
+}
+
+// parseNumber recognizes fixnums, bignums, ratios and flonums.
+func parseNumber(tok string) (Value, bool) {
+	if tok == "" || tok == "+" || tok == "-" || tok == "." || tok == "..." {
+		return nil, false
+	}
+	body := tok
+	if body[0] == '+' || body[0] == '-' {
+		body = body[1:]
+		if body == "" {
+			return nil, false
+		}
+	}
+	if !strings.ContainsAny(body[:1], "0123456789.") {
+		return nil, false
+	}
+	if i := strings.IndexByte(tok, '/'); i > 0 {
+		num, ok1 := new(big.Int).SetString(tok[:i], 10)
+		den, ok2 := new(big.Int).SetString(tok[i+1:], 10)
+		if !ok1 || !ok2 || den.Sign() == 0 {
+			return nil, false
+		}
+		return normRat(new(big.Rat).SetFrac(num, den)), true
+	}
+	if x, ok := new(big.Int).SetString(tok, 10); ok {
+		return normBig(x), true
+	}
+	if strings.ContainsAny(tok, ".eE") {
+		var f float64
+		if _, err := fmt.Sscanf(tok, "%g", &f); err == nil {
+			// Reject things like "1.2.3" that Sscanf partially accepts.
+			if isFloatToken(tok) {
+				return Flonum(f), true
+			}
+		}
+	}
+	return nil, false
+}
+
+func isFloatToken(tok string) bool {
+	seenDot, seenExp := false, false
+	for i, c := range tok {
+		switch {
+		case c >= '0' && c <= '9':
+		case c == '+' || c == '-':
+			if i != 0 && !(seenExp && (tok[i-1] == 'e' || tok[i-1] == 'E')) {
+				return false
+			}
+		case c == '.':
+			if seenDot || seenExp {
+				return false
+			}
+			seenDot = true
+		case c == 'e' || c == 'E':
+			if seenExp || i == 0 || i == len(tok)-1 {
+				return false
+			}
+			seenExp = true
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Reader) skipSpace() {
+	for r.pos < len(r.src) {
+		c := r.src[r.pos]
+		switch {
+		case c == '\n':
+			r.line++
+			r.pos++
+		case unicode.IsSpace(c):
+			r.pos++
+		case c == ';':
+			r.skipLineComment()
+		case c == '#' && r.pos+1 < len(r.src) && r.src[r.pos+1] == '|':
+			r.pos += 2
+			_ = r.skipBlockComment()
+		default:
+			return
+		}
+	}
+}
+
+func (r *Reader) skipLineComment() {
+	for r.pos < len(r.src) && r.src[r.pos] != '\n' {
+		r.pos++
+	}
+}
+
+func (r *Reader) skipBlockComment() error {
+	depth := 1
+	for r.pos < len(r.src) {
+		if r.src[r.pos] == '\n' {
+			r.line++
+		}
+		if r.pos+1 < len(r.src) {
+			if r.src[r.pos] == '|' && r.src[r.pos+1] == '#' {
+				depth--
+				r.pos += 2
+				if depth == 0 {
+					return nil
+				}
+				continue
+			}
+			if r.src[r.pos] == '#' && r.src[r.pos+1] == '|' {
+				depth++
+				r.pos += 2
+				continue
+			}
+		}
+		r.pos++
+	}
+	return &SyntaxError{Line: r.line, Msg: "unterminated block comment"}
+}
+
+func isDelimiter(c rune) bool {
+	return unicode.IsSpace(c) || strings.ContainsRune("()\";'`,", c)
+}

@@ -1,0 +1,239 @@
+// Package tn implements the TNBIND register-allocation technique of
+// BLISS-11 and PQCC as used by the S-1 Lisp compiler (§6.1): a TN
+// ("temporary name") is assigned to every computational quantity — user
+// variables and intermediate results — and annotated with the costs and
+// constraints of placing it in one or another kind of location; a global
+// packing process then assigns each TN a specific run-time location
+// (register or stack-frame slot).
+//
+// "Register allocation" here means the compile-time determination of
+// storage locations for all computational quantities, not only those in
+// machine registers.
+package tn
+
+import (
+	"sort"
+
+	"repro/internal/s1"
+)
+
+// LocKind says where a TN was packed.
+type LocKind int
+
+// Location kinds.
+const (
+	LocNone LocKind = iota
+	LocReg
+	LocFrame
+)
+
+// Loc is a packed location: a machine register or a frame slot index
+// (relative to FP).
+type Loc struct {
+	Kind LocKind
+	Reg  uint8
+	Slot int
+}
+
+// TN is a temporary name.
+type TN struct {
+	ID   int
+	Name string
+	// Start/End are the live interval in allocation ticks (inclusive).
+	Start, End int
+	// Usage is the packing priority (weighted reference count; loop
+	// bodies weigh more).
+	Usage int
+	// PreferRT requests an RT register (arithmetic accumulators).
+	PreferRT bool
+	// WantFrame forces a stack slot (pdl-number slots, address-taken
+	// quantities, values whose lifetime the allocator cannot see).
+	WantFrame bool
+	// Fixed pins the TN to a specific register (0 = unpinned). Used by
+	// the code generator for subscript accumulators that must live in a
+	// particular RT register so indexed operands can name them.
+	Fixed uint8
+	// Loc is the packing result.
+	Loc Loc
+}
+
+// Touch extends the live interval to include tick.
+func (t *TN) Touch(tick int) {
+	if t.Start < 0 || tick < t.Start {
+		t.Start = tick
+	}
+	if tick > t.End {
+		t.End = tick
+	}
+	t.Usage++
+}
+
+func (t *TN) overlaps(o *TN) bool {
+	return t.Start <= o.End && o.Start <= t.End
+}
+
+// Allocator gathers TNs and packs them.
+type Allocator struct {
+	// Naive disables register packing entirely (the E4 baseline: every
+	// quantity lives in the frame).
+	Naive bool
+
+	TNs  []*TN
+	tick int
+	// callTicks are ticks at which a full procedure call occurs:
+	// "calls to other procedures by convention may destroy nearly all
+	// registers", so any TN live across one must live in the frame.
+	callTicks []int
+	// sqTicks are ticks of system-routine calls, which preserve general
+	// registers but clobber A, B, RTA and RTB.
+	sqTicks []int
+	// loopRegions are tick ranges re-executed by backward jumps (prog
+	// loops, self-recursive jump blocks); any TN touched inside one is
+	// live across the whole region.
+	loopRegions [][2]int
+}
+
+// New returns an empty allocator.
+func New(naive bool) *Allocator { return &Allocator{Naive: naive} }
+
+// Tick advances and returns the allocation clock.
+func (a *Allocator) Tick() int {
+	a.tick++
+	return a.tick
+}
+
+// Now returns the current tick.
+func (a *Allocator) Now() int { return a.tick }
+
+// NewTN creates a TN with an empty interval.
+func (a *Allocator) NewTN(name string) *TN {
+	t := &TN{ID: len(a.TNs), Name: name, Start: -1, End: -1}
+	a.TNs = append(a.TNs, t)
+	return t
+}
+
+// NoteCall records a full call at the current tick.
+func (a *Allocator) NoteCall() { a.callTicks = append(a.callTicks, a.tick) }
+
+// AddLoopRegion records a backward-jump region [start, end]: control may
+// return from end to start, so values touched inside are live across the
+// whole region.
+func (a *Allocator) AddLoopRegion(start, end int) {
+	a.loopRegions = append(a.loopRegions, [2]int{start, end})
+}
+
+// NoteSQ records a system-routine call at the current tick.
+func (a *Allocator) NoteSQ() { a.sqTicks = append(a.sqTicks, a.tick) }
+
+func anyIn(ticks []int, start, end int) bool {
+	i := sort.SearchInts(ticks, start)
+	return i < len(ticks) && ticks[i] <= end
+}
+
+// Pack assigns locations. Frame slots are allocated from baseSlot upward;
+// the number of slots used is returned. The packing is the greedy
+// priority-ordered interval coloring that TNBIND's global packing phase
+// performs (without backtracking — "a packing method that backtracks can
+// potentially produce better packings than one that does not").
+func (a *Allocator) Pack(baseSlot int) int {
+	sort.Ints(a.callTicks)
+	sort.Ints(a.sqTicks)
+
+	// Values alive on entry to a loop region may be read in any later
+	// iteration: extend them across the whole region. TNs born inside a
+	// region are written before they are read on every iteration, so
+	// their emission-order intervals already describe their conflicts.
+	for changed := true; changed; {
+		changed = false
+		for _, t := range a.TNs {
+			if t.Start < 0 {
+				continue
+			}
+			for _, r := range a.loopRegions {
+				if t.Start < r[0] && t.End >= r[0] && t.End < r[1] {
+					t.End = r[1]
+					changed = true
+				}
+			}
+		}
+	}
+
+	order := make([]*TN, len(a.TNs))
+	copy(order, a.TNs)
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i].Usage > order[j].Usage
+	})
+
+	regUsers := map[uint8][]*TN{}
+	var frameUsers [][]*TN // per slot (relative index)
+
+	fits := func(users []*TN, t *TN) bool {
+		for _, u := range users {
+			if u.overlaps(t) {
+				return false
+			}
+		}
+		return true
+	}
+
+	assignFrame := func(t *TN) {
+		for s := range frameUsers {
+			if fits(frameUsers[s], t) {
+				frameUsers[s] = append(frameUsers[s], t)
+				t.Loc = Loc{Kind: LocFrame, Slot: baseSlot + s}
+				return
+			}
+		}
+		frameUsers = append(frameUsers, []*TN{t})
+		t.Loc = Loc{Kind: LocFrame, Slot: baseSlot + len(frameUsers) - 1}
+	}
+
+	// Pinned TNs take their registers unconditionally; the emitter
+	// guarantees no two pinned TNs of the same register overlap.
+	for _, t := range a.TNs {
+		if t.Fixed != 0 {
+			if t.Start < 0 {
+				t.Start, t.End = 0, 0
+			}
+			regUsers[t.Fixed] = append(regUsers[t.Fixed], t)
+			t.Loc = Loc{Kind: LocReg, Reg: t.Fixed}
+		}
+	}
+
+	for _, t := range order {
+		if t.Fixed != 0 {
+			continue
+		}
+		if t.Start < 0 {
+			// Never touched: give it a frame slot anyway (safety).
+			t.Start, t.End = 0, 0
+		}
+		// A tick strictly inside the interval clobbers: a value consumed
+		// at the call's own tick is read before the call, and one
+		// produced at it is written after.
+		acrossCall := anyIn(a.callTicks, t.Start+1, t.End-1)
+		if a.Naive || t.WantFrame || acrossCall {
+			assignFrame(t)
+			continue
+		}
+		acrossSQ := anyIn(a.sqTicks, t.Start+1, t.End-1)
+		var candidates []uint8
+		if t.PreferRT && !acrossSQ {
+			candidates = append(candidates, s1.RegRTA, s1.RegRTB)
+		}
+		candidates = append(candidates, s1.AllocatableRegs...)
+		placed := false
+		for _, r := range candidates {
+			if fits(regUsers[r], t) {
+				regUsers[r] = append(regUsers[r], t)
+				t.Loc = Loc{Kind: LocReg, Reg: r}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			assignFrame(t)
+		}
+	}
+	return len(frameUsers)
+}

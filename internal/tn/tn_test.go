@@ -1,0 +1,252 @@
+package tn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/s1"
+)
+
+func TestDisjointIntervalsShareRegister(t *testing.T) {
+	a := New(false)
+	t1 := a.NewTN("x")
+	t1.Touch(a.Tick())
+	t1.Touch(a.Tick())
+	t2 := a.NewTN("y")
+	t2.Touch(a.Tick())
+	t2.Touch(a.Tick())
+	a.Pack(0)
+	if t1.Loc.Kind != LocReg || t2.Loc.Kind != LocReg {
+		t.Fatalf("both should get registers: %+v %+v", t1.Loc, t2.Loc)
+	}
+	if t1.Loc.Reg != t2.Loc.Reg {
+		t.Errorf("disjoint TNs should share a register: %v vs %v", t1.Loc, t2.Loc)
+	}
+}
+
+func TestOverlappingIntervalsGetDistinctRegisters(t *testing.T) {
+	a := New(false)
+	t1 := a.NewTN("x")
+	t2 := a.NewTN("y")
+	t1.Touch(a.Tick())
+	t2.Touch(a.Tick())
+	t1.Touch(a.Tick())
+	t2.Touch(a.Tick())
+	a.Pack(0)
+	if t1.Loc.Kind != LocReg || t2.Loc.Kind != LocReg {
+		t.Fatalf("both should get registers")
+	}
+	if t1.Loc.Reg == t2.Loc.Reg {
+		t.Error("overlapping TNs must not share a register")
+	}
+}
+
+func TestAcrossCallForcesFrame(t *testing.T) {
+	// The paper's testfn: "TNBIND determined that e must survive the call
+	// to frotz, while d need not".
+	a := New(false)
+	e := a.NewTN("e")
+	e.Touch(a.Tick())
+	a.Tick()
+	a.NoteCall()
+	e.Touch(a.Tick())
+	d := a.NewTN("d")
+	d.Touch(a.Tick())
+	d.Touch(a.Tick())
+	a.Pack(0)
+	if e.Loc.Kind != LocFrame {
+		t.Errorf("e lives across a call: must be a frame slot, got %+v", e.Loc)
+	}
+	if d.Loc.Kind != LocReg {
+		t.Errorf("d does not survive a call: should get a register, got %+v", d.Loc)
+	}
+}
+
+func TestConsumedAtCallTickStaysInRegister(t *testing.T) {
+	a := New(false)
+	x := a.NewTN("arg")
+	x.Touch(a.Tick())
+	tick := a.Tick()
+	x.Touch(tick) // consumed as a call argument
+	a.NoteCall()  // at the same tick
+	a.Pack(0)
+	if x.Loc.Kind != LocReg {
+		t.Errorf("value consumed at the call tick may use a register, got %+v", x.Loc)
+	}
+}
+
+func TestSQClobberExcludesRT(t *testing.T) {
+	a := New(false)
+	x := a.NewTN("x")
+	x.PreferRT = true
+	x.Touch(a.Tick())
+	a.Tick()
+	a.NoteSQ()
+	x.Touch(a.Tick())
+	a.Pack(0)
+	if x.Loc.Kind != LocReg {
+		t.Fatalf("should still get a general register: %+v", x.Loc)
+	}
+	if x.Loc.Reg == s1.RegRTA || x.Loc.Reg == s1.RegRTB {
+		t.Error("TN across an SQ call must avoid RT registers")
+	}
+}
+
+func TestPreferRT(t *testing.T) {
+	a := New(false)
+	x := a.NewTN("acc")
+	x.PreferRT = true
+	x.Touch(a.Tick())
+	x.Touch(a.Tick())
+	a.Pack(0)
+	if x.Loc.Kind != LocReg || (x.Loc.Reg != s1.RegRTA && x.Loc.Reg != s1.RegRTB) {
+		t.Errorf("PreferRT should land in RTA/RTB: %+v", x.Loc)
+	}
+}
+
+func TestWantFrame(t *testing.T) {
+	a := New(false)
+	x := a.NewTN("pdl")
+	x.WantFrame = true
+	x.Touch(a.Tick())
+	a.Pack(3)
+	if x.Loc.Kind != LocFrame || x.Loc.Slot != 3 {
+		t.Errorf("WantFrame: %+v", x.Loc)
+	}
+}
+
+func TestNaivePacksEverythingToFrame(t *testing.T) {
+	a := New(true)
+	x := a.NewTN("x")
+	x.Touch(a.Tick())
+	y := a.NewTN("y")
+	y.Touch(a.Tick())
+	n := a.Pack(0)
+	if x.Loc.Kind != LocFrame || y.Loc.Kind != LocFrame {
+		t.Error("naive mode must use frame slots")
+	}
+	if n == 0 {
+		t.Error("slot count should be reported")
+	}
+}
+
+func TestFrameSlotReuse(t *testing.T) {
+	a := New(true)
+	t1 := a.NewTN("a")
+	t1.Touch(a.Tick())
+	t1.Touch(a.Tick())
+	t2 := a.NewTN("b")
+	t2.Touch(a.Tick())
+	t2.Touch(a.Tick())
+	n := a.Pack(0)
+	if n != 1 {
+		t.Errorf("disjoint frame TNs should share one slot, used %d", n)
+	}
+}
+
+func TestRegisterPressureSpills(t *testing.T) {
+	a := New(false)
+	var tns []*TN
+	start := a.Tick()
+	for i := 0; i < len(s1.AllocatableRegs)+4; i++ {
+		x := a.NewTN("v")
+		x.Touch(start)
+		tns = append(tns, x)
+	}
+	end := a.Tick()
+	for _, x := range tns {
+		x.Touch(end)
+	}
+	a.Pack(0)
+	spilled := 0
+	seen := map[uint8]bool{}
+	for _, x := range tns {
+		if x.Loc.Kind == LocFrame {
+			spilled++
+		} else {
+			if seen[x.Loc.Reg] {
+				t.Fatalf("register %d double-booked", x.Loc.Reg)
+			}
+			seen[x.Loc.Reg] = true
+		}
+	}
+	if spilled != 4 {
+		t.Errorf("spilled = %d, want 4", spilled)
+	}
+}
+
+func TestHighUsageWins(t *testing.T) {
+	a := New(false)
+	// More TNs than registers, all overlapping; the hot one must get a
+	// register.
+	hot := a.NewTN("hot")
+	start := a.Tick()
+	hot.Touch(start)
+	var rest []*TN
+	for i := 0; i < len(s1.AllocatableRegs)+2; i++ {
+		x := a.NewTN("cold")
+		x.Touch(start)
+		rest = append(rest, x)
+	}
+	for i := 0; i < 10; i++ {
+		hot.Touch(a.Tick())
+	}
+	end := a.Tick()
+	hot.Touch(end)
+	for _, x := range rest {
+		x.Touch(end)
+	}
+	a.Pack(0)
+	if hot.Loc.Kind != LocReg {
+		t.Errorf("high-usage TN should win a register: %+v", hot.Loc)
+	}
+}
+
+// Property: no two register-allocated TNs with overlapping intervals
+// share a register, and frame TNs never collide either.
+func TestPackingSoundness(t *testing.T) {
+	f := func(seed []byte) bool {
+		a := New(false)
+		var tns []*TN
+		for i, b := range seed {
+			if i >= 40 {
+				break
+			}
+			x := a.NewTN("t")
+			x.PreferRT = b&1 != 0
+			x.WantFrame = b&2 != 0
+			x.Touch(a.Tick())
+			if b&4 != 0 {
+				a.NoteCall()
+				a.Tick()
+			}
+			if b&8 != 0 {
+				a.NoteSQ()
+				a.Tick()
+			}
+			x.Touch(a.Tick())
+			tns = append(tns, x)
+			if b&16 != 0 && len(tns) > 1 {
+				tns[len(tns)-2].Touch(a.Tick()) // extend previous interval
+			}
+		}
+		a.Pack(0)
+		for i, x := range tns {
+			for _, y := range tns[i+1:] {
+				if !x.overlaps(y) {
+					continue
+				}
+				if x.Loc.Kind == LocReg && y.Loc.Kind == LocReg && x.Loc.Reg == y.Loc.Reg {
+					return false
+				}
+				if x.Loc.Kind == LocFrame && y.Loc.Kind == LocFrame && x.Loc.Slot == y.Loc.Slot {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/sexp"
+)
+
+// BackTranslate converts an internal tree back into source code,
+// "equivalent to, though not necessarily identical to, the original
+// source" (§4.1). It is the debugging aid used throughout the paper's
+// transcripts, and the optimizer's golden tests rely on it.
+//
+// As in the paper, quote forms around self-evaluating constants (numbers,
+// strings, characters, t and nil) are omitted for readability.
+func BackTranslate(n Node) sexp.Value {
+	return (&backTranslator{}).node(n)
+}
+
+// BackTranslateUnique is BackTranslate but renames every variable to
+// name#id so that distinct same-named variables are distinguishable.
+func BackTranslateUnique(n Node) sexp.Value {
+	return (&backTranslator{unique: true}).node(n)
+}
+
+// Show renders a node as printed source, the form used in compiler
+// transcripts.
+func Show(n Node) string { return sexp.Print(BackTranslate(n)) }
+
+type backTranslator struct {
+	unique bool
+}
+
+func (bt *backTranslator) varName(v *Var) sexp.Value {
+	if bt.unique {
+		return sexp.Intern(fmt.Sprintf("%s#%d", v.Name.Name, v.ID))
+	}
+	return v.Name
+}
+
+func (bt *backTranslator) node(n Node) sexp.Value {
+	switch x := n.(type) {
+	case *Literal:
+		if selfEvaluating(x.Value) {
+			return x.Value
+		}
+		return sexp.List(sexp.SymQuote, x.Value)
+	case *VarRef:
+		return bt.varName(x.Var)
+	case *FunRef:
+		return sexp.List(sexp.SymFunction, x.Name)
+	case *Setq:
+		return sexp.List(sexp.Intern("setq"), bt.varName(x.Var), bt.node(x.Value))
+	case *If:
+		return sexp.List(sexp.Intern("if"), bt.node(x.Test), bt.node(x.Then), bt.node(x.Else))
+	case *Progn:
+		items := []sexp.Value{sexp.Intern("progn")}
+		for _, f := range x.Forms {
+			items = append(items, bt.node(f))
+		}
+		return sexp.List(items...)
+	case *Call:
+		var items []sexp.Value
+		switch fn := x.Fn.(type) {
+		case *FunRef:
+			items = append(items, fn.Name)
+		case *VarRef:
+			// The paper prints calls through variables directly: (f).
+			items = append(items, bt.varName(fn.Var))
+		default:
+			items = append(items, bt.node(x.Fn))
+		}
+		for _, a := range x.Args {
+			items = append(items, bt.node(a))
+		}
+		return sexp.List(items...)
+	case *Lambda:
+		return sexp.List(sexp.SymLambda, bt.lambdaList(x), bt.node(x.Body))
+	case *ProgBody:
+		items := []sexp.Value{sexp.Intern("progbody")}
+		// Interleave tags and forms.
+		ti := 0
+		for i := 0; i <= len(x.Forms); i++ {
+			for ti < len(x.Tags) && x.Tags[ti].Index == i {
+				items = append(items, x.Tags[ti].Name)
+				ti++
+			}
+			if i < len(x.Forms) {
+				items = append(items, bt.node(x.Forms[i]))
+			}
+		}
+		return sexp.List(items...)
+	case *Go:
+		return sexp.List(sexp.Intern("go"), x.Tag)
+	case *Return:
+		return sexp.List(sexp.Intern("return"), bt.node(x.Value))
+	case *Catcher:
+		return sexp.List(sexp.Intern("catch"), bt.node(x.Tag), bt.node(x.Body))
+	case *Caseq:
+		items := []sexp.Value{sexp.Intern("caseq"), bt.node(x.Key)}
+		for _, c := range x.Clauses {
+			keys := make([]sexp.Value, len(c.Keys))
+			copy(keys, c.Keys)
+			items = append(items, sexp.List(sexp.List(keys...), bt.node(c.Body)))
+		}
+		if x.Default != nil {
+			items = append(items, sexp.List(sexp.T, bt.node(x.Default)))
+		}
+		return sexp.List(items...)
+	}
+	panic(fmt.Sprintf("tree: BackTranslate: unknown node %T", n))
+}
+
+func (bt *backTranslator) lambdaList(l *Lambda) sexp.Value {
+	var items []sexp.Value
+	for _, v := range l.Required {
+		items = append(items, bt.varName(v))
+	}
+	if len(l.Optional) > 0 {
+		items = append(items, sexp.SymOptional)
+		for _, o := range l.Optional {
+			items = append(items, sexp.List(bt.varName(o.Var), bt.node(o.Default)))
+		}
+	}
+	if l.Rest != nil {
+		items = append(items, sexp.SymRest, bt.varName(l.Rest))
+	}
+	return sexp.List(items...)
+}
+
+func selfEvaluating(v sexp.Value) bool {
+	switch v.(type) {
+	case sexp.Fixnum, *sexp.Bignum, *sexp.Ratio, sexp.Flonum,
+		sexp.String, sexp.Character:
+		return true
+	}
+	return v == sexp.Value(sexp.Nil) || v == sexp.Value(sexp.T)
+}

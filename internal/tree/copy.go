@@ -1,0 +1,185 @@
+package tree
+
+import (
+	"fmt"
+
+	"repro/internal/sexp"
+)
+
+// Copy returns a deep copy of the subtree rooted at n. Variables bound by
+// lambdas *inside* the subtree get fresh Var records (preserving the
+// uniform-renaming invariant); references to variables bound outside the
+// subtree point at the original Vars, with the copies registered on their
+// back-pointer lists. Go/Return nodes targeting progbodies inside the
+// subtree are retargeted to the copies.
+//
+// Copy is what makes duplication-based transformations (substituting a
+// small expression for several variable occurrences, loop unrolling) safe.
+func Copy(n Node) Node {
+	c := &copier{
+		vars:   map[*Var]*Var{},
+		bodies: map[*ProgBody]*ProgBody{},
+	}
+	out := c.node(n)
+	c.fixJumps()
+	return out
+}
+
+type copier struct {
+	vars    map[*Var]*Var
+	bodies  map[*ProgBody]*ProgBody
+	gos     []*Go
+	returns []*Return
+}
+
+func (c *copier) mapVar(v *Var) *Var {
+	if v == nil {
+		return nil
+	}
+	if nv, ok := c.vars[v]; ok {
+		return nv
+	}
+	return v
+}
+
+func (c *copier) freshVar(v *Var) *Var {
+	if v == nil {
+		return nil
+	}
+	nv := NewVar(v.Name)
+	nv.Special = v.Special
+	c.vars[v] = nv
+	return nv
+}
+
+func (c *copier) node(n Node) Node {
+	switch x := n.(type) {
+	case *Literal:
+		out := NewLiteral(x.Value)
+		out.NodeInfo = copyInfo(x.NodeInfo)
+		return out
+	case *VarRef:
+		out := NewRef(c.mapVar(x.Var))
+		out.NodeInfo = copyInfo(x.NodeInfo)
+		return out
+	case *FunRef:
+		return &FunRef{NodeInfo: copyInfo(x.NodeInfo), Name: x.Name}
+	case *Setq:
+		// Copy the value first: the variable may be bound by an enclosing
+		// lambda already copied (then it is in c.vars) or be free.
+		val := c.node(x.Value)
+		out := NewSetq(c.mapVar(x.Var), val)
+		out.NodeInfo = copyInfo(x.NodeInfo)
+		return out
+	case *If:
+		return &If{NodeInfo: copyInfo(x.NodeInfo),
+			Test: c.node(x.Test), Then: c.node(x.Then), Else: c.node(x.Else)}
+	case *Progn:
+		out := &Progn{NodeInfo: copyInfo(x.NodeInfo), Forms: make([]Node, len(x.Forms))}
+		for i, f := range x.Forms {
+			out.Forms[i] = c.node(f)
+		}
+		return out
+	case *Call:
+		out := &Call{NodeInfo: copyInfo(x.NodeInfo), Fn: c.node(x.Fn),
+			Args: make([]Node, len(x.Args))}
+		for i, a := range x.Args {
+			out.Args[i] = c.node(a)
+		}
+		return out
+	case *Lambda:
+		out := &Lambda{NodeInfo: copyInfo(x.NodeInfo), Name: x.Name,
+			Strategy: x.Strategy}
+		out.Required = make([]*Var, len(x.Required))
+		for i, v := range x.Required {
+			out.Required[i] = c.freshVar(v)
+			out.Required[i].Binder = out
+		}
+		out.Optional = make([]OptParam, len(x.Optional))
+		for i, o := range x.Optional {
+			nv := c.freshVar(o.Var)
+			nv.Binder = out
+			// Defaults may refer to earlier parameters; vars map is
+			// already populated for them.
+			out.Optional[i] = OptParam{Var: nv, Default: c.node(o.Default)}
+		}
+		if x.Rest != nil {
+			out.Rest = c.freshVar(x.Rest)
+			out.Rest.Binder = out
+		}
+		out.Body = c.node(x.Body)
+		return out
+	case *ProgBody:
+		out := &ProgBody{NodeInfo: copyInfo(x.NodeInfo),
+			Forms: make([]Node, len(x.Forms)),
+			Tags:  append([]ProgTag(nil), x.Tags...)}
+		c.bodies[x] = out
+		for i, f := range x.Forms {
+			out.Forms[i] = c.node(f)
+		}
+		return out
+	case *Go:
+		out := &Go{NodeInfo: copyInfo(x.NodeInfo), Tag: x.Tag, Target: x.Target}
+		c.gos = append(c.gos, out)
+		return out
+	case *Return:
+		out := &Return{NodeInfo: copyInfo(x.NodeInfo), Value: c.node(x.Value),
+			Target: x.Target}
+		c.returns = append(c.returns, out)
+		return out
+	case *Catcher:
+		return &Catcher{NodeInfo: copyInfo(x.NodeInfo),
+			Tag: c.node(x.Tag), Body: c.node(x.Body)}
+	case *Caseq:
+		out := &Caseq{NodeInfo: copyInfo(x.NodeInfo), Key: c.node(x.Key)}
+		for _, cl := range x.Clauses {
+			out.Clauses = append(out.Clauses, CaseClause{
+				Keys: append([]sexp.Value(nil), cl.Keys...), Body: c.node(cl.Body)})
+		}
+		if x.Default != nil {
+			out.Default = c.node(x.Default)
+		}
+		return out
+	}
+	panic(fmt.Sprintf("tree: Copy: unknown node %T", n))
+}
+
+// fixJumps retargets copied go/return nodes whose progbody was inside the
+// copied region.
+func (c *copier) fixJumps() {
+	for _, g := range c.gos {
+		if nb, ok := c.bodies[g.Target]; ok {
+			g.Target = nb
+		}
+	}
+	for _, r := range c.returns {
+		if nb, ok := c.bodies[r.Target]; ok {
+			r.Target = nb
+		}
+	}
+}
+
+// copyInfo duplicates the analysis slots but clears the parent link (the
+// copy will be relinked) and the VarSets (stale after renaming).
+func copyInfo(in Info) Info {
+	out := in
+	out.Parent = nil
+	out.Reads = nil
+	out.Writes = nil
+	out.Dirty = true
+	return out
+}
+
+// Detach removes a subtree's variable back-pointers: every VarRef and
+// Setq below n is dropped from its Var's lists. Call when the optimizer
+// discards a subtree so that reference counts stay accurate.
+func Detach(n Node) {
+	PostWalk(n, func(m Node) {
+		switch x := m.(type) {
+		case *VarRef:
+			x.Var.DropRef(x)
+		case *Setq:
+			x.Var.DropSet(x)
+		}
+	})
+}

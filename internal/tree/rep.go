@@ -1,0 +1,128 @@
+package tree
+
+// Rep is an internal object representation (Table 3 of the paper). The
+// representation analysis of §6.2 annotates every node with a desired
+// representation (WANTREP, top-down) and a deliverable representation
+// (ISREP, bottom-up); code generation inserts coercions where they differ.
+type Rep int
+
+// The representation set of Table 3. Our simulated machine has 64-bit
+// words, so the single-word representations are the active ones; the
+// double/half/two-word and complex entries are retained for fidelity to
+// the table and map onto single words (see DESIGN.md §2).
+const (
+	RepUnknown Rep = iota
+	RepSWFIX       // 36-bit integer (one machine word)
+	RepDWFIX       // 72-bit integer
+	RepHWFLO       // 18-bit floating-point number
+	RepSWFLO       // 36-bit floating-point number (one machine word)
+	RepDWFLO       // 72-bit floating-point number
+	RepTWFLO       // 144-bit floating-point number
+	RepHWCPLX      // 36-bit complex floating-point number
+	RepSWCPLX      // 72-bit complex floating-point number
+	RepDWCPLX      // 144-bit complex floating-point number
+	RepTWCPLX      // 288-bit complex floating-point number
+	RepPOINTER     // LISP pointer
+	RepBIT         // 1-bit integer
+	RepJUMP        // conditional jump
+	RepNONE        // don't care (value not used)
+)
+
+var repNames = map[Rep]string{
+	RepUnknown: "UNKNOWN", RepSWFIX: "SWFIX", RepDWFIX: "DWFIX",
+	RepHWFLO: "HWFLO", RepSWFLO: "SWFLO", RepDWFLO: "DWFLO",
+	RepTWFLO: "TWFLO", RepHWCPLX: "HWCPLX", RepSWCPLX: "SWCPLX",
+	RepDWCPLX: "DWCPLX", RepTWCPLX: "TWCPLX", RepPOINTER: "POINTER",
+	RepBIT: "BIT", RepJUMP: "JUMP", RepNONE: "NONE",
+}
+
+func (r Rep) String() string {
+	if s, ok := repNames[r]; ok {
+		return s
+	}
+	return "Rep?"
+}
+
+// Raw reports whether r is a "raw machine number" representation (as
+// opposed to the pointer world).
+func (r Rep) Raw() bool {
+	switch r {
+	case RepSWFIX, RepDWFIX, RepHWFLO, RepSWFLO, RepDWFLO, RepTWFLO,
+		RepHWCPLX, RepSWCPLX, RepDWCPLX, RepTWCPLX, RepBIT:
+		return true
+	}
+	return false
+}
+
+// Numeric reports whether r is one of the numeric raw representations that
+// have corresponding heap-allocated pointer forms — the pdl-number
+// eligible set of §6.3.
+func (r Rep) Numeric() bool {
+	switch r {
+	case RepSWFLO, RepDWFLO, RepTWFLO, RepHWCPLX, RepSWCPLX, RepDWCPLX, RepTWCPLX:
+		return true
+	}
+	return false
+}
+
+// Effect is a classification of the side effects a subtree may produce or
+// be sensitive to (§4.2 side-effects analysis). It is a bit set.
+type Effect uint8
+
+// Effect bits.
+const (
+	// EffAlloc: heap allocation — "a side effect that may be eliminated
+	// but must not be duplicated".
+	EffAlloc Effect = 1 << iota
+	// EffWrite: writes observable state (setq of a shared/special/global
+	// variable, rplaca/rplacd, array store, I/O).
+	EffWrite
+	// EffRead: reads mutable state, so the value is sensitive to writes.
+	EffRead
+	// EffControl: may transfer control non-locally (go, return, throw) or
+	// signal an error.
+	EffControl
+	// EffCall: calls an unknown function, which may do anything above.
+	EffCall
+)
+
+// EffNone is the empty effect set.
+const EffNone Effect = 0
+
+// EffAny is the top of the lattice.
+const EffAny = EffAlloc | EffWrite | EffRead | EffControl | EffCall
+
+// Pure reports the subtree has no effects at all.
+func (e Effect) Pure() bool { return e == EffNone }
+
+// PureExceptAlloc reports the subtree's only possible effect is heap
+// allocation (safe to delete, unsafe to duplicate).
+func (e Effect) PureExceptAlloc() bool { return e&^EffAlloc == 0 }
+
+// Observable reports whether execution can be observed by other code
+// (writes, control transfer, unknown calls) — such effects may be neither
+// deleted nor reordered across each other.
+func (e Effect) Observable() bool {
+	return e&(EffWrite|EffControl|EffCall) != 0
+}
+
+func (e Effect) String() string {
+	if e == 0 {
+		return "pure"
+	}
+	s := ""
+	add := func(bit Effect, name string) {
+		if e&bit != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += name
+		}
+	}
+	add(EffAlloc, "alloc")
+	add(EffWrite, "write")
+	add(EffRead, "read")
+	add(EffControl, "control")
+	add(EffCall, "call")
+	return s
+}

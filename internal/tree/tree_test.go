@@ -1,0 +1,412 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sexp"
+)
+
+// buildLet constructs ((lambda (v) body) init) by hand.
+func buildLet(name string, init Node, mkBody func(v *Var) Node) *Call {
+	v := NewVar(sexp.Intern(name))
+	l := &Lambda{Required: []*Var{v}}
+	v.Binder = l
+	l.Body = mkBody(v)
+	return &Call{Fn: l, Args: []Node{init}}
+}
+
+func TestBackTranslateBasics(t *testing.T) {
+	// ((lambda (x) (if x x 1)) 42)
+	n := buildLet("x", NewLiteral(sexp.Fixnum(42)), func(v *Var) Node {
+		return &If{Test: NewRef(v), Then: NewRef(v), Else: NewLiteral(sexp.Fixnum(1))}
+	})
+	got := Show(n)
+	want := "((lambda (x) (if x x 1)) 42)"
+	if got != want {
+		t.Errorf("Show = %s, want %s", got, want)
+	}
+}
+
+func TestBackTranslateQuoting(t *testing.T) {
+	cases := []struct {
+		v    sexp.Value
+		want string
+	}{
+		{sexp.Fixnum(3), "3"},
+		{sexp.Flonum(2), "2.0"},
+		{sexp.Nil, "nil"},
+		{sexp.T, "t"},
+		{sexp.String("s"), `"s"`},
+		{sexp.Intern("foo"), "'foo"},
+		{sexp.MustRead("(1 2)"), "'(1 2)"},
+	}
+	for _, c := range cases {
+		if got := Show(NewLiteral(c.v)); got != c.want {
+			t.Errorf("literal %s prints %s, want %s", sexp.Print(c.v), got, c.want)
+		}
+	}
+}
+
+func TestBackTranslateLambdaList(t *testing.T) {
+	a := NewVar(sexp.Intern("a"))
+	b := NewVar(sexp.Intern("b"))
+	c := NewVar(sexp.Intern("c"))
+	r := NewVar(sexp.Intern("more"))
+	l := &Lambda{
+		Required: []*Var{a},
+		Optional: []OptParam{
+			{Var: b, Default: NewLiteral(sexp.Flonum(3))},
+			{Var: c, Default: NewRef(a)},
+		},
+		Rest: r,
+	}
+	for _, v := range []*Var{a, b, c, r} {
+		v.Binder = l
+	}
+	l.Body = NewRef(a)
+	got := Show(l)
+	want := "(lambda (a &optional (b 3.0) (c a) &rest more) a)"
+	if got != want {
+		t.Errorf("got %s want %s", got, want)
+	}
+}
+
+func TestBackTranslateProgBodyGoReturn(t *testing.T) {
+	pb := &ProgBody{}
+	g := &Go{Tag: sexp.Intern("loop"), Target: pb}
+	r := &Return{Value: NewLiteral(sexp.Fixnum(7)), Target: pb}
+	pb.Forms = []Node{g, r}
+	pb.Tags = []ProgTag{{Name: sexp.Intern("loop"), Index: 0}}
+	got := Show(pb)
+	want := "(progbody loop (go loop) (return 7))"
+	if got != want {
+		t.Errorf("got %s want %s", got, want)
+	}
+	if err := Validate(pb); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestBackTranslateCaseqCatcher(t *testing.T) {
+	k := NewVar(sexp.Intern("k"))
+	l := &Lambda{Required: []*Var{k}}
+	k.Binder = l
+	cq := &Caseq{
+		Key: NewRef(k),
+		Clauses: []CaseClause{
+			{Keys: []sexp.Value{sexp.Fixnum(1), sexp.Fixnum(2)}, Body: NewLiteral(sexp.Intern("small"))},
+		},
+		Default: NewLiteral(sexp.Intern("big")),
+	}
+	l.Body = cq
+	got := Show(l)
+	want := "(lambda (k) (caseq k ((1 2) 'small) (t 'big)))"
+	if got != want {
+		t.Errorf("got %s want %s", got, want)
+	}
+	cat := &Catcher{Tag: NewLiteral(sexp.Intern("done")), Body: NewLiteral(sexp.Fixnum(1))}
+	if got := Show(cat); got != "(catch 'done 1)" {
+		t.Errorf("catcher prints %s", got)
+	}
+}
+
+func TestVarBackPointers(t *testing.T) {
+	v := NewVar(sexp.Intern("x"))
+	r1 := NewRef(v)
+	r2 := NewRef(v)
+	s := NewSetq(v, NewLiteral(sexp.Fixnum(1)))
+	if len(v.Refs) != 2 || len(v.Sets) != 1 {
+		t.Fatalf("backpointers: %d refs %d sets", len(v.Refs), len(v.Sets))
+	}
+	if !v.Assigned() {
+		t.Error("Assigned should be true")
+	}
+	v.DropRef(r1)
+	if len(v.Refs) != 1 || v.Refs[0] != r2 {
+		t.Error("DropRef failed")
+	}
+	v.DropSet(s)
+	if v.Assigned() {
+		t.Error("DropSet failed")
+	}
+}
+
+func TestVarSetOps(t *testing.T) {
+	a, b, c := NewVar(sexp.Intern("a")), NewVar(sexp.Intern("b")), NewVar(sexp.Intern("c"))
+	s := NewVarSet(a, b)
+	if !s.Has(a) || s.Has(c) {
+		t.Error("membership")
+	}
+	u := s.Union(NewVarSet(c))
+	if !u.Has(c) {
+		t.Error("union")
+	}
+	w := u.Without(a)
+	if w.Has(a) || !w.Has(b) {
+		t.Error("without")
+	}
+	if !u.Intersects(NewVarSet(c)) || u.Intersects(NewVarSet()) {
+		t.Error("intersects")
+	}
+	var nilSet VarSet
+	if nilSet.Has(a) {
+		t.Error("nil set has nothing")
+	}
+	if got := nilSet.Add(a); !got.Has(a) {
+		t.Error("Add on nil set")
+	}
+	sorted := u.Sorted()
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].ID >= sorted[i].ID {
+			t.Error("Sorted not ordered")
+		}
+	}
+}
+
+func TestChildrenAndReplace(t *testing.T) {
+	n := buildLet("x", NewLiteral(sexp.Fixnum(1)), func(v *Var) Node {
+		return &Progn{Forms: []Node{NewRef(v), NewLiteral(sexp.Fixnum(2))}}
+	})
+	kids := Children(n)
+	if len(kids) != 2 {
+		t.Fatalf("call children = %d", len(kids))
+	}
+	// Replace the argument.
+	rep := NewLiteral(sexp.Fixnum(9))
+	ReplaceChild(n, n.Args[0], rep)
+	if n.Args[0] != Node(rep) {
+		t.Error("ReplaceChild on call arg failed")
+	}
+	// Replace inside progn.
+	l := n.Fn.(*Lambda)
+	pg := l.Body.(*Progn)
+	nn := NewLiteral(sexp.Fixnum(3))
+	ReplaceChild(pg, pg.Forms[1], nn)
+	if pg.Forms[1] != Node(nn) {
+		t.Error("ReplaceChild in progn failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ReplaceChild of non-child should panic")
+		}
+	}()
+	ReplaceChild(pg, NewLiteral(sexp.Fixnum(0)), nn)
+}
+
+func TestComputeParentsAndEnclosingLambda(t *testing.T) {
+	n := buildLet("x", NewLiteral(sexp.Fixnum(1)), func(v *Var) Node {
+		return &If{Test: NewRef(v), Then: NewRef(v), Else: NilLiteral()}
+	})
+	ComputeParents(n)
+	l := n.Fn.(*Lambda)
+	iff := l.Body.(*If)
+	if iff.Info().Parent != Node(l) {
+		t.Error("if's parent should be lambda")
+	}
+	if iff.Test.Info().Parent != Node(iff) {
+		t.Error("test's parent should be if")
+	}
+	if EnclosingLambda(iff.Test) != l {
+		t.Error("EnclosingLambda")
+	}
+	if n.Info().Parent != nil {
+		t.Error("root parent should be nil")
+	}
+	if EnclosingLambda(n) != nil {
+		t.Error("no enclosing lambda at root")
+	}
+}
+
+func TestWalkOrders(t *testing.T) {
+	n := buildLet("x", NewLiteral(sexp.Fixnum(1)), func(v *Var) Node {
+		return NewRef(v)
+	})
+	var pre, post []Kind
+	Walk(n, func(m Node) bool { pre = append(pre, m.Kind()); return true })
+	PostWalk(n, func(m Node) { post = append(post, m.Kind()) })
+	if pre[0] != KindCall || post[len(post)-1] != KindCall {
+		t.Errorf("orders wrong: pre=%v post=%v", pre, post)
+	}
+	if CountNodes(n) != 4 { // call, lambda, varref, literal
+		t.Errorf("CountNodes = %d", CountNodes(n))
+	}
+	// Pruned walk.
+	count := 0
+	Walk(n, func(m Node) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("pruned walk visited %d", count)
+	}
+}
+
+func TestCopyFreshensBoundVars(t *testing.T) {
+	orig := buildLet("x", NewLiteral(sexp.Fixnum(1)), func(v *Var) Node {
+		return &Progn{Forms: []Node{NewRef(v), NewSetq(v, NewLiteral(sexp.Fixnum(2)))}}
+	})
+	cp := Copy(orig).(*Call)
+	ol := orig.Fn.(*Lambda)
+	cl := cp.Fn.(*Lambda)
+	if ol.Required[0] == cl.Required[0] {
+		t.Fatal("copy did not freshen bound variable")
+	}
+	// The copy's references point at the fresh var and are registered.
+	cref := cl.Body.(*Progn).Forms[0].(*VarRef)
+	if cref.Var != cl.Required[0] {
+		t.Error("copied ref points at wrong var")
+	}
+	if len(cl.Required[0].Refs) != 1 || len(cl.Required[0].Sets) != 1 {
+		t.Errorf("fresh var backpointers: %d refs %d sets",
+			len(cl.Required[0].Refs), len(cl.Required[0].Sets))
+	}
+	// Original unchanged.
+	if len(ol.Required[0].Refs) != 1 || len(ol.Required[0].Sets) != 1 {
+		t.Error("original var backpointers disturbed")
+	}
+	if err := Validate(cp); err != nil {
+		t.Errorf("Validate(copy): %v", err)
+	}
+}
+
+func TestCopyFreeVarsShared(t *testing.T) {
+	free := NewVar(sexp.Intern("g"))
+	n := &Progn{Forms: []Node{NewRef(free)}}
+	cp := Copy(n).(*Progn)
+	if cp.Forms[0].(*VarRef).Var != free {
+		t.Error("free var should be shared")
+	}
+	if len(free.Refs) != 2 {
+		t.Errorf("free var should have both refs registered, got %d", len(free.Refs))
+	}
+}
+
+func TestCopyRetargetsJumps(t *testing.T) {
+	pb := &ProgBody{}
+	pb.Forms = []Node{&Go{Tag: sexp.Intern("l"), Target: pb}}
+	pb.Tags = []ProgTag{{Name: sexp.Intern("l"), Index: 0}}
+	cp := Copy(pb).(*ProgBody)
+	if cp.Forms[0].(*Go).Target != cp {
+		t.Error("go inside copied progbody must retarget")
+	}
+	// A go targeting an *outer* progbody keeps its target.
+	outer := &ProgBody{}
+	inner := &Progn{Forms: []Node{&Go{Tag: sexp.Intern("x"), Target: outer}}}
+	cpi := Copy(inner).(*Progn)
+	if cpi.Forms[0].(*Go).Target != outer {
+		t.Error("go to outer progbody should keep target")
+	}
+}
+
+func TestDetach(t *testing.T) {
+	v := NewVar(sexp.Intern("x"))
+	n := &Progn{Forms: []Node{NewRef(v), NewSetq(v, NewLiteral(sexp.Fixnum(1)))}}
+	Detach(n)
+	if len(v.Refs) != 0 || len(v.Sets) != 0 {
+		t.Error("Detach should clear backpointers")
+	}
+}
+
+func TestValidateCatchesBrokenBackPointer(t *testing.T) {
+	v := NewVar(sexp.Intern("x"))
+	bad := &VarRef{Var: v} // not registered
+	n := &Progn{Forms: []Node{bad}}
+	if err := Validate(n); err == nil {
+		t.Error("Validate should reject unregistered reference")
+	}
+	v2 := NewVar(sexp.Intern("y"))
+	bads := &Setq{Var: v2, Value: NilLiteral()}
+	if err := Validate(&Progn{Forms: []Node{bads}}); err == nil {
+		t.Error("Validate should reject unregistered setq")
+	}
+}
+
+func TestValidateCatchesOutOfScopeGo(t *testing.T) {
+	other := &ProgBody{Tags: []ProgTag{{Name: sexp.Intern("l"), Index: 0}}}
+	g := &Go{Tag: sexp.Intern("l"), Target: other}
+	if err := Validate(&Progn{Forms: []Node{g}}); err == nil {
+		t.Error("Validate should reject go to out-of-scope progbody")
+	}
+	pb := &ProgBody{Forms: []Node{&Go{Tag: sexp.Intern("missing"), Target: nil}}}
+	pb.Forms[0].(*Go).Target = pb
+	if err := Validate(pb); err == nil {
+		t.Error("Validate should reject go to missing tag")
+	}
+}
+
+func TestRepProperties(t *testing.T) {
+	raws := []Rep{RepSWFIX, RepSWFLO, RepBIT, RepDWFLO, RepSWCPLX}
+	for _, r := range raws {
+		if !r.Raw() {
+			t.Errorf("%v should be raw", r)
+		}
+	}
+	for _, r := range []Rep{RepPOINTER, RepJUMP, RepNONE, RepUnknown} {
+		if r.Raw() {
+			t.Errorf("%v should not be raw", r)
+		}
+	}
+	// The pdl-eligible set: floats and complexes but not fixnums (fixnums
+	// are immediate in pointer world).
+	if !RepSWFLO.Numeric() || RepSWFIX.Numeric() || RepPOINTER.Numeric() {
+		t.Error("Numeric classification wrong")
+	}
+	if RepSWFLO.String() != "SWFLO" || RepPOINTER.String() != "POINTER" {
+		t.Error("Rep names")
+	}
+}
+
+func TestEffectLattice(t *testing.T) {
+	if !EffNone.Pure() || EffAlloc.Pure() {
+		t.Error("Pure")
+	}
+	if !EffAlloc.PureExceptAlloc() || (EffAlloc | EffWrite).PureExceptAlloc() {
+		t.Error("PureExceptAlloc")
+	}
+	if EffRead.Observable() || !EffWrite.Observable() || !EffCall.Observable() {
+		t.Error("Observable")
+	}
+	s := (EffAlloc | EffControl).String()
+	if !strings.Contains(s, "alloc") || !strings.Contains(s, "control") {
+		t.Errorf("Effect string = %q", s)
+	}
+	if EffNone.String() != "pure" {
+		t.Error("EffNone string")
+	}
+}
+
+func TestLambdaArity(t *testing.T) {
+	a, b := NewVar(sexp.Intern("a")), NewVar(sexp.Intern("b"))
+	l := &Lambda{Required: []*Var{a}, Optional: []OptParam{{Var: b, Default: NilLiteral()}}}
+	if l.MinArgs() != 1 || l.MaxArgs() != 2 {
+		t.Errorf("arity = %d..%d", l.MinArgs(), l.MaxArgs())
+	}
+	l.Rest = NewVar(sexp.Intern("r"))
+	if l.MaxArgs() != -1 {
+		t.Error("rest lambda max arity should be -1")
+	}
+	ps := l.Params()
+	if len(ps) != 3 || ps[0] != a || ps[1] != b {
+		t.Error("Params order")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KindLambda.String() != "lambda" || KindProgBody.String() != "progbody" {
+		t.Error("kind names")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still print")
+	}
+	if StrategyFullClosure.String() != "FULL-CLOSURE" || StrategyUnknown.String() != "UNKNOWN" {
+		t.Error("strategy names")
+	}
+}
+
+func TestBackTranslateUnique(t *testing.T) {
+	n := buildLet("x", NewLiteral(sexp.Fixnum(1)), func(v *Var) Node {
+		return NewRef(v)
+	})
+	s := sexp.Print(BackTranslateUnique(n))
+	if !strings.Contains(s, "x#") {
+		t.Errorf("unique back-translation should tag vars: %s", s)
+	}
+}

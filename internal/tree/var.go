@@ -1,0 +1,147 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/sexp"
+)
+
+// Var is the little data structure associated with every distinct variable
+// ("two variables with the same name may be distinct because of scoping
+// rules"). The binder and all references point at it, and it points back.
+type Var struct {
+	Name *sexp.Symbol
+	// ID makes distinct same-named variables distinguishable in debug
+	// output.
+	ID int64
+	// Special marks dynamic scoping (the LISP term is "special").
+	Special bool
+	// Binder is the lambda that binds this variable, or nil for free
+	// (global or special) variables.
+	Binder *Lambda
+	// Refs and Sets are back-pointers to every reference and assignment.
+	Refs []*VarRef
+	Sets []*Setq
+
+	// Binding annotation (§4.4): Closed marks variables referred to by
+	// inner closures, which therefore require heap allocation.
+	Closed bool
+}
+
+var varCounter int64
+
+// NewVar creates a fresh variable record.
+func NewVar(name *sexp.Symbol) *Var {
+	return &Var{Name: name, ID: atomic.AddInt64(&varCounter, 1)}
+}
+
+// String renders the variable for diagnostics as name#id.
+func (v *Var) String() string {
+	if v == nil {
+		return "<nil-var>"
+	}
+	return fmt.Sprintf("%s#%d", v.Name.Name, v.ID)
+}
+
+// DropRef removes a reference from the back-pointer list (used when the
+// optimizer deletes or replaces a reference node).
+func (v *Var) DropRef(r *VarRef) {
+	for i, x := range v.Refs {
+		if x == r {
+			v.Refs = append(v.Refs[:i], v.Refs[i+1:]...)
+			return
+		}
+	}
+}
+
+// DropSet removes an assignment back-pointer.
+func (v *Var) DropSet(s *Setq) {
+	for i, x := range v.Sets {
+		if x == s {
+			v.Sets = append(v.Sets[:i], v.Sets[i+1:]...)
+			return
+		}
+	}
+}
+
+// Assigned reports whether the variable is ever setq'd.
+func (v *Var) Assigned() bool { return len(v.Sets) > 0 }
+
+// VarSet is a set of variables.
+type VarSet map[*Var]struct{}
+
+// NewVarSet builds a set from vars.
+func NewVarSet(vars ...*Var) VarSet {
+	s := make(VarSet, len(vars))
+	for _, v := range vars {
+		s[v] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts v, allocating the set if needed, and returns it.
+func (s VarSet) Add(v *Var) VarSet {
+	if s == nil {
+		s = VarSet{}
+	}
+	s[v] = struct{}{}
+	return s
+}
+
+// Has reports membership.
+func (s VarSet) Has(v *Var) bool {
+	_, ok := s[v]
+	return ok
+}
+
+// Union merges o into s (allocating if needed) and returns the result.
+func (s VarSet) Union(o VarSet) VarSet {
+	if len(o) == 0 {
+		return s
+	}
+	if s == nil {
+		s = make(VarSet, len(o))
+	}
+	for v := range o {
+		s[v] = struct{}{}
+	}
+	return s
+}
+
+// Without returns a copy of s with the given vars removed.
+func (s VarSet) Without(vars ...*Var) VarSet {
+	out := make(VarSet, len(s))
+	for v := range s {
+		out[v] = struct{}{}
+	}
+	for _, v := range vars {
+		delete(out, v)
+	}
+	return out
+}
+
+// Intersects reports whether the sets share an element.
+func (s VarSet) Intersects(o VarSet) bool {
+	small, large := s, o
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	for v := range small {
+		if large.Has(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Sorted returns the variables ordered by ID (deterministic output).
+func (s VarSet) Sorted() []*Var {
+	out := make([]*Var, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
