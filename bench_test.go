@@ -9,6 +9,7 @@ package repro
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/codegen"
@@ -508,5 +509,109 @@ func BenchmarkGabrielFib(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// --- Compile pipeline: throughput and cache (parallel middle end) ---
+
+// genCompileCorpus builds n distinct defuns by cycling body templates and
+// varying embedded constants, so every function is a separate compilation
+// unit with real optimizer work (lets to substitute, boolean forms to
+// short-circuit, loops, float chains).
+func genCompileCorpus(n int) string {
+	templates := []string{
+		`(defun gen-%d (x y)
+  (let ((a (+ x %d)) (b (* y %d)))
+    (if (and (> a 0) (or (< b %d) (> x y)))
+        (+ (* a a) (* b b))
+        (- (* a b) %d))))`,
+		`(defun gen-%d (x)
+  (let ((d (- (* x x) (* 4.0 x %d.0))))
+    (cond ((< d 0) '())
+          ((= d 0) (list (/ (- x) 2.0)))
+          (t (let ((sd (sqrt d))) (list (+ x sd) (- x %d.0) (* sd %d.0)))))))`,
+		`(defun gen-%d (n)
+  (prog (i s)
+    (setq i 0 s %d)
+   loop
+    (if (> i n) (return s) nil)
+    (setq s (+ s (* i %d)) i (+ i 1))
+    (go loop)))`,
+		`(defun gen-%d (x)
+  (let ((a (+$f x %d.0)) (b (*$f x x)))
+    (sqrt$f (+$f (*$f a a) (+$f (*$f b b) %d.0)))))`,
+		`(defun gen-%d (k)
+  (caseq k ((1 2 3) (+ k %d)) (10 (* k %d)) (t (- k %d))))`,
+	}
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		t := templates[i%len(templates)]
+		switch strings.Count(t, "%d") - 1 {
+		case 2:
+			fmt.Fprintf(&sb, t, i, i+1, i+2)
+		case 3:
+			fmt.Fprintf(&sb, t, i, i+1, i+2, i+3)
+		default:
+			fmt.Fprintf(&sb, t, i, i+1, i+2, i+3, i+4)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// BenchmarkCompileThroughput compiles N distinct defuns cold, comparing
+// the sequential middle end (Jobs=1) against the worker pool (Jobs=0 =
+// GOMAXPROCS). Both modes produce byte-identical machine images (see
+// core's TestParallelListingsMatchSequential); only wall clock differs.
+func BenchmarkCompileThroughput(b *testing.B) {
+	const nForms = 64
+	src := genCompileCorpus(nForms)
+	for _, mode := range []struct {
+		name string
+		jobs int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := core.NewSystem(core.Options{Jobs: mode.jobs})
+				if err := sys.LoadString(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(nForms)*float64(b.N)/b.Elapsed().Seconds(), "forms/sec")
+		})
+	}
+}
+
+// BenchmarkCompileCached reloads the same source into one system with the
+// content-addressed cache on: after the warm-up load every definition
+// hits, skipping the middle end and code generation entirely.
+func BenchmarkCompileCached(b *testing.B) {
+	const nForms = 64
+	src := genCompileCorpus(nForms)
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys := core.NewSystem(core.Options{Jobs: 1})
+			if err := sys.LoadString(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(nForms)*float64(b.N)/b.Elapsed().Seconds(), "forms/sec")
+	})
+	b.Run("cached", func(b *testing.B) {
+		sys := core.NewSystem(core.Options{Jobs: 1, Cache: true})
+		if err := sys.LoadString(src); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sys.LoadString(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := sys.Stats()
+		total := st.CompileCacheHits + st.CompileCacheMisses
+		b.ReportMetric(float64(st.CompileCacheHits)/float64(total), "hit-rate")
+		b.ReportMetric(float64(nForms)*float64(b.N)/b.Elapsed().Seconds(), "forms/sec")
 	})
 }

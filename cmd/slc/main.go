@@ -46,6 +46,8 @@ func run() error {
 		runFn      = flag.String("run", "", "after loading, call this function with the remaining arguments")
 		interpret  = flag.Bool("interp", false, "run -run through the interpreter instead of compiled code")
 		replMode   = flag.Bool("repl", false, "start an interactive compiled REPL (after loading files, if any)")
+		useCache   = flag.Bool("cache", false, "memoize compiled functions by source content (re-loads of a seen defun skip the middle end)")
+		jobs       = flag.Int("jobs", 0, "concurrent compile workers (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 	var src []byte
@@ -66,7 +68,8 @@ func run() error {
 	opts.PdlNumbers = !*noPdl
 	opts.SpecialCaching = !*noCache
 
-	sysOpts := core.Options{Codegen: &opts, Out: os.Stdout}
+	sysOpts := core.Options{Codegen: &opts, Out: os.Stdout,
+		Cache: *useCache, Jobs: *jobs}
 	if *transcript {
 		sysOpts.OptimizerLog = os.Stdout
 	}
@@ -133,6 +136,10 @@ func printStats(sys *core.System, interpreted bool) {
 	fmt.Printf(";; certifications:    %d (%d copies)\n", s.Certifies, s.CertifyCopies)
 	fmt.Printf(";; special lookups:   %d (%d probe steps)\n",
 		s.SpecialLookups, s.SpecialSearchSteps)
+	if s.CompileCacheHits+s.CompileCacheMisses > 0 {
+		fmt.Printf(";; compile cache:     %d hits / %d misses\n",
+			s.CompileCacheHits, s.CompileCacheMisses)
+	}
 	if interpreted {
 		is := sys.Interp.Stats
 		fmt.Printf(";; interpreter:       %d calls, %d builtins, %d conses\n",

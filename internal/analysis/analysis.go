@@ -27,11 +27,22 @@ func Analyze(root tree.Node) {
 // get fresh effect information for nodes it has just created, mid-pass.
 func Recompute(n tree.Node) { analyzeNode(n) }
 
+// RecomputeShallow refreshes n's own Info from its children's existing
+// (assumed fresh) results without re-walking the subtree. The optimizer's
+// dirty-path bookkeeping uses it for the ancestors of a changed region,
+// whose other children are known to be unchanged.
+func RecomputeShallow(n tree.Node) { computeOne(n) }
+
 // analyzeNode computes Reads/Writes/Effects/Complexity bottom-up.
 func analyzeNode(n tree.Node) {
 	for _, c := range tree.Children(n) {
 		analyzeNode(c)
 	}
+	computeOne(n)
+}
+
+// computeOne fills n's Info from its children's already-computed Info.
+func computeOne(n tree.Node) {
 	in := n.Info()
 	in.Reads, in.Writes = nil, nil
 	in.Effects = tree.EffNone

@@ -55,7 +55,6 @@ type Compiler struct {
 	M    *s1.Machine
 	Opts Options
 
-	optimizer *opt.Optimizer
 	// constArrays interns compile-time-constant float arrays.
 	constArrays map[*sexp.FloatArray]s1.Word
 	// gen is a counter for internal function/label names.
@@ -64,31 +63,39 @@ type Compiler struct {
 
 // New returns a compiler targeting m.
 func New(m *s1.Machine, opts Options) *Compiler {
-	c := &Compiler{M: m, Opts: opts}
-	oo := opt.DefaultOptions()
-	if opts.OptimizerLog != nil {
-		oo.Log = opts.OptimizerLog
-	}
-	c.optimizer = opt.New(oo, nil)
-	return c
+	return &Compiler{M: m, Opts: opts}
 }
 
-// CompileFunction compiles a top-level named function. It returns the
-// function index in the machine and installs the symbol's function cell.
-func (c *Compiler) CompileFunction(name string, lam *tree.Lambda) (int, error) {
+// Prepared is the result of the machine-independent middle end for one
+// function: the optimized, fully annotated tree, ready for emission.
+type Prepared struct {
+	Lam *tree.Lambda
+	vr  rep.VarReps
+}
+
+// Prepare runs the middle end — source-level optimizer, optional CSE,
+// analysis, binding, representation and pdl annotation — for one
+// function. It reads no mutable compiler or machine state (each call owns
+// a fresh optimizer and compile-time interpreter), so distinct functions
+// may be Prepared concurrently; only Emit must be serialized.
+func (c *Compiler) Prepare(name string, lam *tree.Lambda) (*Prepared, error) {
 	if c.Opts.Optimize {
-		n := c.optimizer.Optimize(lam)
+		oo := opt.DefaultOptions()
+		if c.Opts.OptimizerLog != nil {
+			oo.Log = c.Opts.OptimizerLog
+		}
+		n := opt.New(oo, nil).Optimize(lam)
 		var ok bool
 		if lam, ok = n.(*tree.Lambda); !ok {
-			return 0, fmt.Errorf("codegen: optimizer folded %s away to %s", name, tree.Show(n))
+			return nil, fmt.Errorf("codegen: optimizer folded %s away to %s", name, tree.Show(n))
 		}
 		if err := tree.Validate(lam); err != nil {
-			return 0, fmt.Errorf("codegen: optimizer broke %s: %w", name, err)
+			return nil, fmt.Errorf("codegen: optimizer broke %s: %w", name, err)
 		}
 		if c.Opts.CSE {
 			opt.EliminateCommonSubexpressions(lam)
 			if err := tree.Validate(lam); err != nil {
-				return 0, fmt.Errorf("codegen: CSE broke %s: %w", name, err)
+				return nil, fmt.Errorf("codegen: CSE broke %s: %w", name, err)
 			}
 		}
 	}
@@ -96,12 +103,43 @@ func (c *Compiler) CompileFunction(name string, lam *tree.Lambda) (int, error) {
 	binding.Annotate(lam)
 	vr := rep.Annotate(lam, c.Opts.RepAnalysis)
 	pdl.Annotate(lam, c.Opts.PdlNumbers)
-	idx, err := c.compileLambda(name, lam, nil, vr)
+	return &Prepared{Lam: lam, vr: vr}, nil
+}
+
+// Emit lowers a Prepared function into the machine and installs the
+// symbol's function cell, returning the function index. Emission mutates
+// shared machine state (code, symbol and function tables, the heap), so
+// concurrent callers must serialize Emit — in source order, if the
+// resulting image is to be independent of how Prepares were scheduled.
+func (c *Compiler) Emit(name string, p *Prepared) (int, error) {
+	idx, _, err := c.compileLambda(name, p.Lam, nil, p.vr)
 	if err != nil {
 		return 0, err
 	}
 	c.M.SetSymbolFunction(name, s1.Ptr(s1.TagFunc, uint64(idx)))
 	return idx, nil
+}
+
+// EmitRecorded is Emit, additionally returning the assembled item list of
+// the function's own body (not including any closure functions it
+// installed along the way) for content-addressed caching.
+func (c *Compiler) EmitRecorded(name string, p *Prepared) (idx int, items []s1.Item, err error) {
+	idx, items, err = c.compileLambda(name, p.Lam, nil, p.vr)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.M.SetSymbolFunction(name, s1.Ptr(s1.TagFunc, uint64(idx)))
+	return idx, items, nil
+}
+
+// CompileFunction compiles a top-level named function. It returns the
+// function index in the machine and installs the symbol's function cell.
+func (c *Compiler) CompileFunction(name string, lam *tree.Lambda) (int, error) {
+	p, err := c.Prepare(name, lam)
+	if err != nil {
+		return 0, err
+	}
+	return c.Emit(name, p)
 }
 
 // frameCtx describes one lexical frame for closure compilation: the heap
@@ -219,8 +257,9 @@ func (c *Compiler) primStub(name string) (int, error) {
 }
 
 // compileLambda compiles one activation-bearing lambda (FastCall or
-// FullClosure, or a top-level function) and returns its function index.
-func (c *Compiler) compileLambda(name string, lam *tree.Lambda, parent *frameCtx, vr rep.VarReps) (int, error) {
+// FullClosure, or a top-level function) and returns its function index
+// along with the assembled item list it installed.
+func (c *Compiler) compileLambda(name string, lam *tree.Lambda, parent *frameCtx, vr rep.VarReps) (int, []s1.Item, error) {
 	f := &fc{
 		c: c, name: name, lam: lam, vr: vr,
 		alloc:      tn.New(!c.Opts.UseTN),
@@ -240,13 +279,17 @@ func (c *Compiler) compileLambda(name string, lam *tree.Lambda, parent *frameCtx
 	}
 
 	if err := f.emitFunction(); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	items, minA, maxA, err := f.finish()
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return c.M.AddFunction(name, minA, maxA, items)
+	idx, err := c.M.AddFunction(name, minA, maxA, items)
+	if err != nil {
+		return 0, nil, err
+	}
+	return idx, items, nil
 }
 
 // collectFrameEnvVars gathers heap variables belonging to lam's frame:

@@ -2,6 +2,7 @@ package codegen
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/pdl"
 	"repro/internal/s1"
@@ -301,8 +302,16 @@ func (f *fc) maybeEmitSpecFinds(n tree.Node) {
 	if f.placements == nil {
 		return
 	}
-	for sym, node := range f.placements {
-		if node != n || f.specCache[sym] != nil {
+	// Iterate in symbol-name order: several specials may share a placement
+	// point, and the emitted lookup sequence (and its interned symbol
+	// indices) must not depend on map iteration order.
+	syms := make([]*sexp.Symbol, 0, len(f.placements))
+	for sym := range f.placements {
+		syms = append(syms, sym)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].Name < syms[j].Name })
+	for _, sym := range syms {
+		if f.placements[sym] != n || f.specCache[sym] != nil {
 			continue
 		}
 		idx := int64(f.c.M.InternSym(sym.Name))

@@ -1,0 +1,105 @@
+// Package compilecache is a content-addressed memo of compiled function
+// bodies, in the spirit of the compilation-unit caching that modern Lisp
+// native-code pipelines use to make repeated loads near-free: a function
+// is keyed by the printed text of its source defun together with
+// everything else that can influence the generated code — the codegen
+// option set, the compile-time constant bindings, and the macro
+// definition epoch. A re-load of an already-seen definition then skips
+// the entire middle end (optimizer fixpoint, analyses, binding,
+// representation, pdl, TN packing, lowering).
+//
+// The cache stores the assembled s1.Item list of the function body plus
+// the function index it was installed at. Within one machine a hit simply
+// rebinds the name to the existing index — the code is already resident;
+// the item list makes the entry self-contained should a caller want to
+// re-add the body elsewhere (items carry symbolic labels, so they
+// assemble at any base address).
+package compilecache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/codegen"
+	"repro/internal/s1"
+)
+
+// Entry is one cached compilation result.
+type Entry struct {
+	// Index is the machine function index the body was installed at.
+	Index int
+	// MinArgs/MaxArgs are the argument-count range (MaxArgs -1 = &rest).
+	MinArgs, MaxArgs int
+	// Items is the assembled body, with symbolic labels.
+	Items []s1.Item
+}
+
+// Cache is a concurrency-safe content-addressed store of compiled
+// functions.
+type Cache struct {
+	mu           sync.Mutex
+	m            map[string]Entry
+	hits, misses int64
+}
+
+// New returns an empty cache.
+func New() *Cache { return &Cache{m: map[string]Entry{}} }
+
+// Key computes the content address of one function compilation: the
+// printed source form plus every compilation input that is not part of
+// the form itself. constants is a canonical fingerprint of the
+// compile-time constant bindings; macroEpoch counts defmacro evaluations,
+// so any macro (re)definition invalidates all earlier keys — a printed
+// form does not reveal which macros its expansion consumed.
+func Key(source string, opts codegen.Options, constants string, macroEpoch int) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "src=%s\x00opts=%t,%t,%t,%t,%t,%t\x00consts=%s\x00macros=%d",
+		source,
+		opts.UseTN, opts.RepAnalysis, opts.PdlNumbers,
+		opts.SpecialCaching, opts.Optimize, opts.CSE,
+		constants, macroEpoch)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Lookup returns the entry for key, counting a hit or a miss.
+func (c *Cache) Lookup(key string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e, ok
+}
+
+// Store records the compilation result for key.
+func (c *Cache) Store(key string, e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = e
+}
+
+// Hits returns the number of successful lookups so far.
+func (c *Cache) Hits() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Misses returns the number of failed lookups so far.
+func (c *Cache) Misses() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.misses
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

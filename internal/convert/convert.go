@@ -36,6 +36,11 @@ func errf(form sexp.Value, format string, args ...any) error {
 type Def struct {
 	Name   *sexp.Symbol
 	Lambda *tree.Lambda
+	// Source is the original defun form, before macro expansion and
+	// alpha-renaming; printing it gives a stable content-address for the
+	// compile cache (the converted tree is not reproducible — its
+	// generated variable names differ run to run).
+	Source sexp.Value
 }
 
 // Program is the result of converting a sequence of top-level forms.
@@ -80,6 +85,8 @@ type Converter struct {
 	// body...) definitions; the host registers the expander (typically an
 	// interpreter closure) behind UserMacro.
 	OnDefmacro func(name *sexp.Symbol, lambdaList sexp.Value, body []sexp.Value) error
+	// gen numbers this converter's generated symbols (see gensym).
+	gen int
 }
 
 // New returns a fresh Converter.
@@ -142,6 +149,15 @@ func (c *Converter) IsSpecial(sym *sexp.Symbol) bool {
 	}
 	n := sym.Name
 	return len(n) >= 3 && n[0] == '*' && n[len(n)-1] == '*'
+}
+
+// gensym returns a fresh uninterned symbol numbered by a per-converter
+// counter: the names surface in jump labels and listings, so drawing them
+// from a process-global stream would make two Systems in one process
+// compile the same source to textually different images.
+func (c *Converter) gensym(prefix string) *sexp.Symbol {
+	c.gen++
+	return &sexp.Symbol{Name: fmt.Sprintf("%s%d", prefix, c.gen)}
 }
 
 // globalVar returns the shared Var record for a special/global symbol.
@@ -211,6 +227,12 @@ func (c *Converter) scanProclaim(form sexp.Value) {
 }
 
 func (c *Converter) topForm(p *Program, form sexp.Value) error {
+	// Each top-level form gets its own global/special Var records: dynamic
+	// references denote the current binding by *name*, so nothing needs
+	// the records shared across definitions — and sharing them would let
+	// the optimizer's tree surgery on one function mutate the Refs/Sets
+	// lists of another being compiled concurrently.
+	c.globals = map[*sexp.Symbol]*tree.Var{}
 	items, err := sexp.ListToSlice(form)
 	if err == nil && len(items) > 0 {
 		if head, ok := items[0].(*sexp.Symbol); ok {
@@ -227,7 +249,7 @@ func (c *Converter) topForm(p *Program, form sexp.Value) error {
 				if err != nil {
 					return err
 				}
-				p.Defs = append(p.Defs, &Def{Name: name, Lambda: lam})
+				p.Defs = append(p.Defs, &Def{Name: name, Lambda: lam, Source: form})
 				return nil
 			case "defmacro":
 				if c.OnDefmacro == nil {
@@ -513,7 +535,7 @@ func (c *Converter) convertList(form sexp.Value, e *env) (tree.Node, error) {
 			return nil, errf(form, "pop takes 1 argument")
 		}
 		// (let ((tmp (car place))) (setq place (cdr place)) tmp)
-		tmp := sexp.Gensym("pop")
+		tmp := c.gensym("pop")
 		return c.Convert(sexp.List(sexp.Intern("let"),
 			sexp.List(sexp.List(tmp, sexp.List(sexp.Intern("car"), args[0]))),
 			sexp.List(sexp.Intern("setq"), args[0], sexp.List(sexp.Intern("cdr"), args[0])),
@@ -676,8 +698,8 @@ func (c *Converter) convertOr(args []sexp.Value, e *env) (tree.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	v := tree.NewVar(sexp.Gensym("v"))
-	f := tree.NewVar(sexp.Gensym("f"))
+	v := tree.NewVar(c.gensym("v"))
+	f := tree.NewVar(c.gensym("f"))
 	lam := &tree.Lambda{Required: []*tree.Var{v, f}}
 	v.Binder, f.Binder = lam, lam
 	lam.Body = &tree.If{
@@ -700,7 +722,7 @@ func (c *Converter) convertPsetq(form sexp.Value, args []sexp.Value, e *env) (tr
 	// (psetq a x b y) == (let ((t1 x) (t2 y)) (setq a t1) (setq b t2))
 	var binds, sets []sexp.Value
 	for i := 0; i < len(args); i += 2 {
-		tmp := sexp.Gensym("ps")
+		tmp := c.gensym("ps")
 		binds = append(binds, sexp.List(tmp, args[i+1]))
 		sets = append(sets, sexp.List(sexp.Intern("setq"), args[i], tmp))
 	}

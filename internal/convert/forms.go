@@ -323,7 +323,7 @@ func (c *Converter) convertDo(form sexp.Value, args []sexp.Value, e *env, sequen
 			return nil, errf(b, "bad do binding")
 		}
 	}
-	loop := sexp.Gensym("do-loop")
+	loop := c.gensym("do-loop")
 	resultForms := append([]sexp.Value{sexp.Intern("progn")}, endClause[1:]...)
 	var stepForm sexp.Value
 	if len(steps) > 0 {
@@ -364,7 +364,7 @@ func (c *Converter) convertDotimes(form sexp.Value, args []sexp.Value, e *env) (
 	if len(spec) == 3 {
 		result = spec[2]
 	}
-	lim := sexp.Gensym("lim")
+	lim := c.gensym("lim")
 	do := []sexp.Value{sexp.Intern("do"),
 		sexp.List(
 			sexp.List(lim, spec[1]),
@@ -386,7 +386,7 @@ func (c *Converter) convertDolist(form sexp.Value, args []sexp.Value, e *env) (t
 	if len(spec) == 3 {
 		result = spec[2]
 	}
-	tail := sexp.Gensym("tail")
+	tail := c.gensym("tail")
 	bodyLet := append([]sexp.Value{sexp.Intern("let"),
 		sexp.List(sexp.List(spec[0], sexp.List(sexp.Intern("car"), tail)))}, args[1:]...)
 	do := []sexp.Value{sexp.Intern("do"),

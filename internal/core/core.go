@@ -14,9 +14,13 @@ package core
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/codegen"
+	"repro/internal/compilecache"
 	"repro/internal/convert"
 	"repro/internal/interp"
 	"repro/internal/s1"
@@ -36,6 +40,19 @@ type Options struct {
 	// Constants are symbols resolved at compile time to literal values
 	// (the static arrays of the §6.1 experiments).
 	Constants map[string]sexp.Value
+	// Jobs bounds the concurrent middle-end workers used while loading:
+	// each defun's optimizer fixpoint, analyses and annotation phases run
+	// as an independent unit on a worker pool, with machine installation
+	// serialized in source order (so the built image is byte-identical to
+	// a sequential load). 0 means GOMAXPROCS; 1 compiles sequentially.
+	// Forced to 1 when an optimizer transcript is requested, to keep the
+	// transcript in source order.
+	Jobs int
+	// Cache enables the content-addressed compile cache: re-loading an
+	// already-seen defun (same printed source, same options, same
+	// constants, no macro redefinition in between) skips the middle end
+	// and code generation entirely. Hit/miss counts appear in Stats().
+	Cache bool
 }
 
 // System is a complete Lisp implementation instance.
@@ -49,6 +66,13 @@ type System struct {
 
 	macros        map[*sexp.Symbol]*interp.Closure
 	toplevelCount int
+
+	jobs int
+	// cache memoizes compiled bodies; constsFP and macroEpoch are the
+	// non-source cache-key inputs (see compilecache.Key).
+	cache      *compilecache.Cache
+	constsFP   string
+	macroEpoch int
 }
 
 // NewSystem builds a system.
@@ -71,12 +95,32 @@ func NewSystem(opts Options) *System {
 		co.OptimizerLog = opts.OptimizerLog
 	}
 	conv := convert.New()
+	var constsFP string
 	if len(opts.Constants) > 0 {
 		consts := map[*sexp.Symbol]sexp.Value{}
 		for k, v := range opts.Constants {
 			consts[sexp.Intern(k)] = v
 		}
 		conv.Constants = consts
+		// Canonical fingerprint for the cache key: constants are fixed at
+		// system construction, so this is computed once.
+		names := make([]string, 0, len(opts.Constants))
+		for k := range opts.Constants {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		var b strings.Builder
+		for _, k := range names {
+			fmt.Fprintf(&b, "%s=%s\n", k, sexp.Print(opts.Constants[k]))
+		}
+		constsFP = b.String()
+	}
+	jobs := opts.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if co.OptimizerLog != nil {
+		jobs = 1
 	}
 	sys := &System{
 		Machine:  m,
@@ -85,6 +129,11 @@ func NewSystem(opts Options) *System {
 		Compiler: codegen.New(m, co),
 		Defs:     map[string]int{},
 		macros:   map[*sexp.Symbol]*interp.Closure{},
+		jobs:     jobs,
+		constsFP: constsFP,
+	}
+	if opts.Cache {
+		sys.cache = compilecache.New()
 	}
 	// defmacro: expanders are interpreter closures applied to the
 	// unevaluated argument forms.
@@ -95,6 +144,10 @@ func NewSystem(opts Options) *System {
 			return err
 		}
 		sys.macros[name] = &interp.Closure{Lambda: lam}
+		// A (re)defined macro can change any later expansion, and a
+		// printed form does not reveal which macros it consumed: epoch the
+		// cache keys so every earlier entry stops matching.
+		sys.macroEpoch++
 		return nil
 	}
 	conv.UserMacro = func(head *sexp.Symbol, form sexp.Value) (sexp.Value, bool, error) {
@@ -134,15 +187,8 @@ func (s *System) EvalString(src string) (sexp.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, d := range prog.Defs {
-		// The interpreter gets the unoptimized tree (its role is the
-		// semantic baseline).
-		s.Interp.DefineFunction(d.Name, &interp.Closure{Lambda: d.Lambda})
-		idx, err := s.Compiler.CompileFunction(d.Name.Name, d.Lambda)
-		if err != nil {
-			return nil, fmt.Errorf("compiling %s: %w", d.Name.Name, err)
-		}
-		s.Defs[d.Name.Name] = idx
+	if err := s.compileDefs(prog.Defs); err != nil {
+		return nil, err
 	}
 	var last sexp.Value = sexp.Nil
 	for i, form := range prog.TopForms {
@@ -162,6 +208,103 @@ func (s *System) EvalString(src string) (sexp.Value, error) {
 		}
 	}
 	return last, nil
+}
+
+// unit is one defun flowing through the pipeline as an independent piece
+// of work: cache probe, concurrent middle end, serial install.
+type unit struct {
+	d        *convert.Def
+	key      string
+	hitIdx   int
+	hit      bool
+	prepared *codegen.Prepared
+	err      error
+}
+
+// compileDefs compiles a batch of definitions. The machine-independent
+// middle end (optimizer fixpoint through pdl annotation) of each miss
+// runs concurrently on a bounded worker pool; emission into the shared
+// machine then proceeds serially in source order, so the machine image —
+// code layout, symbol and function indices, heap contents — evolves
+// exactly as under a sequential compile, and listings are byte-identical
+// regardless of Jobs.
+func (s *System) compileDefs(defs []*convert.Def) error {
+	units := make([]*unit, len(defs))
+	for i, d := range defs {
+		u := &unit{d: d}
+		units[i] = u
+		if s.cache != nil && d.Source != nil {
+			u.key = compilecache.Key(sexp.Print(d.Source), s.Compiler.Opts,
+				s.constsFP, s.macroEpoch)
+			if e, ok := s.cache.Lookup(u.key); ok {
+				u.hit, u.hitIdx = true, e.Index
+			}
+		}
+	}
+
+	if s.jobs <= 1 || len(units) == 1 {
+		for _, u := range units {
+			if !u.hit {
+				u.prepared, u.err = s.Compiler.Prepare(u.d.Name.Name, u.d.Lambda)
+			}
+		}
+	} else {
+		sem := make(chan struct{}, s.jobs)
+		var wg sync.WaitGroup
+		for _, u := range units {
+			if u.hit {
+				continue
+			}
+			wg.Add(1)
+			go func(u *unit) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				u.prepared, u.err = s.Compiler.Prepare(u.d.Name.Name, u.d.Lambda)
+			}(u)
+		}
+		wg.Wait()
+	}
+
+	for _, u := range units {
+		d := u.d
+		// The interpreter gets the converted tree (its role is the
+		// semantic baseline).
+		s.Interp.DefineFunction(d.Name, &interp.Closure{Lambda: d.Lambda})
+		if u.hit {
+			// The body is already resident in this machine: rebind the
+			// name to the cached function index and skip the entire
+			// middle and back end.
+			s.Machine.Stats.CompileCacheHits++
+			s.Machine.RebindFunction(d.Name.Name, u.hitIdx)
+			s.Machine.SetSymbolFunction(d.Name.Name, s1.Ptr(s1.TagFunc, uint64(u.hitIdx)))
+			s.Defs[d.Name.Name] = u.hitIdx
+			continue
+		}
+		if u.err != nil {
+			return fmt.Errorf("compiling %s: %w", d.Name.Name, u.err)
+		}
+		var idx int
+		var err error
+		if s.cache != nil && u.key != "" {
+			s.Machine.Stats.CompileCacheMisses++
+			var items []s1.Item
+			idx, items, err = s.Compiler.EmitRecorded(d.Name.Name, u.prepared)
+			if err == nil {
+				f := s.Machine.Funcs[idx]
+				s.cache.Store(u.key, compilecache.Entry{
+					Index: idx, MinArgs: f.MinArgs, MaxArgs: f.MaxArgs, Items: items,
+				})
+			}
+		} else {
+			idx, err = s.Compiler.Emit(d.Name.Name, u.prepared)
+		}
+		if err != nil {
+			return fmt.Errorf("compiling %s: %w", d.Name.Name, err)
+		}
+		s.Defs[d.Name.Name] = idx
+	}
+	return nil
 }
 
 // Call invokes a compiled function on the simulator with host values.

@@ -1,0 +1,424 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/sexp"
+)
+
+// corpusSrc exercises every feature with a distinct code shape: specials
+// (defvar'd and proclaimed parameters), closures (escaping and
+// counter-mutating), prog loops, do loops, caseq, catch/throw, optional
+// and rest arguments, float arrays and the numeric tower. Every listing
+// produced from it must be identical whether the middle end ran
+// sequentially or on the worker pool.
+const corpusSrc = `
+(defvar *depth* 0)
+(proclaim '(special dyn))
+(defun sq (x) (* x x))
+(defun fsum (a b c) (+$f a (+$f b c)))
+(defun sign (x) (cond ((< x 0) 'neg) ((> x 0) 'pos) (t 'zero)))
+(defun boolop (a b c) (if (and a (or b c)) 'one 'two))
+(defun len (l) (if (null l) 0 (+ 1 (len (cdr l)))))
+(defun exptl (x n a)
+  (cond ((zerop n) a)
+        ((oddp n) (exptl (* x x) (floor n 2) (* a x)))
+        (t (exptl (* x x) (floor n 2) a))))
+(defun quadratic (a b c)
+  (let ((d (- (* b b) (* 4.0 a c))))
+    (cond ((< d 0) '())
+          ((= d 0) (list (/ (- b) (* 2.0 a))))
+          (t (let ((2a (* 2.0 a)) (sd (sqrt d)))
+               (list (/ (+ (- b) sd) 2a)
+                     (/ (- (- b) sd) 2a)))))))
+(defun tf (a &optional (b 3.0) (c a)) (list a b c))
+(defun restf (a &rest r) (cons a r))
+(defun make-adder (n) (lambda (x) (+ x n)))
+(defun adder-test (k x) (funcall (make-adder k) x))
+(defun make-counter ()
+  (let ((n 0))
+    (lambda () (setq n (+ n 1)) n)))
+(defun probe () *depth*)
+(defun with-depth (d) (let ((*depth* d)) (probe)))
+(defun dynread () dyn)
+(defun dynbind (dyn) (dynread))
+(defun sumto (n)
+  (prog (i s)
+    (setq i 0 s 0)
+   loop
+    (if (> i n) (return s) nil)
+    (setq s (+ s i) i (+ i 1))
+    (go loop)))
+(defun powsum (n)
+  (do ((i 0 (+ i 1)) (acc 0 (+ acc (* i i))))
+      ((> i n) acc)))
+(defun kind (k) (caseq k ((1 2 3) 'small) (10 'ten) ((a b) 'letter) (t 'big)))
+(defun thrower (x) (throw 'escape (* x 2)))
+(defun catcher (x) (catch 'escape (thrower x) 'not-reached))
+(defun fill-sq (a n)
+  (dotimes (i n a)
+    (aset$f a (float (* i i)) i)))
+(defun tak (x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))))
+(defun kernel (x)
+  (let ((a (+$f x 1.0)) (b (*$f x x)))
+    (sqrt$f (+$f (*$f a a) (*$f b b)))))
+`
+
+// defNames returns the compiled definition names of sys in ascending
+// function-index order (= install order).
+func defNames(sys *System) []string {
+	names := make([]string, 0, len(sys.Defs))
+	for n := range sys.Defs {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return sys.Defs[names[i]] < sys.Defs[names[j]]
+	})
+	return names
+}
+
+// TestParallelListingsMatchSequential is the determinism contract of the
+// parallel pipeline: with emission serialized in source order, the whole
+// machine image must evolve exactly as under Jobs=1, so every listing is
+// byte-identical and every function lands at the same index.
+func TestParallelListingsMatchSequential(t *testing.T) {
+	seq := NewSystem(Options{Jobs: 1})
+	if err := seq.LoadString(corpusSrc); err != nil {
+		t.Fatalf("sequential load: %v", err)
+	}
+	par := NewSystem(Options{Jobs: 8})
+	if err := par.LoadString(corpusSrc); err != nil {
+		t.Fatalf("parallel load: %v", err)
+	}
+	if len(seq.Defs) != len(par.Defs) {
+		t.Fatalf("def count differs: %d vs %d", len(seq.Defs), len(par.Defs))
+	}
+	for name, idx := range seq.Defs {
+		pidx, ok := par.Defs[name]
+		if !ok {
+			t.Fatalf("parallel load missing %s", name)
+		}
+		if idx != pidx {
+			t.Errorf("%s: function index %d (sequential) vs %d (parallel)", name, idx, pidx)
+		}
+		sl, err := seq.Listing(name)
+		if err != nil {
+			t.Fatalf("sequential listing %s: %v", name, err)
+		}
+		pl, err := par.Listing(name)
+		if err != nil {
+			t.Fatalf("parallel listing %s: %v", name, err)
+		}
+		if sl != pl {
+			t.Errorf("%s: listings differ\n--- sequential ---\n%s\n--- parallel ---\n%s", name, sl, pl)
+		}
+	}
+	// The whole code image, not just per-function windows.
+	if len(seq.Machine.Code) != len(par.Machine.Code) {
+		t.Fatalf("code image length differs: %d vs %d",
+			len(seq.Machine.Code), len(par.Machine.Code))
+	}
+	for i := range seq.Machine.Code {
+		if seq.Machine.Code[i] != par.Machine.Code[i] {
+			t.Fatalf("code image differs at instruction %d", i)
+		}
+	}
+	// And the compiled code still runs.
+	checkCall(t, par, "tak", "7", sexp.Fixnum(14), sexp.Fixnum(7), sexp.Fixnum(0))
+	checkCall(t, par, "catcher", "14", sexp.Fixnum(7))
+	checkCall(t, par, "with-depth", "42", sexp.Fixnum(42))
+	checkCall(t, par, "adder-test", "42", sexp.Fixnum(40), sexp.Fixnum(2))
+}
+
+// TestParallelInstallsInSourceOrder asserts the deterministic install
+// order: regardless of which worker finishes first, definitions enter the
+// machine in source order.
+func TestParallelInstallsInSourceOrder(t *testing.T) {
+	sys := NewSystem(Options{Jobs: runtime.GOMAXPROCS(0)})
+	if err := sys.LoadString(`
+(defun order-a (x) (* x 2))
+(defun order-b (x) (+ (order-a x) 1))
+(defun order-c (x) (sumloop x 0))
+(defun sumloop (n acc) (if (zerop n) acc (sumloop (- n 1) (+ acc n))))
+(defun order-e (x) (list (order-a x) (order-b x)))`); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"order-a", "order-b", "order-c", "sumloop", "order-e"}
+	got := defNames(sys)
+	if len(got) != len(want) {
+		t.Fatalf("defs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("install order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestConcurrentCompilation is the -race regression for shared package
+// state (the sharded symbol intern table, tree var IDs, the compile-time
+// apply interpreter): many systems compile the full corpus at once.
+func TestConcurrentCompilation(t *testing.T) {
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sys := NewSystem(Options{})
+			if err := sys.LoadString(corpusSrc); err != nil {
+				errs[g] = err
+				return
+			}
+			if _, err := sys.Call("tak", sexp.Fixnum(8), sexp.Fixnum(4), sexp.Fixnum(0)); err != nil {
+				errs[g] = err
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+// TestCompileCacheHits checks the content-addressed cache: re-loading the
+// same program hits for every definition, skips recompilation (no new
+// code is emitted for the bodies), and the functions keep working.
+func TestCompileCacheHits(t *testing.T) {
+	sys := NewSystem(Options{Cache: true, Jobs: 1})
+	if err := sys.LoadString(corpusSrc); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.CompileCacheHits != 0 {
+		t.Errorf("cold load: %d hits, want 0", st.CompileCacheHits)
+	}
+	nDefs := st.CompileCacheMisses
+	if nDefs == 0 {
+		t.Fatal("cold load recorded no misses")
+	}
+	funcs := len(sys.Machine.Funcs)
+
+	if err := sys.LoadString(corpusSrc); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if st.CompileCacheHits != nDefs {
+		t.Errorf("reload: %d hits, want %d", st.CompileCacheHits, nDefs)
+	}
+	if st.CompileCacheMisses != nDefs {
+		t.Errorf("reload: %d misses, want %d (no new ones)", st.CompileCacheMisses, nDefs)
+	}
+	rate := float64(st.CompileCacheHits) / float64(st.CompileCacheHits+st.CompileCacheMisses)
+	if rate < 0.45 { // 100% of the reload = 50% of both loads combined
+		t.Errorf("hit rate = %.2f", rate)
+	}
+	// Only top-level forms (the defvar wrapper) recompile on reload —
+	// every defun body is reused, so a third load grows the function
+	// table by exactly as much as the second did.
+	growth2 := len(sys.Machine.Funcs) - funcs
+	funcs = len(sys.Machine.Funcs)
+	if err := sys.LoadString(corpusSrc); err != nil {
+		t.Fatalf("third load: %v", err)
+	}
+	growth3 := len(sys.Machine.Funcs) - funcs
+	if growth3 != growth2 {
+		t.Errorf("steady-state reload growth: %d then %d functions", growth2, growth3)
+	}
+	if growth2 > 2 {
+		t.Errorf("reload installed %d functions; only top-level wrappers should recompile", growth2)
+	}
+	checkCall(t, sys, "sq", "49", sexp.Fixnum(7))
+	checkCall(t, sys, "catcher", "14", sexp.Fixnum(7))
+	checkCall(t, sys, "sumto", "5050", sexp.Fixnum(100))
+}
+
+// TestCompileCacheMacroEpoch: redefining a macro must invalidate cached
+// compilations, since the printed source does not expose expansions.
+func TestCompileCacheMacroEpoch(t *testing.T) {
+	sys := NewSystem(Options{Cache: true})
+	if err := sys.LoadString("(defmacro k () 1)\n(defun f () (k))"); err != nil {
+		t.Fatal(err)
+	}
+	checkCall(t, sys, "f", "1")
+	if err := sys.LoadString("(defmacro k () 2)\n(defun f () (k))"); err != nil {
+		t.Fatal(err)
+	}
+	checkCall(t, sys, "f", "2")
+	if sys.Stats().CompileCacheHits != 0 {
+		t.Errorf("macro redefinition must miss: %d hits", sys.Stats().CompileCacheHits)
+	}
+	// Same macros, same source: now it hits and keeps the new expansion.
+	if err := sys.LoadString("(defun f () (k))"); err != nil {
+		t.Fatal(err)
+	}
+	checkCall(t, sys, "f", "2")
+	if sys.Stats().CompileCacheHits != 1 {
+		t.Errorf("re-load after epoch settles should hit: %d", sys.Stats().CompileCacheHits)
+	}
+}
+
+// TestCacheRedefinition: a changed body is a different content address
+// and must recompile; flipping back to a previously seen body may reuse
+// its still-resident code.
+func TestCacheRedefinition(t *testing.T) {
+	sys := NewSystem(Options{Cache: true})
+	if err := sys.LoadString("(defun f (x) (+ x 1))"); err != nil {
+		t.Fatal(err)
+	}
+	checkCall(t, sys, "f", "11", sexp.Fixnum(10))
+	if err := sys.LoadString("(defun f (x) (+ x 2))"); err != nil {
+		t.Fatal(err)
+	}
+	checkCall(t, sys, "f", "12", sexp.Fixnum(10))
+	if err := sys.LoadString("(defun f (x) (+ x 1))"); err != nil {
+		t.Fatal(err)
+	}
+	checkCall(t, sys, "f", "11", sexp.Fixnum(10))
+	if sys.Stats().CompileCacheHits != 1 {
+		t.Errorf("hits = %d, want 1 (the flip back)", sys.Stats().CompileCacheHits)
+	}
+}
+
+// TestParallelListingsMatchExamples re-runs the determinism contract over
+// every Lisp program shipped in examples/ (the sources are embedded in
+// the example binaries; mirrored here verbatim).
+func TestParallelListingsMatchExamples(t *testing.T) {
+	numericConsts := func() map[string]sexp.Value {
+		mk := func() *sexp.FloatArray {
+			fa := sexp.NewFloatArray([]int{16, 16})
+			for i := range fa.Data {
+				fa.Data[i] = float64(i%7) * 0.25
+			}
+			return fa
+		}
+		return map[string]sexp.Value{
+			"aarr": mk(), "barr": mk(), "carr": mk(),
+			"zarr":   sexp.NewFloatArray([]int{16, 16}),
+			"econst": sexp.Flonum(1.5),
+		}
+	}
+	cases := []struct {
+		name   string
+		src    string
+		consts map[string]sexp.Value
+	}{
+		{"quickstart", `
+(defun exptl (x n a)
+  (cond ((zerop n) a)
+        ((oddp n) (exptl (* x x) (floor n 2) (* a x)))
+        (t (exptl (* x x) (floor n 2) a))))`, nil},
+		{"quadratic", `
+(defun quadratic (a b c)
+  (let ((d (- (* b b) (* 4.0 a c))))
+    (cond ((< d 0) '())
+          ((= d 0) (list (/ (- b) (* 2.0 a))))
+          (t (let ((2a (* 2.0 a)) (sd (sqrt d)))
+               (list (/ (+ (- b) sd) 2a)
+                     (/ (- (- b) sd) 2a)))))))`, nil},
+		{"transcript", `
+(defun frotz (a b c) nil)
+(defun testfn (a &optional (b 3.0) (c a))
+  (let ((d (+$f a b c)) (e (*$f a b c)))
+    (let ((q (sin$f e)))
+      (frotz d e (max$f d e))
+      q)))`, nil},
+		{"numeric", `
+(defun kernel ()
+  (let ((n 16))
+    (let ((i 0))
+      (prog ()
+       iloop
+        (if (>=& i n) (return nil) nil)
+        (let ((j 0))
+          (prog ()
+           jloop
+            (if (>=& j n) (return nil) nil)
+            (let ((k 0))
+              (prog ()
+               kloop
+                (if (>=& k n) (return nil) nil)
+                (aset$f zarr
+                        (+$f (+$f (*$f (aref$f aarr i j) (aref$f barr j k))
+                                  (aref$f carr i k))
+                             econst)
+                        i k)
+                (setq k (+& k 1))
+                (go kloop)))
+            (setq j (+& j 1))
+            (go jloop)))
+        (setq i (+& i 1))
+        (go iloop)))))
+(defun observe (a b) nil)
+(defun poly (x)
+  (let ((d (+$f x 1.0)) (e (*$f x x)))
+    (observe d e)
+    (max$f d e)))`, numericConsts()},
+		{"benchmarks", `
+(defun tak (x y z)
+  (if (not (< y x))
+      z
+      (tak (tak (- x 1) y z)
+           (tak (- y 1) z x)
+           (tak (- z 1) x y))))
+(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+(defun listn (n) (if (zerop n) nil (cons n (listn (- n 1)))))
+(defun len (l) (if (null l) 0 (+ 1 (len (cdr l)))))
+(defun listbench (n) (len (append (listn n) (listn n))))
+(defun iter (n acc) (if (zerop n) acc (iter (- n 1) (+ acc n))))
+(defun deriv (e)
+  (cond ((atom e) (if (eq e 'x) 1 0))
+        ((eq (car e) '+)
+         (list '+ (deriv (cadr e)) (deriv (caddr e))))
+        ((eq (car e) '*)
+         (list '+ (list '* (cadr e) (deriv (caddr e)))
+                  (list '* (caddr e) (deriv (cadr e)))))
+        (t 'unknown)))
+(defun derivbench (n)
+  (let ((e '(+ (* 3 (* x x)) (* 5 x))) (out nil) (i 0))
+    (prog ()
+     loop
+      (if (>= i n) (return out) nil)
+      (setq out (deriv e))
+      (setq i (+ i 1))
+      (go loop))))`, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := NewSystem(Options{Jobs: 1, Constants: tc.consts})
+			if err := seq.LoadString(tc.src); err != nil {
+				t.Fatalf("sequential load: %v", err)
+			}
+			par := NewSystem(Options{Jobs: 8, Constants: tc.consts})
+			if err := par.LoadString(tc.src); err != nil {
+				t.Fatalf("parallel load: %v", err)
+			}
+			for name, idx := range seq.Defs {
+				if par.Defs[name] != idx {
+					t.Errorf("%s: index %d vs %d", name, idx, par.Defs[name])
+				}
+				sl, err := seq.Listing(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pl, err := par.Listing(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sl != pl {
+					t.Errorf("%s: listings differ", name)
+				}
+			}
+		})
+	}
+}

@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"fmt"
+
 	"repro/internal/analysis"
 	"repro/internal/sexp"
 	"repro/internal/tree"
@@ -31,18 +33,19 @@ func EliminateCommonSubexpressions(root tree.Node) int {
 	introduced := 0
 	for iter := 0; iter < 100; iter++ {
 		analysis.Analyze(root)
-		newRoot, did := cseOnce(root)
+		newRoot, did := cseOnce(root, &introduced)
 		root = newRoot
 		if !did {
 			break
 		}
-		introduced++
 	}
 	return introduced
 }
 
-// cseOnce finds one duplicated candidate group and rewrites it.
-func cseOnce(root tree.Node) (tree.Node, bool) {
+// cseOnce finds one duplicated candidate group and rewrites it; gen counts
+// introductions and numbers the fresh variables, so the names are local to
+// this elimination run rather than drawn from the global gensym stream.
+func cseOnce(root tree.Node, gen *int) (tree.Node, bool) {
 	groups := map[string][]tree.Node{}
 	order := []string{}
 	tree.Walk(root, func(n tree.Node) bool {
@@ -68,7 +71,8 @@ func cseOnce(root tree.Node) (tree.Node, bool) {
 		if lca == nil || containsAny(occsContain(occs), lca) {
 			continue
 		}
-		return rewriteCSE(root, lca, occs), true
+		*gen++
+		return rewriteCSE(root, lca, occs, *gen), true
 	}
 	return root, false
 }
@@ -155,8 +159,8 @@ func containsAny(set map[tree.Node]bool, n tree.Node) bool { return set[n] }
 
 // rewriteCSE performs the introduction and returns the (possibly new)
 // root.
-func rewriteCSE(root, lca tree.Node, occs []tree.Node) tree.Node {
-	v := tree.NewVar(sexp.Gensym("cse"))
+func rewriteCSE(root, lca tree.Node, occs []tree.Node, gen int) tree.Node {
+	v := tree.NewVar(&sexp.Symbol{Name: fmt.Sprintf("cse%d", gen)})
 	// The first occurrence becomes the initializer; the rest are
 	// discarded.
 	init := occs[0]

@@ -50,6 +50,22 @@ type Optimizer struct {
 	// Applied counts transformations by rule name.
 	Applied map[string]int
 	changed bool
+	// gen numbers the variables this optimizer introduces (the f and g of
+	// the nested-if transformation). A per-instance counter keeps the
+	// generated names — which flow into jump-block labels and listing
+	// comments — independent of how many other functions were optimized
+	// before this one, or on which worker.
+	gen int
+
+	// Dirty-subtree state for the incremental fixpoint. After the full
+	// first pass, a pass only revisits regions the previous pass changed:
+	// deep marks roots of subtrees needing a full re-walk, visit marks
+	// their ancestor paths (where only node-local rules are re-tried),
+	// and fired collects this pass's rewritten nodes for the next round.
+	visitAll bool
+	deep     map[tree.Node]bool
+	visit    map[tree.Node]bool
+	fired    []tree.Node
 }
 
 // New returns an optimizer; in supplies the apply engine for compile-time
@@ -69,17 +85,110 @@ func New(opts Options, in *interp.Interp) *Optimizer {
 
 // Optimize rewrites root until no transformation applies (or MaxPasses).
 // It returns the new root (the root node itself may be rewritten).
+//
+// Only the first pass walks the whole tree; each later pass revisits just
+// the subtrees the previous pass changed, plus the binding lambdas of any
+// variable whose global reference or assignment count changed (the
+// substitution and dead-variable rules read those counts non-locally).
+// Untouched subtrees can fire no rule they did not fire last pass, so the
+// result is identical to rescanning everything.
 func (o *Optimizer) Optimize(root tree.Node) tree.Node {
+	census := map[*tree.Var][2]int{}
 	for pass := 0; pass < o.opts.MaxPasses; pass++ {
-		analysis.Analyze(root)
+		if pass == 0 {
+			analysis.Analyze(root)
+			o.visitAll = true
+			varCensus(root, census)
+		} else {
+			// Parent links are rebuilt in full (cheap, no set unions);
+			// Info is refreshed only where the pass will look. Tail flags
+			// are not maintained — no rule consults them — and the final
+			// full Analyze below restores them.
+			tree.ComputeParents(root)
+			o.visitAll = false
+			o.deep = make(map[tree.Node]bool, len(o.fired))
+			o.visit = make(map[tree.Node]bool, 4*len(o.fired))
+			for _, n := range o.fired {
+				o.markDirty(n)
+			}
+			o.markCensusChanges(root, census)
+			o.analyzeDirty(root)
+		}
 		o.changed = false
-		root = o.rewrite(root)
+		o.fired = o.fired[:0]
+		root = o.rewrite(root, o.visitAll)
 		if !o.changed {
 			break
 		}
 	}
+	o.visitAll, o.deep, o.visit, o.fired = false, nil, nil, nil
 	analysis.Analyze(root)
 	return root
+}
+
+// markDirty marks n for a full revisit and its ancestors for node-local
+// rule re-application. Ancestor chains share suffixes, so the climb stops
+// at the first already-marked node.
+func (o *Optimizer) markDirty(n tree.Node) {
+	o.deep[n] = true
+	for m := n; m != nil; m = m.Info().Parent {
+		if o.visit[m] {
+			return
+		}
+		o.visit[m] = true
+	}
+}
+
+// varCensus snapshots the reference/assignment counts of every variable
+// bound in the tree into m.
+func varCensus(root tree.Node, m map[*tree.Var][2]int) {
+	tree.Walk(root, func(n tree.Node) bool {
+		if l, ok := n.(*tree.Lambda); ok {
+			for _, v := range l.Params() {
+				m[v] = [2]int{len(v.Refs), len(v.Sets)}
+			}
+		}
+		return true
+	})
+}
+
+// markCensusChanges compares per-variable usage counts against the
+// previous pass. Rules like META-SUBSTITUTE and META-DROP-UNUSED-ARGUMENT
+// read a variable's global usage, so a count change anywhere re-opens the
+// binding lambda's whole subtree even if that subtree itself is unchanged.
+func (o *Optimizer) markCensusChanges(root tree.Node, census map[*tree.Var][2]int) {
+	tree.Walk(root, func(n tree.Node) bool {
+		l, ok := n.(*tree.Lambda)
+		if !ok {
+			return true
+		}
+		for _, v := range l.Params() {
+			now := [2]int{len(v.Refs), len(v.Sets)}
+			if old, seen := census[v]; seen && old == now {
+				continue
+			}
+			census[v] = now
+			o.markDirty(l)
+		}
+		return true
+	})
+}
+
+// analyzeDirty refreshes Info for the regions the coming pass will
+// examine: deep subtrees are fully re-analyzed; path nodes recompute
+// their own Info from their children's cached results.
+func (o *Optimizer) analyzeDirty(n tree.Node) {
+	if o.deep[n] {
+		analysis.Recompute(n)
+		return
+	}
+	if !o.visit[n] {
+		return
+	}
+	for _, c := range tree.Children(n) {
+		o.analyzeDirty(c)
+	}
+	analysis.RecomputeShallow(n)
 }
 
 func (o *Optimizer) enabled(rule string) bool { return !o.opts.Disabled[rule] }
@@ -98,46 +207,56 @@ func (o *Optimizer) logRule(rule, before string, newN tree.Node) {
 }
 
 // rewrite rewrites children bottom-up, then applies node-local rules until
-// none fires.
-func (o *Optimizer) rewrite(n tree.Node) tree.Node {
+// none fires. When force is false (an incremental pass), subtrees outside
+// the dirty set are skipped: a deep-marked node forces a full walk below
+// it, a visit-marked node descends selectively, and a clean node returns
+// unchanged.
+func (o *Optimizer) rewrite(n tree.Node, force bool) tree.Node {
+	if !force {
+		if o.deep[n] {
+			force = true
+		} else if !o.visit[n] {
+			return n
+		}
+	}
 	// Rewrite children in place.
 	switch x := n.(type) {
 	case *tree.Setq:
-		x.Value = o.rewrite(x.Value)
+		x.Value = o.rewrite(x.Value, force)
 	case *tree.If:
-		x.Test = o.rewrite(x.Test)
-		x.Then = o.rewrite(x.Then)
-		x.Else = o.rewrite(x.Else)
+		x.Test = o.rewrite(x.Test, force)
+		x.Then = o.rewrite(x.Then, force)
+		x.Else = o.rewrite(x.Else, force)
 	case *tree.Progn:
 		for i := range x.Forms {
-			x.Forms[i] = o.rewrite(x.Forms[i])
+			x.Forms[i] = o.rewrite(x.Forms[i], force)
 		}
 	case *tree.Call:
-		x.Fn = o.rewrite(x.Fn)
+		x.Fn = o.rewrite(x.Fn, force)
 		for i := range x.Args {
-			x.Args[i] = o.rewrite(x.Args[i])
+			x.Args[i] = o.rewrite(x.Args[i], force)
 		}
 	case *tree.Lambda:
 		for i := range x.Optional {
-			x.Optional[i].Default = o.rewrite(x.Optional[i].Default)
+			x.Optional[i].Default = o.rewrite(x.Optional[i].Default, force)
 		}
-		x.Body = o.rewrite(x.Body)
+		x.Body = o.rewrite(x.Body, force)
 	case *tree.ProgBody:
 		for i := range x.Forms {
-			x.Forms[i] = o.rewrite(x.Forms[i])
+			x.Forms[i] = o.rewrite(x.Forms[i], force)
 		}
 	case *tree.Return:
-		x.Value = o.rewrite(x.Value)
+		x.Value = o.rewrite(x.Value, force)
 	case *tree.Catcher:
-		x.Tag = o.rewrite(x.Tag)
-		x.Body = o.rewrite(x.Body)
+		x.Tag = o.rewrite(x.Tag, force)
+		x.Body = o.rewrite(x.Body, force)
 	case *tree.Caseq:
-		x.Key = o.rewrite(x.Key)
+		x.Key = o.rewrite(x.Key, force)
 		for i := range x.Clauses {
-			x.Clauses[i].Body = o.rewrite(x.Clauses[i].Body)
+			x.Clauses[i].Body = o.rewrite(x.Clauses[i].Body, force)
 		}
 		if x.Default != nil {
-			x.Default = o.rewrite(x.Default)
+			x.Default = o.rewrite(x.Default, force)
 		}
 	}
 	// Apply local rules to a fixpoint at this node.
@@ -147,6 +266,7 @@ func (o *Optimizer) rewrite(n tree.Node) tree.Node {
 			break
 		}
 		n = nn
+		o.fired = append(o.fired, n)
 	}
 	return n
 }

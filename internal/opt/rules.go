@@ -1,12 +1,23 @@
 package opt
 
 import (
+	"fmt"
+
 	"repro/internal/analysis"
 	"repro/internal/interp"
 	"repro/internal/prim"
 	"repro/internal/sexp"
 	"repro/internal/tree"
 )
+
+// gensym returns a fresh uninterned symbol named from a per-optimizer
+// counter, so the introduced names (which surface in jump-block labels and
+// listing comments) depend only on this function's own rewrite history —
+// not on global state shared with concurrently compiled functions.
+func (o *Optimizer) gensym(prefix string) *sexp.Symbol {
+	o.gen++
+	return &sexp.Symbol{Name: fmt.Sprintf("%s%d", prefix, o.gen)}
+}
 
 // effectsOf returns fresh effect information for a subtree (mid-pass nodes
 // may carry stale or zero Info).
@@ -486,7 +497,7 @@ func (o *Optimizer) ruleIfIf(n tree.Node) (tree.Node, bool) {
 			return tree.Copy(v)
 		}
 		if fVar == nil {
-			fVar = tree.NewVar(sexp.Gensym("f"))
+			fVar = tree.NewVar(o.gensym("f"))
 			fThunk = &tree.Lambda{Body: v}
 		}
 		return &tree.Call{Fn: tree.NewRef(fVar)}
@@ -496,7 +507,7 @@ func (o *Optimizer) ruleIfIf(n tree.Node) (tree.Node, bool) {
 			return tree.Copy(w)
 		}
 		if gVar == nil {
-			gVar = tree.NewVar(sexp.Gensym("g"))
+			gVar = tree.NewVar(o.gensym("g"))
 			gThunk = &tree.Lambda{Body: w}
 		}
 		return &tree.Call{Fn: tree.NewRef(gVar)}

@@ -62,6 +62,9 @@ type Stats struct {
 	Calls     int64
 	TailCalls int64
 	SQCalls   int64
+	// Compile cache (core's content-addressed memo of compiled bodies).
+	CompileCacheHits   int64
+	CompileCacheMisses int64
 }
 
 // RuntimeError is a Lisp-level runtime error raised by compiled code.
@@ -163,6 +166,13 @@ func (m *Machine) InternSym(name string) int {
 // SetSymbolFunction installs a function word in a symbol's function cell.
 func (m *Machine) SetSymbolFunction(name string, fn Word) {
 	m.Syms[m.InternSym(name)].Function = fn
+}
+
+// RebindFunction points name at an already-installed function index
+// without assembling anything: the compile cache uses it when a re-loaded
+// definition's body is already resident in this machine.
+func (m *Machine) RebindFunction(name string, idx int) {
+	m.funcIdx[name] = idx
 }
 
 // SetGlobal sets a symbol's global value cell.

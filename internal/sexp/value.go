@@ -10,6 +10,7 @@ package sexp
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/big"
 	"strings"
 	"sync"
@@ -35,22 +36,50 @@ func (s *Symbol) Write(b *strings.Builder) { b.WriteString(s.Name) }
 // String returns the symbol's name.
 func (s *Symbol) String() string { return s.Name }
 
-var (
-	internMu sync.Mutex
-	interned = map[string]*Symbol{}
-)
+// The intern table is sharded by name hash: concurrent compilation
+// workers intern constantly (every symbol the optimizer's compile-time
+// evaluator touches goes through here), and a single mutex would
+// serialize them. Lookups of existing symbols — the overwhelmingly common
+// case — take only a shard's read lock.
+const internShards = 32
+
+type internShard struct {
+	mu sync.RWMutex
+	m  map[string]*Symbol
+}
+
+var interned = func() [internShards]*internShard {
+	var t [internShards]*internShard
+	for i := range t {
+		t[i] = &internShard{m: map[string]*Symbol{}}
+	}
+	return t
+}()
+
+func internShardFor(name string) *internShard {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return interned[h.Sum32()%internShards]
+}
 
 // Intern returns the unique symbol with the given name, creating it on
 // first use. Symbol names are case-sensitive; the reader downcases input,
 // matching the paper's lower-case source style.
 func Intern(name string) *Symbol {
-	internMu.Lock()
-	defer internMu.Unlock()
-	if s, ok := interned[name]; ok {
+	sh := internShardFor(name)
+	sh.mu.RLock()
+	s, ok := sh.m[name]
+	sh.mu.RUnlock()
+	if ok {
 		return s
 	}
-	s := &Symbol{Name: name}
-	interned[name] = s
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s, ok := sh.m[name]; ok {
+		return s
+	}
+	s = &Symbol{Name: name}
+	sh.m[name] = s
 	return s
 }
 
