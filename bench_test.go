@@ -16,6 +16,7 @@ import (
 	"repro/internal/convert"
 	"repro/internal/core"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/sexp"
 	"repro/internal/tree"
@@ -567,14 +568,22 @@ func BenchmarkCompileThroughput(b *testing.B) {
 	const nForms = 64
 	src := genCompileCorpus(nForms)
 	for _, mode := range []struct {
-		name string
-		jobs int
-	}{{"sequential", 1}, {"parallel", 0}} {
+		name   string
+		jobs   int
+		traced bool
+	}{{"sequential", 1, false}, {"parallel", 0, false}, {"parallel-traced", 0, true}} {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				sys := core.NewSystem(core.Options{Jobs: mode.jobs})
+				o := core.Options{Jobs: mode.jobs}
+				if mode.traced {
+					o.Obs = obs.NewRecorder()
+				}
+				sys := core.NewSystem(o)
 				if err := sys.LoadString(src); err != nil {
 					b.Fatal(err)
+				}
+				if mode.traced && sys.Obs.CountSpans("", "optimize") != nForms {
+					b.Fatal("traced run lost spans")
 				}
 			}
 			b.ReportMetric(float64(nForms)*float64(b.N)/b.Elapsed().Seconds(), "forms/sec")

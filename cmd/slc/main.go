@@ -13,6 +13,13 @@
 //	slc -listing -transcript examples/testfn.lisp
 //	slc -run main -stats prog.lisp 10 20
 //	slc -no-tnbind -no-rep -listing prog.lisp
+//
+// Observability flags (see DESIGN.md §8):
+//
+//	slc -trace out.json -jobs 4 prog.lisp     # Chrome trace-event JSON
+//	slc -phase-stats -rule-stats 10 prog.lisp # aggregate compile reports
+//	slc -run main -profile prog.lisp          # runtime cycle profile
+//	slc -repl -debug-addr localhost:6060      # /metrics + pprof over HTTP
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 
 	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sexp"
 )
 
@@ -48,6 +56,12 @@ func run() error {
 		replMode   = flag.Bool("repl", false, "start an interactive compiled REPL (after loading files, if any)")
 		useCache   = flag.Bool("cache", false, "memoize compiled functions by source content (re-loads of a seen defun skip the middle end)")
 		jobs       = flag.Int("jobs", 0, "concurrent compile workers (0 = GOMAXPROCS, 1 = sequential)")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file of the compile pipeline (load in Perfetto)")
+		phaseStats = flag.Bool("phase-stats", false, "print an aggregated per-phase compile-time table")
+		ruleStats  = flag.Int("rule-stats", 0, "print the top-N optimizer rules by fire count")
+		profile    = flag.Bool("profile", false, "profile simulator execution (per-opcode and per-function cycle attribution)")
+		folded     = flag.String("folded", "", "with -profile, also write collapsed-stack flamegraph lines to this file")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address")
 	)
 	flag.Parse()
 	var src []byte
@@ -73,9 +87,25 @@ func run() error {
 	if *transcript {
 		sysOpts.OptimizerLog = os.Stdout
 	}
+	if *traceOut != "" || *phaseStats || *ruleStats > 0 {
+		sysOpts.Obs = obs.NewRecorder()
+	}
 	sys := core.NewSystem(sysOpts)
-	if err := sys.LoadString(string(src)); err != nil {
-		return err
+	if *profile || *folded != "" {
+		sys.EnableProfile()
+	}
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr, sys.MetricsSnapshot)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, ";; debug server on http://%s (/metrics, /debug/pprof)\n", srv.Addr())
+	}
+	if len(src) > 0 {
+		if err := sys.LoadString(string(src)); err != nil {
+			return err
+		}
 	}
 
 	if *listing {
@@ -116,33 +146,42 @@ func run() error {
 	}
 
 	if *stats {
-		printStats(sys, *interpret)
+		sys.WriteMeters(os.Stdout, *interpret)
+	}
+	if *phaseStats {
+		sys.Obs.WritePhaseStats(os.Stdout)
+	}
+	if *ruleStats > 0 {
+		sys.Obs.WriteTopRules(os.Stdout, *ruleStats)
+	}
+	if *profile {
+		sys.WriteProfile(os.Stdout)
+	}
+	if *folded != "" {
+		f, err := os.Create(*folded)
+		if err != nil {
+			return err
+		}
+		sys.WriteCollapsed(f)
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := sys.Obs.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	if *replMode {
 		return repl(sys, os.Stdin, os.Stdout)
 	}
 	return nil
-}
-
-func printStats(sys *core.System, interpreted bool) {
-	s := sys.Stats()
-	fmt.Println(";; --- machine meters ---")
-	fmt.Printf(";; cycles:            %d\n", s.Cycles)
-	fmt.Printf(";; instructions:      %d\n", s.Instrs)
-	fmt.Printf(";; calls / tail:      %d / %d\n", s.Calls, s.TailCalls)
-	fmt.Printf(";; heap words:        %d (%d conses, %d flonums, %d envs)\n",
-		s.HeapWords, s.ConsAllocs, s.FlonumAllocs, s.EnvAllocs)
-	fmt.Printf(";; max stack depth:   %d\n", s.MaxStack)
-	fmt.Printf(";; certifications:    %d (%d copies)\n", s.Certifies, s.CertifyCopies)
-	fmt.Printf(";; special lookups:   %d (%d probe steps)\n",
-		s.SpecialLookups, s.SpecialSearchSteps)
-	if s.CompileCacheHits+s.CompileCacheMisses > 0 {
-		fmt.Printf(";; compile cache:     %d hits / %d misses\n",
-			s.CompileCacheHits, s.CompileCacheMisses)
-	}
-	if interpreted {
-		is := sys.Interp.Stats
-		fmt.Printf(";; interpreter:       %d calls, %d builtins, %d conses\n",
-			is.Calls, is.BuiltinCalls, is.Conses)
-	}
 }

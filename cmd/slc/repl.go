@@ -13,10 +13,11 @@ import (
 // repl runs a read-compile-run-print loop: every form typed is compiled
 // to S-1 code and executed on the simulator. Definitions accumulate;
 // `:listing f` prints a function's assembly, `:stats` the meters,
-// `:transcript on|off` toggles the optimizer log, `:quit` exits.
+// `:reset-stats` clears them, `:profile` prints the runtime cycle
+// profile (enabling the profiler on first use), `:quit` exits.
 func repl(sys *core.System, in io.Reader, out io.Writer) error {
 	fmt.Fprintln(out, ";;; S-1 Lisp — compiled REPL (every form runs on the simulator)")
-	fmt.Fprintln(out, ";;; :listing <fn>  :stats  :quit")
+	fmt.Fprintln(out, ";;; :listing <fn>  :stats  :reset-stats  :profile  :quit")
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var pending strings.Builder
@@ -68,7 +69,19 @@ func replCommand(sys *core.System, out io.Writer, cmd string) (quit bool) {
 	case ":quit", ":q":
 		return true
 	case ":stats":
-		printStats(sys, false)
+		sys.WriteMeters(out, false)
+	case ":reset-stats":
+		sys.ResetMeters()
+		fmt.Fprintln(out, ";; meters reset")
+	case ":profile":
+		// First use enables the profiler; cycles spent before that are
+		// simply not attributed.
+		if sys.Machine.Profile() == nil {
+			sys.EnableProfile()
+			fmt.Fprintln(out, ";; profiler enabled; run some forms and :profile again")
+			return false
+		}
+		sys.WriteProfile(out)
 	case ":listing":
 		if len(fields) != 2 {
 			fmt.Fprintln(out, ";; usage: :listing <function>")

@@ -1,0 +1,37 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced
+// by `slc -trace`: the file must parse, every worker timeline must have
+// properly nested B/E pairs with monotonic timestamps, and no span may
+// be left open. It prints a one-line summary and exits non-zero on any
+// violation — the CI smoke job runs it against a trace of the example
+// corpus.
+//
+// Usage:
+//
+//	tracecheck trace.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	sum, err := obs.ValidateTrace(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("tracecheck: ok — %d events, %d spans, %d instants, %d workers\n",
+		sum.Events, sum.Spans, sum.Instants, sum.Workers)
+}

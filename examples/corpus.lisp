@@ -1,0 +1,66 @@
+;;; corpus.lisp — a small mixed workload for the observability smoke
+;;; tests: enough defuns to occupy several compile workers, patterns the
+;;; optimizer rewrites (so -rule-stats has something to report), a
+;;; special variable, a macro, and top-level forms that run on the
+;;; simulator (so -profile has cycles to attribute).
+
+(defvar *scale* 10)
+
+(defmacro square (x) `(* ,x ,x))
+
+(defun poly (x)
+  ;; Horner evaluation; constant folding and assoc/commut
+  ;; canonicalization both fire in here.
+  (+ (* (+ (* (+ (* x 3) 2) x) 1) x) (* 2 3)))
+
+(defun fib (n)
+  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+
+(defun fact (n)
+  (if (< n 2) 1 (* n (fact (- n 1)))))
+
+(defun sum-to (n)
+  (do ((i 0 (+ i 1))
+       (acc 0 (+ acc i)))
+      ((> i n) acc)))
+
+(defun scaled (x)
+  ;; Reads the special through the deep-binding machinery.
+  (* x *scale*))
+
+(defun dispatch (k)
+  (case k
+    (0 'zero)
+    (1 'one)
+    (2 'two)
+    (otherwise 'many)))
+
+(defun redundant (a b)
+  ;; The let is beta-convertible and the if has a constant predicate:
+  ;; both optimizer staples.
+  (let ((t1 (+ a b)))
+    (if nil 0 (+ t1 (square t1)))))
+
+(defun build-list (n)
+  (let ((acc nil))
+    (dotimes (i n)
+      (push i acc))
+    acc))
+
+(defun count-down (n)
+  (prog ((k n) (steps 0))
+   loop
+    (when (< k 1) (return steps))
+    (setq k (- k 1))
+    (incf steps)
+    (go loop)))
+
+;; Top-level forms: exercised by -run-free smoke invocations.
+(poly 7)
+(fib 12)
+(fact 10)
+(sum-to 100)
+(scaled 4)
+(dispatch 2)
+(redundant 3 4)
+(count-down 25)

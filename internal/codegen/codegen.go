@@ -8,10 +8,12 @@
 package codegen
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/analysis"
 	"repro/internal/binding"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/pdl"
 	"repro/internal/rep"
@@ -67,11 +69,23 @@ func New(m *s1.Machine, opts Options) *Compiler {
 }
 
 // Prepared is the result of the machine-independent middle end for one
-// function: the optimized, fully annotated tree, ready for emission.
+// function: the optimized, fully annotated tree, ready for emission,
+// plus the per-unit observability payloads (the buffered optimizer
+// transcript and the structured rule events).
 type Prepared struct {
 	Lam *tree.Lambda
 	vr  rep.VarReps
+	// transcript buffers the §5 optimizer log for this unit; Emit
+	// flushes it to Opts.OptimizerLog, so parallel Prepares never
+	// interleave transcript lines and flush order is emission (source)
+	// order — byte-identical to a sequential compile.
+	transcript *bytes.Buffer
+	rules      []obs.RuleEvent
 }
+
+// Rules returns the optimizer rule events fired while preparing this
+// function (empty unless an obs task was supplied).
+func (p *Prepared) Rules() []obs.RuleEvent { return p.rules }
 
 // Prepare runs the middle end — source-level optimizer, optional CSE,
 // analysis, binding, representation and pdl annotation — for one
@@ -79,11 +93,29 @@ type Prepared struct {
 // a fresh optimizer and compile-time interpreter), so distinct functions
 // may be Prepared concurrently; only Emit must be serialized.
 func (c *Compiler) Prepare(name string, lam *tree.Lambda) (*Prepared, error) {
+	return c.PrepareTask(name, lam, nil)
+}
+
+// PrepareTask is Prepare with observability: each middle-end phase
+// records a span on the task (nil task = no tracing), and optimizer
+// rule fires are collected as structured events on the Prepared.
+func (c *Compiler) PrepareTask(name string, lam *tree.Lambda, task *obs.Task) (*Prepared, error) {
+	p := &Prepared{}
 	if c.Opts.Optimize {
 		oo := opt.DefaultOptions()
 		if c.Opts.OptimizerLog != nil {
-			oo.Log = c.Opts.OptimizerLog
+			p.transcript = &bytes.Buffer{}
+			oo.Log = p.transcript
 		}
+		if task.Live() {
+			oo.OnRule = func(rule, before, after string) {
+				p.rules = append(p.rules, obs.RuleEvent{
+					Unit: name, Rule: rule, Before: before, After: after,
+					Ts: task.Since(), Worker: task.Worker(),
+				})
+			}
+		}
+		sp := task.Start("optimize")
 		n := opt.New(oo, nil).Optimize(lam)
 		var ok bool
 		if lam, ok = n.(*tree.Lambda); !ok {
@@ -92,18 +124,42 @@ func (c *Compiler) Prepare(name string, lam *tree.Lambda) (*Prepared, error) {
 		if err := tree.Validate(lam); err != nil {
 			return nil, fmt.Errorf("codegen: optimizer broke %s: %w", name, err)
 		}
+		sp.SetNodes(tree.CountNodes(lam))
+		sp.End()
 		if c.Opts.CSE {
+			sp := task.Start("cse")
 			opt.EliminateCommonSubexpressions(lam)
 			if err := tree.Validate(lam); err != nil {
 				return nil, fmt.Errorf("codegen: CSE broke %s: %w", name, err)
 			}
+			sp.SetNodes(tree.CountNodes(lam))
+			sp.End()
 		}
 	}
+	sp := task.Start("analysis")
 	analysis.Analyze(lam)
+	sp.End()
+	sp = task.Start("binding")
 	binding.Annotate(lam)
+	sp.End()
+	sp = task.Start("rep")
 	vr := rep.Annotate(lam, c.Opts.RepAnalysis)
+	sp.End()
+	sp = task.Start("pdl")
 	pdl.Annotate(lam, c.Opts.PdlNumbers)
-	return &Prepared{Lam: lam, vr: vr}, nil
+	sp.End()
+	p.Lam, p.vr = lam, vr
+	return p, nil
+}
+
+// flushTranscript writes this unit's buffered optimizer transcript to
+// the shared log. Called from Emit, which callers serialize in source
+// order, so transcripts appear exactly as in a sequential compile.
+func (c *Compiler) flushTranscript(p *Prepared) {
+	if p.transcript != nil && c.Opts.OptimizerLog != nil {
+		c.Opts.OptimizerLog.Write(p.transcript.Bytes())
+		p.transcript = nil
+	}
 }
 
 // Emit lowers a Prepared function into the machine and installs the
@@ -112,6 +168,7 @@ func (c *Compiler) Prepare(name string, lam *tree.Lambda) (*Prepared, error) {
 // concurrent callers must serialize Emit — in source order, if the
 // resulting image is to be independent of how Prepares were scheduled.
 func (c *Compiler) Emit(name string, p *Prepared) (int, error) {
+	c.flushTranscript(p)
 	idx, _, err := c.compileLambda(name, p.Lam, nil, p.vr)
 	if err != nil {
 		return 0, err
@@ -124,6 +181,7 @@ func (c *Compiler) Emit(name string, p *Prepared) (int, error) {
 // the function's own body (not including any closure functions it
 // installed along the way) for content-addressed caching.
 func (c *Compiler) EmitRecorded(name string, p *Prepared) (idx int, items []s1.Item, err error) {
+	c.flushTranscript(p)
 	idx, items, err = c.compileLambda(name, p.Lam, nil, p.vr)
 	if err != nil {
 		return 0, nil, err

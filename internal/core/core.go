@@ -23,6 +23,7 @@ import (
 	"repro/internal/compilecache"
 	"repro/internal/convert"
 	"repro/internal/interp"
+	"repro/internal/obs"
 	"repro/internal/s1"
 	"repro/internal/sexp"
 )
@@ -45,9 +46,14 @@ type Options struct {
 	// as an independent unit on a worker pool, with machine installation
 	// serialized in source order (so the built image is byte-identical to
 	// a sequential load). 0 means GOMAXPROCS; 1 compiles sequentially.
-	// Forced to 1 when an optimizer transcript is requested, to keep the
-	// transcript in source order.
+	// The optimizer transcript stays in source order at any Jobs value:
+	// each unit buffers its transcript during Prepare and the serialized
+	// emit step flushes the buffers in source order.
 	Jobs int
+	// Obs, if non-nil, records per-phase compile spans and optimizer
+	// rule-provenance events for the whole load (see internal/obs). Nil
+	// costs one pointer check per phase.
+	Obs *obs.Recorder
 	// Cache enables the content-addressed compile cache: re-loading an
 	// already-seen defun (same printed source, same options, same
 	// constants, no macro redefinition in between) skips the middle end
@@ -64,8 +70,13 @@ type System struct {
 	// Defs holds the converted program definitions for inspection.
 	Defs map[string]int // name -> function index
 
+	// Obs is the observability recorder this system reports to (nil when
+	// tracing is off).
+	Obs *obs.Recorder
+
 	macros        map[*sexp.Symbol]*interp.Closure
 	toplevelCount int
+	batchCount    int
 
 	jobs int
 	// cache memoizes compiled bodies; constsFP and macroEpoch are the
@@ -119,15 +130,13 @@ func NewSystem(opts Options) *System {
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
-	if co.OptimizerLog != nil {
-		jobs = 1
-	}
 	sys := &System{
 		Machine:  m,
 		Interp:   in,
 		Conv:     conv,
 		Compiler: codegen.New(m, co),
 		Defs:     map[string]int{},
+		Obs:      opts.Obs,
 		macros:   map[*sexp.Symbol]*interp.Closure{},
 		jobs:     jobs,
 		constsFP: constsFP,
@@ -179,11 +188,20 @@ func (s *System) LoadString(src string) error {
 // EvalString is LoadString returning the value of the last top-level
 // form (nil when the program is definitions only) — the REPL entry.
 func (s *System) EvalString(src string) (sexp.Value, error) {
+	// Reading and macro-conversion are batch-granularity stages (they see
+	// the whole text, not one defun), so their spans attach to a pseudo
+	// unit named for the batch.
+	s.batchCount++
+	batch := s.Obs.Task(fmt.Sprintf("%%batch-%d", s.batchCount), 0)
+	sp := batch.Start("read")
 	forms, err := sexp.ReadAll(src)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = batch.Start("convert")
 	prog, err := s.Conv.ConvertTopLevel(forms)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -195,10 +213,18 @@ func (s *System) EvalString(src string) (sexp.Value, error) {
 		s.toplevelCount++
 		name := fmt.Sprintf("%%toplevel-%d", s.toplevelCount)
 		lam := convert.WrapToplevel(form)
-		idx, err := s.Compiler.CompileFunction(name, lam)
+		t := s.Obs.Task(name, 0)
+		p, err := s.Compiler.PrepareTask(name, lam, t)
 		if err != nil {
 			return nil, fmt.Errorf("compiling top-level form %d: %w", i, err)
 		}
+		sp := t.Start("emit")
+		idx, err := s.Compiler.Emit(name, p)
+		sp.End()
+		if err != nil {
+			return nil, fmt.Errorf("compiling top-level form %d: %w", i, err)
+		}
+		s.Obs.AddRules(p.Rules())
 		w, err := s.Machine.CallIndex(idx)
 		if err != nil {
 			return nil, fmt.Errorf("running top-level form %d: %w", i, err)
@@ -234,35 +260,53 @@ func (s *System) compileDefs(defs []*convert.Def) error {
 		u := &unit{d: d}
 		units[i] = u
 		if s.cache != nil && d.Source != nil {
+			t := s.Obs.Task(d.Name.Name, 0)
+			sp := t.Start("cache-probe")
 			u.key = compilecache.Key(sexp.Print(d.Source), s.Compiler.Opts,
 				s.constsFP, s.macroEpoch)
 			if e, ok := s.cache.Lookup(u.key); ok {
 				u.hit, u.hitIdx = true, e.Index
 			}
+			sp.End()
 		}
 	}
 
-	if s.jobs <= 1 || len(units) == 1 {
-		for _, u := range units {
-			if !u.hit {
-				u.prepared, u.err = s.Compiler.Prepare(u.d.Name.Name, u.d.Lambda)
-			}
+	// The middle end runs on a fixed pool of numbered workers (ids 1..N;
+	// id 0 is the driver goroutine) so every span carries the identity of
+	// the goroutine that produced it and per-worker span sets never
+	// overlap in time — exactly what the trace view needs.
+	pending := make([]*unit, 0, len(units))
+	for _, u := range units {
+		if !u.hit {
+			pending = append(pending, u)
+		}
+	}
+	workers := s.jobs
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers <= 1 {
+		for _, u := range pending {
+			t := s.Obs.Task(u.d.Name.Name, 0)
+			u.prepared, u.err = s.Compiler.PrepareTask(u.d.Name.Name, u.d.Lambda, t)
 		}
 	} else {
-		sem := make(chan struct{}, s.jobs)
+		work := make(chan *unit)
 		var wg sync.WaitGroup
-		for _, u := range units {
-			if u.hit {
-				continue
-			}
+		for w := 1; w <= workers; w++ {
 			wg.Add(1)
-			go func(u *unit) {
+			go func(id int) {
 				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				u.prepared, u.err = s.Compiler.Prepare(u.d.Name.Name, u.d.Lambda)
-			}(u)
+				for u := range work {
+					t := s.Obs.Task(u.d.Name.Name, id)
+					u.prepared, u.err = s.Compiler.PrepareTask(u.d.Name.Name, u.d.Lambda, t)
+				}
+			}(w)
 		}
+		for _, u := range pending {
+			work <- u
+		}
+		close(work)
 		wg.Wait()
 	}
 
@@ -286,6 +330,8 @@ func (s *System) compileDefs(defs []*convert.Def) error {
 		}
 		var idx int
 		var err error
+		t := s.Obs.Task(d.Name.Name, 0)
+		sp := t.Start("emit")
 		if s.cache != nil && u.key != "" {
 			s.Machine.Stats.CompileCacheMisses++
 			var items []s1.Item
@@ -299,9 +345,15 @@ func (s *System) compileDefs(defs []*convert.Def) error {
 		} else {
 			idx, err = s.Compiler.Emit(d.Name.Name, u.prepared)
 		}
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("compiling %s: %w", d.Name.Name, err)
 		}
+		// Rule events were buffered per-unit during the (possibly
+		// concurrent) Prepare; appending them here, in the serialized
+		// source-order install loop, keeps the recorder's rule stream
+		// deterministic.
+		s.Obs.AddRules(u.prepared.Rules())
 		s.Defs[d.Name.Name] = idx
 	}
 	return nil

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The nil fast path is the whole point of the API: instrumented code
+// holds a possibly-nil recorder and must be able to call straight
+// through it.
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	task := r.Task("f", 1)
+	if task != nil {
+		t.Fatalf("nil recorder returned non-nil task")
+	}
+	if task.Live() {
+		t.Fatalf("nil task claims to be live")
+	}
+	if task.Worker() != 0 || task.Since() != 0 {
+		t.Fatalf("nil task leaked state")
+	}
+	sp := task.Start("optimize")
+	sp.SetNodes(7)
+	sp.End() // must not panic
+	r.AddRules([]RuleEvent{{Rule: "X"}})
+	if r.Spans() != nil || r.Rules() != nil || r.CountSpans("", "") != 0 {
+		t.Fatalf("nil recorder recorded something")
+	}
+}
+
+func TestSpanRecording(t *testing.T) {
+	r := NewRecorder()
+	task := r.Task("poly", 2)
+	if !task.Live() || task.Worker() != 2 {
+		t.Fatalf("task identity wrong: live=%v worker=%d", task.Live(), task.Worker())
+	}
+	sp := task.Start("optimize")
+	time.Sleep(time.Millisecond)
+	sp.SetNodes(42)
+	sp.End()
+	task.Start("emit").End()
+
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	s := spans[0]
+	if s.Phase != "optimize" || s.Unit != "poly" || s.Worker != 2 || s.Nodes != 42 {
+		t.Fatalf("span fields wrong: %+v", s)
+	}
+	if s.End <= s.Start {
+		t.Fatalf("span has no duration: %+v", s)
+	}
+	if r.CountSpans("poly", "") != 2 || r.CountSpans("", "emit") != 1 ||
+		r.CountSpans("other", "") != 0 {
+		t.Fatalf("CountSpans filtering wrong")
+	}
+}
+
+func TestRuleEvents(t *testing.T) {
+	r := NewRecorder()
+	r.AddRules([]RuleEvent{
+		{Unit: "f", Rule: "META-SUBSTITUTE", Before: "(a)", After: "(b)"},
+		{Unit: "f", Rule: "META-SUBSTITUTE", Before: "(c)", After: "(d)"},
+		{Unit: "g", Rule: "META-CALL-LAMBDA", Before: "(e)", After: "(f)"},
+	})
+	if got := len(r.Rules()); got != 3 {
+		t.Fatalf("got %d rules, want 3", got)
+	}
+	var b strings.Builder
+	r.WriteTopRules(&b, 2)
+	out := b.String()
+	if !strings.Contains(out, "META-SUBSTITUTE") || !strings.Contains(out, "2") {
+		t.Fatalf("top-rules report missing dominant rule:\n%s", out)
+	}
+	// n=2 keeps both distinct rules; the report is ordered by fire count.
+	if strings.Index(out, "META-SUBSTITUTE") > strings.Index(out, "META-CALL-LAMBDA") {
+		t.Fatalf("top-rules not ordered by fire count:\n%s", out)
+	}
+}
+
+// Concurrent span recording from many goroutines must be clean under
+// -race and lose nothing.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 1; w <= workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			task := r.Task("unit", id)
+			for i := 0; i < perWorker; i++ {
+				sp := task.Start("optimize")
+				sp.End()
+				task.Start("emit").End()
+			}
+			r.AddRules([]RuleEvent{{Unit: "unit", Rule: "R", Worker: id}})
+		}(w)
+	}
+	wg.Wait()
+	if got := len(r.Spans()); got != workers*perWorker*2 {
+		t.Fatalf("got %d spans, want %d", got, workers*perWorker*2)
+	}
+	if got := len(r.Rules()); got != workers {
+		t.Fatalf("got %d rule events, want %d", got, workers)
+	}
+}
+
+func TestPhaseStatsReport(t *testing.T) {
+	r := NewRecorder()
+	task := r.Task("f", 0)
+	sp := task.Start("optimize")
+	sp.SetNodes(10)
+	sp.End()
+	task.Start("emit").End()
+	var b strings.Builder
+	r.WritePhaseStats(&b)
+	out := b.String()
+	if !strings.Contains(out, "optimize") || !strings.Contains(out, "emit") {
+		t.Fatalf("phase stats missing phases:\n%s", out)
+	}
+	// Pipeline order, not alphabetical: optimize before emit.
+	if strings.Index(out, "optimize") > strings.Index(out, "emit") {
+		t.Fatalf("phases not in pipeline order:\n%s", out)
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	var b strings.Builder
+	WriteProm(&b, map[string]float64{
+		"slc_b_total": 2,
+		"slc_a_total": 1.5,
+	})
+	want := "# TYPE slc_a_total gauge\nslc_a_total 1.5\n# TYPE slc_b_total gauge\nslc_b_total 2\n"
+	if b.String() != want {
+		t.Fatalf("prom output:\n%q\nwant:\n%q", b.String(), want)
+	}
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// phaseOrder is the canonical pipeline order for reports; phases not
+// listed sort after these, alphabetically.
+var phaseOrder = []string{
+	"read", "convert", "cache-probe", "optimize", "cse",
+	"analysis", "binding", "rep", "pdl", "emit",
+}
+
+func phaseRank(name string) int {
+	for i, p := range phaseOrder {
+		if p == name {
+			return i
+		}
+	}
+	return len(phaseOrder)
+}
+
+// WritePhaseStats prints the aggregated per-phase table: span count,
+// total/mean/max wall time and total tree nodes, in pipeline order.
+// Output is deterministic for a given span multiset.
+func (r *Recorder) WritePhaseStats(w io.Writer) {
+	if r == nil {
+		fmt.Fprintln(w, ";; no phase spans recorded")
+		return
+	}
+	type agg struct {
+		name  string
+		count int
+		total time.Duration
+		max   time.Duration
+		nodes int
+	}
+	byPhase := map[string]*agg{}
+	for _, s := range r.Spans() {
+		a := byPhase[s.Phase]
+		if a == nil {
+			a = &agg{name: s.Phase}
+			byPhase[s.Phase] = a
+		}
+		d := s.End - s.Start
+		a.count++
+		a.total += d
+		if d > a.max {
+			a.max = d
+		}
+		a.nodes += s.Nodes
+	}
+	rows := make([]*agg, 0, len(byPhase))
+	for _, a := range byPhase {
+		rows = append(rows, a)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ri, rj := phaseRank(rows[i].name), phaseRank(rows[j].name)
+		if ri != rj {
+			return ri < rj
+		}
+		return rows[i].name < rows[j].name
+	})
+	fmt.Fprintln(w, ";; --- compile phase stats ---")
+	fmt.Fprintf(w, ";; %-12s %7s %12s %12s %12s %8s\n",
+		"phase", "spans", "total", "mean", "max", "nodes")
+	for _, a := range rows {
+		mean := time.Duration(0)
+		if a.count > 0 {
+			mean = a.total / time.Duration(a.count)
+		}
+		fmt.Fprintf(w, ";; %-12s %7d %12s %12s %12s %8d\n",
+			a.name, a.count, fmtDur(a.total), fmtDur(mean), fmtDur(a.max), a.nodes)
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+// clip shortens a source form for one-line report display.
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}
+
+// WriteTopRules prints the n most-fired optimizer rules with one example
+// transformation each — the queryable form of the paper's Table 4
+// "which transformation bought what" question.
+func (r *Recorder) WriteTopRules(w io.Writer, n int) {
+	events := r.Rules()
+	if len(events) == 0 {
+		fmt.Fprintln(w, ";; no optimizer rule events recorded")
+		return
+	}
+	type agg struct {
+		name    string
+		count   int
+		example RuleEvent
+	}
+	byRule := map[string]*agg{}
+	for _, ev := range events {
+		a := byRule[ev.Rule]
+		if a == nil {
+			a = &agg{name: ev.Rule, example: ev}
+			byRule[ev.Rule] = a
+		}
+		a.count++
+	}
+	rows := make([]*agg, 0, len(byRule))
+	for _, a := range byRule {
+		rows = append(rows, a)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].count != rows[j].count {
+			return rows[i].count > rows[j].count
+		}
+		return rows[i].name < rows[j].name
+	})
+	if n > 0 && n < len(rows) {
+		rows = rows[:n]
+	}
+	fmt.Fprintf(w, ";; --- optimizer rules (%d fires, %d distinct) ---\n",
+		len(events), len(byRule))
+	for _, a := range rows {
+		fmt.Fprintf(w, ";; %6d  %s\n", a.count, a.name)
+		fmt.Fprintf(w, ";;         e.g. in %s: %s\n", a.example.Unit, clip(a.example.Before, 60))
+		fmt.Fprintf(w, ";;           => %s\n", clip(a.example.After, 60))
+	}
+}
+
+// WriteProm renders a metric map in Prometheus text exposition format,
+// sorted by name for deterministic output.
+func WriteProm(w io.Writer, metrics map[string]float64) {
+	names := make([]string, 0, len(metrics))
+	for k := range metrics {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", k, k, metrics[k])
+	}
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// addSpan injects a span with explicit timing (tests need deterministic
+// overlap patterns that wall-clock Start/End can't produce reliably).
+func addSpan(r *Recorder, unit, phase string, worker int, start, end time.Duration) {
+	r.mu.Lock()
+	r.spans = append(r.spans, Span{
+		Phase: phase, Unit: unit, Worker: worker, Start: start, End: end,
+	})
+	r.mu.Unlock()
+}
+
+// The golden well-formedness test: a trace with nested spans on one
+// worker, concurrent spans on another worker, and rule instants must
+// produce valid JSON with properly nested B/E pairs and monotonic
+// timestamps per thread.
+func TestWriteTraceWellFormed(t *testing.T) {
+	r := NewRecorder()
+	// Worker 1: an outer span containing two nested phases.
+	addSpan(r, "f", "optimize", 1, 10*time.Microsecond, 100*time.Microsecond)
+	addSpan(r, "f", "cse", 1, 20*time.Microsecond, 40*time.Microsecond)
+	addSpan(r, "f", "analysis", 1, 50*time.Microsecond, 90*time.Microsecond)
+	// Worker 2 overlaps worker 1 in wall time — fine across threads.
+	addSpan(r, "g", "optimize", 2, 15*time.Microsecond, 80*time.Microsecond)
+	// Driver does the serialized emits.
+	addSpan(r, "f", "emit", 0, 120*time.Microsecond, 130*time.Microsecond)
+	addSpan(r, "g", "emit", 0, 130*time.Microsecond, 140*time.Microsecond)
+	r.AddRules([]RuleEvent{
+		{Unit: "f", Rule: "META-SUBSTITUTE", Ts: 25 * time.Microsecond, Worker: 1},
+		{Unit: "g", Rule: "META-CALL-LAMBDA", Ts: 30 * time.Microsecond, Worker: 2},
+	})
+
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	sum, err := ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("trace not well-formed: %v\n%s", err, buf.String())
+	}
+	if sum.Spans != 6 {
+		t.Fatalf("got %d spans, want 6", sum.Spans)
+	}
+	if sum.Instants != 2 {
+		t.Fatalf("got %d instants, want 2", sum.Instants)
+	}
+	if sum.Workers != 3 {
+		t.Fatalf("got %d workers, want 3 (driver + 2)", sum.Workers)
+	}
+
+	// Structural checks beyond the validator: thread names and span args
+	// survive the round trip.
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	var haveDriver, haveUnit bool
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" && ev.Tid == 0 &&
+			ev.Args["name"] == "driver" {
+			haveDriver = true
+		}
+		if ev.Ph == "B" && ev.Name == "optimize" && ev.Args["unit"] == "f" {
+			haveUnit = true
+		}
+	}
+	if !haveDriver {
+		t.Fatalf("missing driver thread_name metadata")
+	}
+	if !haveUnit {
+		t.Fatalf("B event lost its unit arg")
+	}
+}
+
+// Ties and identical extents — the degenerate nesting cases — must
+// still produce a properly nested stream.
+func TestWriteTraceTies(t *testing.T) {
+	r := NewRecorder()
+	addSpan(r, "a", "optimize", 1, 10*time.Microsecond, 50*time.Microsecond)
+	addSpan(r, "a", "cse", 1, 10*time.Microsecond, 50*time.Microsecond) // identical extent
+	addSpan(r, "a", "analysis", 1, 50*time.Microsecond, 50*time.Microsecond)
+	addSpan(r, "a", "emit", 1, 50*time.Microsecond, 60*time.Microsecond)
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("tied spans produced malformed trace: %v\n%s", err, buf.String())
+	}
+}
+
+func TestValidateTraceRejectsBroken(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"not json", `{"traceEvents": [`},
+		{"unmatched E", `{"traceEvents":[{"name":"x","ph":"E","ts":1,"pid":1,"tid":0}]}`},
+		{"unclosed B", `{"traceEvents":[{"name":"x","ph":"B","ts":1,"pid":1,"tid":0}]}`},
+		{"crossed pair", `{"traceEvents":[
+			{"name":"a","ph":"B","ts":1,"pid":1,"tid":0},
+			{"name":"b","ph":"B","ts":2,"pid":1,"tid":0},
+			{"name":"a","ph":"E","ts":3,"pid":1,"tid":0},
+			{"name":"b","ph":"E","ts":4,"pid":1,"tid":0}]}`},
+		{"time travel", `{"traceEvents":[
+			{"name":"a","ph":"B","ts":5,"pid":1,"tid":0},
+			{"name":"a","ph":"E","ts":1,"pid":1,"tid":0}]}`},
+	}
+	for _, c := range cases {
+		if _, err := ValidateTrace([]byte(c.body)); err == nil {
+			t.Errorf("%s: validator accepted a broken trace", c.name)
+		}
+	}
+}
+
+func TestWriteTraceNilRecorder(t *testing.T) {
+	var r *Recorder
+	if err := r.WriteTrace(&bytes.Buffer{}); err == nil {
+		t.Fatalf("nil recorder WriteTrace should error")
+	}
+}

@@ -26,6 +26,11 @@ import (
 type Options struct {
 	// Log, if non-nil, receives the transformation transcript.
 	Log io.Writer
+	// OnRule, if non-nil, receives every applied transformation as a
+	// structured event: the rule name and the back-translated source
+	// before and after. This is the §5 transcript in queryable form; the
+	// obs layer aggregates it into rule-provenance reports.
+	OnRule func(rule, before, after string)
 	// MaxPasses bounds the fixpoint iteration.
 	MaxPasses int
 	// SubstituteComplexity is the size threshold below which a pure
@@ -198,12 +203,18 @@ func (o *Optimizer) enabled(rule string) bool { return !o.opts.Disabled[rule] }
 func (o *Optimizer) logRule(rule, before string, newN tree.Node) {
 	o.Applied[rule]++
 	o.changed = true
-	if o.opts.Log == nil {
+	if o.opts.Log == nil && o.opts.OnRule == nil {
 		return
 	}
-	fmt.Fprintf(o.opts.Log, ";**** Optimizing this form: %s\n", before)
-	fmt.Fprintf(o.opts.Log, ";**** to be this form: %s\n", tree.Show(newN))
-	fmt.Fprintf(o.opts.Log, ";**** courtesy of %s\n", rule)
+	after := tree.Show(newN)
+	if o.opts.Log != nil {
+		fmt.Fprintf(o.opts.Log, ";**** Optimizing this form: %s\n", before)
+		fmt.Fprintf(o.opts.Log, ";**** to be this form: %s\n", after)
+		fmt.Fprintf(o.opts.Log, ";**** courtesy of %s\n", rule)
+	}
+	if o.opts.OnRule != nil {
+		o.opts.OnRule(rule, before, after)
+	}
 }
 
 // rewrite rewrites children bottom-up, then applies node-local rules until
@@ -310,7 +321,7 @@ func (o *Optimizer) applyRules(n tree.Node) (tree.Node, bool) {
 		}
 	}
 	before := ""
-	if o.opts.Log != nil {
+	if o.opts.Log != nil || o.opts.OnRule != nil {
 		before = tree.Show(n)
 	}
 	for _, r := range rules {

@@ -1,5 +1,7 @@
 package s1
 
+import "time"
+
 // A mark-sweep garbage collector for the simulator heap. The paper's
 // runtime "and especially the garbage collector, has been written with
 // multiprocessing in mind"; ours is a stop-the-world single-threaded
@@ -43,6 +45,10 @@ func (m *Machine) SetGCThreshold(words int64) { m.gcThreshold = words }
 func (m *Machine) GC() int64 {
 	m.gcEnsure()
 	m.GCMeters.Collections++
+	var gcStart time.Time
+	if m.prof != nil {
+		gcStart = time.Now()
+	}
 
 	// --- mark ---
 	var mark func(w Word)
@@ -121,6 +127,9 @@ func (m *Machine) GC() int64 {
 	m.GCMeters.WordsReclaimed += reclaimed
 	m.GCMeters.BlocksFreed += blocks
 	m.liveSinceGC = 0
+	if p := m.prof; p != nil {
+		p.gcPause(time.Since(gcStart))
+	}
 	return reclaimed
 }
 

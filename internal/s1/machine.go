@@ -34,6 +34,9 @@ type catchFrame struct {
 	ep        Word
 	handler   int
 	bindDepth int
+	// fnDepth is the profiler's shadow-stack depth at CATCH time, so a
+	// THROW unwind can truncate attribution to the handler's frame.
+	fnDepth int
 }
 
 // Stats are the simulator's meters; every experiment in EXPERIMENTS.md is
@@ -111,6 +114,9 @@ type Machine struct {
 	catchStack  []catchFrame
 	pc          int
 	halted      bool
+	// prof, when non-nil, collects the runtime profile (profile.go).
+	// The disabled fast path costs one nil check per instruction.
+	prof *Profile
 }
 
 // New creates an empty machine. Code index 0 is a HALT used as the
@@ -344,6 +350,9 @@ func (m *Machine) CallFunction(name string, args ...Word) (Word, error) {
 
 // CallIndex invokes function index idx with args.
 func (m *Machine) CallIndex(idx int, args ...Word) (Word, error) {
+	if p := m.prof; p != nil {
+		p.restart(m)
+	}
 	m.regs[RegSP] = RawInt(StackBase)
 	m.regs[RegFP] = RawInt(StackBase)
 	m.regs[RegEP] = NilWord
@@ -385,10 +394,9 @@ func (m *Machine) enterFrame(nargs, retPC int, fn Word, fast bool) error {
 	m.regs[RegEP] = env
 	m.regs[RegR3] = RawInt(int64(nargs))
 	m.pc = m.Funcs[idx].Entry
-	if fast {
-		m.Stats.Calls++
-	} else {
-		m.Stats.Calls++
+	m.Stats.Calls++
+	if p := m.prof; p != nil {
+		p.call(m, idx)
 	}
 	return nil
 }
@@ -411,8 +419,12 @@ func (m *Machine) Run() error {
 
 func (m *Machine) step() error {
 	ins := &m.Code[m.pc]
+	cost := cycleCost[ins.Op]
 	m.Stats.Instrs++
-	m.Stats.Cycles += cycleCost[ins.Op]
+	m.Stats.Cycles += cost
+	if p := m.prof; p != nil {
+		p.note(ins.Op, cost)
+	}
 	next := m.pc + 1
 
 	switch ins.Op {
@@ -660,6 +672,9 @@ func (m *Machine) step() error {
 			return err
 		}
 		m.bindStack = append(m.bindStack, bindEntry{sym: int(ins.TagArg), val: v})
+		if p := m.prof; p != nil && len(m.bindStack) > p.BindHighWater {
+			p.BindHighWater = len(m.bindStack)
+		}
 
 	case OpSPECUNBIND:
 		n := int(ins.TagArg)
@@ -676,7 +691,11 @@ func (m *Machine) step() error {
 		m.catchStack = append(m.catchStack, catchFrame{
 			tag: tag, sp: m.regs[RegSP], fp: m.regs[RegFP], ep: m.regs[RegEP],
 			handler: ins.target, bindDepth: len(m.bindStack),
+			fnDepth: m.prof.depth(),
 		})
+		if p := m.prof; p != nil && len(m.catchStack) > p.CatchHighWater {
+			p.CatchHighWater = len(m.catchStack)
+		}
 
 	case OpENDCATCH:
 		if len(m.catchStack) == 0 {
@@ -770,6 +789,9 @@ func (m *Machine) ret() error {
 	if err := m.push(m.regs[RegA]); err != nil {
 		return err
 	}
+	if p := m.prof; p != nil {
+		p.ret(m)
+	}
 	m.pc = int(retw.Int())
 	if m.pc == 0 {
 		m.halted = true
@@ -830,6 +852,9 @@ func (m *Machine) tailCall(k int, fn Word) error {
 	m.regs[RegEP] = env
 	m.regs[RegR3] = RawInt(int64(k))
 	m.pc = m.Funcs[idx].Entry
+	if p := m.prof; p != nil {
+		p.tail(m, idx)
+	}
 	return nil
 }
 

@@ -1,0 +1,254 @@
+package s1
+
+// Runtime profiling for the simulator: per-opcode histograms,
+// function-level cycle attribution keyed off the function table, GC
+// pause meters, binding/catch stack high-water marks, and collapsed call
+// stacks suitable for flamegraph tools.
+//
+// Profiling is exact, not sampled: a shadow stack of function indices
+// mirrors the machine's call frames (maintained at CALL/TCALL/RET and
+// non-local THROW unwinds), every executed instruction's cycles are
+// charged to the opcode and to the function on top of the shadow stack,
+// and cycles accumulate against the current collapsed-stack signature,
+// flushed whenever the stack changes. When m.prof is nil — the default —
+// the hot path pays exactly one nil check per instruction.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// NumOps is the number of opcodes (for histogram arrays).
+const NumOps = int(OpHALT) + 1
+
+// Profile accumulates runtime profiling data for one machine. It is not
+// safe for concurrent use (the simulator is single-threaded).
+type Profile struct {
+	// OpCount and OpCycles are per-opcode execution counts and cycle
+	// totals. OpCycles[OpCALLSQ] includes each SQ routine's own cost.
+	OpCount  [NumOps]int64
+	OpCycles [NumOps]int64
+	// FnCycles, FnInstrs and FnCalls attribute execution to the function
+	// table, indexed by function-descriptor index.
+	FnCycles []int64
+	FnInstrs []int64
+	FnCalls  []int64
+	// GC pause meters.
+	GCPauseCount int64
+	GCPauseTotal time.Duration
+	GCPauseMax   time.Duration
+	// High-water marks of the deep-binding and catch stacks.
+	BindHighWater  int
+	CatchHighWater int
+
+	stack     []int // shadow stack of function indices
+	pending   int64 // cycles accrued against the current stack
+	collapsed map[string]int64
+}
+
+// EnableProfile turns profiling on (idempotent) and returns the profile.
+func (m *Machine) EnableProfile() *Profile {
+	if m.prof == nil {
+		m.prof = &Profile{collapsed: map[string]int64{}}
+	}
+	return m.prof
+}
+
+// Profile returns the machine's profile, or nil when profiling is off.
+func (m *Machine) Profile() *Profile { return m.prof }
+
+// Reset clears all accumulated profile data, keeping profiling enabled.
+// The shadow stack survives (it mirrors live machine frames).
+func (p *Profile) Reset() {
+	stack := p.stack
+	*p = Profile{collapsed: map[string]int64{}}
+	p.stack = stack
+}
+
+// note charges one executed instruction to the opcode and the current
+// function.
+func (p *Profile) note(op Op, cycles int64) {
+	p.OpCount[op]++
+	p.OpCycles[op] += cycles
+	if n := len(p.stack); n > 0 {
+		fn := p.stack[n-1]
+		p.FnCycles[fn] += cycles
+		p.FnInstrs[fn]++
+	}
+	p.pending += cycles
+}
+
+// noteExtra charges additional cycles (an SQ routine's body) to an
+// already-counted instruction.
+func (p *Profile) noteExtra(op Op, cycles int64) {
+	p.OpCycles[op] += cycles
+	if n := len(p.stack); n > 0 {
+		p.FnCycles[p.stack[n-1]] += cycles
+	}
+	p.pending += cycles
+}
+
+func (p *Profile) ensure(n int) {
+	for len(p.FnCycles) < n {
+		p.FnCycles = append(p.FnCycles, 0)
+		p.FnInstrs = append(p.FnInstrs, 0)
+		p.FnCalls = append(p.FnCalls, 0)
+	}
+}
+
+// flush charges the pending cycles to the current collapsed stack.
+func (p *Profile) flush(m *Machine) {
+	if p.pending == 0 {
+		return
+	}
+	if len(p.stack) > 0 {
+		names := make([]string, len(p.stack))
+		for i, fn := range p.stack {
+			names[i] = m.Funcs[fn].Name
+		}
+		p.collapsed[strings.Join(names, ";")] += p.pending
+	}
+	p.pending = 0
+}
+
+func (p *Profile) call(m *Machine, idx int) {
+	p.flush(m)
+	p.ensure(len(m.Funcs))
+	p.stack = append(p.stack, idx)
+	p.FnCalls[idx]++
+}
+
+func (p *Profile) tail(m *Machine, idx int) {
+	p.flush(m)
+	p.ensure(len(m.Funcs))
+	if n := len(p.stack); n > 0 {
+		p.stack[n-1] = idx
+	} else {
+		p.stack = append(p.stack, idx)
+	}
+	p.FnCalls[idx]++
+}
+
+func (p *Profile) ret(m *Machine) {
+	p.flush(m)
+	if n := len(p.stack); n > 0 {
+		p.stack = p.stack[:n-1]
+	}
+}
+
+// truncate unwinds the shadow stack to depth (a non-local THROW).
+func (p *Profile) truncate(m *Machine, depth int) {
+	p.flush(m)
+	if depth >= 0 && depth <= len(p.stack) {
+		p.stack = p.stack[:depth]
+	}
+}
+
+// restart resets the shadow stack for a fresh top-level call.
+func (p *Profile) restart(m *Machine) {
+	p.flush(m)
+	p.stack = p.stack[:0]
+}
+
+func (p *Profile) depth() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.stack)
+}
+
+// gcPause records one collection's stop-the-world duration.
+func (p *Profile) gcPause(d time.Duration) {
+	p.GCPauseCount++
+	p.GCPauseTotal += d
+	if d > p.GCPauseMax {
+		p.GCPauseMax = d
+	}
+}
+
+// WriteProfile prints the runtime profile tables: the opcode histogram
+// (by cycles), function-level attribution, GC pauses and stack
+// high-water marks. Ordering is deterministic.
+func (m *Machine) WriteProfile(w io.Writer) {
+	p := m.prof
+	if p == nil {
+		fmt.Fprintln(w, ";; profiling not enabled")
+		return
+	}
+	p.flush(m)
+	fmt.Fprintln(w, ";; --- runtime profile ---")
+	fmt.Fprintln(w, ";; opcode histogram (by cycles):")
+	ops := make([]Op, 0, NumOps)
+	for op := 0; op < NumOps; op++ {
+		if p.OpCount[op] > 0 {
+			ops = append(ops, Op(op))
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		ci, cj := p.OpCycles[ops[i]], p.OpCycles[ops[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return ops[i].String() < ops[j].String()
+	})
+	fmt.Fprintf(w, ";;   %-12s %12s %12s\n", "opcode", "execs", "cycles")
+	for _, op := range ops {
+		fmt.Fprintf(w, ";;   %-12s %12d %12d\n", op.String(), p.OpCount[op], p.OpCycles[op])
+	}
+	fmt.Fprintln(w, ";; function cycles:")
+	fns := make([]int, 0, len(p.FnCycles))
+	for i := range p.FnCycles {
+		if p.FnCycles[i] > 0 || p.FnCalls[i] > 0 {
+			fns = append(fns, i)
+		}
+	}
+	sort.Slice(fns, func(i, j int) bool {
+		ci, cj := p.FnCycles[fns[i]], p.FnCycles[fns[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return m.Funcs[fns[i]].Name < m.Funcs[fns[j]].Name
+	})
+	fmt.Fprintf(w, ";;   %-24s %10s %12s %12s\n", "function", "calls", "instrs", "cycles")
+	for _, fn := range fns {
+		fmt.Fprintf(w, ";;   %-24s %10d %12d %12d\n",
+			m.Funcs[fn].Name, p.FnCalls[fn], p.FnInstrs[fn], p.FnCycles[fn])
+	}
+	fmt.Fprintf(w, ";; gc: %d pauses, total %s, max %s (%d collections, %d words reclaimed)\n",
+		p.GCPauseCount, p.GCPauseTotal.Round(time.Microsecond),
+		p.GCPauseMax.Round(time.Microsecond),
+		m.GCMeters.Collections, m.GCMeters.WordsReclaimed)
+	fmt.Fprintf(w, ";; high water: value stack %d words, binding stack %d, catch stack %d\n",
+		m.Stats.MaxStack, p.BindHighWater, p.CatchHighWater)
+}
+
+// WriteCollapsed emits the collapsed call stacks in the
+// semicolon-joined "folded" format consumed by flamegraph tools, one
+// "stack cycles" line per distinct stack, sorted for determinism.
+func (m *Machine) WriteCollapsed(w io.Writer) {
+	p := m.prof
+	if p == nil {
+		return
+	}
+	p.flush(m)
+	keys := make([]string, 0, len(p.collapsed))
+	for k := range p.collapsed {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s %d\n", k, p.collapsed[k])
+	}
+}
+
+// Collapsed returns a copy of the collapsed-stack cycle map.
+func (p *Profile) Collapsed() map[string]int64 {
+	out := make(map[string]int64, len(p.collapsed))
+	for k, v := range p.collapsed {
+		out[k] = v
+	}
+	return out
+}

@@ -103,6 +103,11 @@ func (m *Machine) SetPrimHook(h PrimHook) { m.primHook = h }
 // transferred (pc already set).
 func (m *Machine) callSQ(idx int, ins *Instr) (bool, error) {
 	m.Stats.Cycles += sqCost[idx]
+	if p := m.prof; p != nil {
+		// The CALLSQ dispatch was already counted in step; the routine's
+		// own cost lands on the same opcode bucket and function.
+		p.noteExtra(OpCALLSQ, sqCost[idx])
+	}
 	A := m.regs[RegA]
 	B := m.regs[RegB]
 	setA := func(w Word) { m.regs[RegA] = w }
@@ -507,6 +512,9 @@ func (m *Machine) throw(tag, val Word) (bool, error) {
 			m.bindStack = m.bindStack[:f.bindDepth]
 			m.regs[RegA] = val
 			m.pc = f.handler
+			if p := m.prof; p != nil {
+				p.truncate(m, f.fnDepth)
+			}
 			return true, nil
 		}
 	}
