@@ -429,7 +429,7 @@ func BenchmarkE11_BetaConversion(b *testing.B) {
 	    (let ((y x))
 	      (let ((f (lambda (q) (+ q y))))
 	        (if (and a (or b (and c d))) (f x) (f y))))))`
-	form := sexp.MustRead(src)
+	form := mustRead(src)
 	applied := 0
 	for i := 0; i < b.N; i++ {
 		c := convert.New()
@@ -623,4 +623,14 @@ func BenchmarkCompileCached(b *testing.B) {
 		b.ReportMetric(float64(st.CompileCacheHits)/float64(total), "hit-rate")
 		b.ReportMetric(float64(nForms)*float64(b.N)/b.Elapsed().Seconds(), "forms/sec")
 	})
+}
+
+// mustRead parses one form, panicking on error — a test-table
+// convenience; the production reader paths all return errors.
+func mustRead(src string) sexp.Value {
+	v, err := sexp.ReadOne(src)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

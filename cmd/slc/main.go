@@ -20,6 +20,14 @@
 //	slc -phase-stats -rule-stats 10 prog.lisp # aggregate compile reports
 //	slc -run main -profile prog.lisp          # runtime cycle profile
 //	slc -repl -debug-addr localhost:6060      # /metrics + pprof over HTTP
+//
+// Fault-tolerance flags (see DESIGN.md §9): a load reports every failed
+// unit with its source position and still compiles the rest; the driver
+// exits non-zero only when at least one unit failed.
+//
+//	slc -max-errors 50 prog.lisp              # store up to 50 diagnostics
+//	slc -run main -max-steps 1000000 -max-heap 65536 prog.lisp
+//	slc -fault 'optimize:defun=exptl:panic' -jobs 8 prog.lisp
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 
 	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/diag"
 	"repro/internal/obs"
 	"repro/internal/sexp"
 )
@@ -62,8 +71,26 @@ func run() error {
 		profile    = flag.Bool("profile", false, "profile simulator execution (per-opcode and per-function cycle attribution)")
 		folded     = flag.String("folded", "", "with -profile, also write collapsed-stack flamegraph lines to this file")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics (Prometheus text) and /debug/pprof on this address")
+		maxErrors  = flag.Int("max-errors", 20, "store at most this many error diagnostics per load (-1 = unlimited; failures past the cap are still counted)")
+		maxSteps   = flag.Int64("max-steps", 0, "bound total simulator instructions (0 = machine default)")
+		maxHeap    = flag.Int64("max-heap", 0, "bound live simulator heap words; exhaustion after GC is a runtime error (0 = unlimited)")
+		faultSpec  = flag.String("fault", "", "fault-injection plan, e.g. 'optimize:defun=exptl:panic;cache:*:corrupt' (default $SLC_FAULT)")
+		optWatch   = flag.Duration("opt-watchdog", 0, "wall-clock budget for each unit's optimizer fixpoint (0 = none)")
 	)
 	flag.Parse()
+
+	var faultPlan *diag.Plan
+	{
+		var err error
+		if *faultSpec != "" {
+			faultPlan, err = diag.ParsePlan(*faultSpec)
+		} else {
+			faultPlan, err = diag.PlanFromEnv()
+		}
+		if err != nil {
+			return err
+		}
+	}
 	var src []byte
 	if flag.NArg() >= 1 {
 		var err error
@@ -83,7 +110,10 @@ func run() error {
 	opts.SpecialCaching = !*noCache
 
 	sysOpts := core.Options{Codegen: &opts, Out: os.Stdout,
-		Cache: *useCache, Jobs: *jobs}
+		Cache: *useCache, Jobs: *jobs,
+		MaxErrors: *maxErrors, Fault: faultPlan,
+		MaxSteps: *maxSteps, MaxHeapWords: *maxHeap,
+		OptWatchdog: *optWatch}
 	if *transcript {
 		sysOpts.OptimizerLog = os.Stdout
 	}
@@ -102,10 +132,20 @@ func run() error {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, ";; debug server on http://%s (/metrics, /debug/pprof)\n", srv.Addr())
 	}
+	// Load with error accumulation: every good unit compiles, every bad
+	// one is reported with its source position, and failure of the load
+	// is decided at the end so listings/stats of the survivors still
+	// print.
+	var loadErrors int
 	if len(src) > 0 {
-		if err := sys.LoadString(string(src)); err != nil {
-			return err
+		list := sys.LoadStringDiag(string(src))
+		for _, d := range list.All() {
+			fmt.Fprintf(os.Stderr, "%s:%s\n", flag.Arg(0), d.Error())
 		}
+		if n := list.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "%s: %d more error(s) past -max-errors\n", flag.Arg(0), n)
+		}
+		loadErrors = list.Errors()
 	}
 
 	if *listing {
@@ -182,6 +222,9 @@ func run() error {
 	}
 	if *replMode {
 		return repl(sys, os.Stdin, os.Stdout)
+	}
+	if loadErrors > 0 {
+		return fmt.Errorf("%d compilation unit(s) failed", loadErrors)
 	}
 	return nil
 }

@@ -51,10 +51,17 @@ func repl(sys *core.System, in io.Reader, out io.Writer) error {
 			prompt()
 			continue
 		}
-		v, err := sys.EvalString(src)
-		if err != nil {
-			fmt.Fprintln(out, ";; error:", err)
-		} else {
+		// The REPL survives anything the load path can report — syntax
+		// errors, failed units, runtime errors — printing each diagnostic
+		// and carrying on with the next input.
+		v, list := sys.EvalStringDiag(src)
+		for _, d := range list.All() {
+			fmt.Fprintln(out, ";;", d.Error())
+		}
+		if n := list.Dropped(); n > 0 {
+			fmt.Fprintf(out, ";; %d more error(s) past -max-errors\n", n)
+		}
+		if !list.HasErrors() {
 			fmt.Fprintln(out, sexp.Print(v))
 		}
 		prompt()

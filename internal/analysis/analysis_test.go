@@ -11,7 +11,7 @@ import (
 func conv(t *testing.T, src string) tree.Node {
 	t.Helper()
 	c := convert.New()
-	n, err := c.ConvertForm(sexp.MustRead(src))
+	n, err := c.ConvertForm(mustRead(src))
 	if err != nil {
 		t.Fatalf("convert: %v", err)
 	}
@@ -235,4 +235,14 @@ func TestAnalyzeIsIdempotent(t *testing.T) {
 	if len(n.Info().Reads) != r1 || n.Info().Complexity != c1 {
 		t.Error("re-analysis changed results")
 	}
+}
+
+// mustRead parses one form, panicking on error — a test-table
+// convenience; the production reader paths all return errors.
+func mustRead(src string) sexp.Value {
+	v, err := sexp.ReadOne(src)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -12,7 +12,7 @@ import (
 func prep(t *testing.T, src string, optimize bool) *tree.Lambda {
 	t.Helper()
 	c := convert.New()
-	n, err := c.ConvertForm(sexp.MustRead(src))
+	n, err := c.ConvertForm(mustRead(src))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,4 +157,14 @@ func TestClosedVarThroughOpenLambda(t *testing.T) {
 	if !yVar.Closed {
 		t.Error("y captured by escaping closure must be heap-allocated")
 	}
+}
+
+// mustRead parses one form, panicking on error — a test-table
+// convenience; the production reader paths all return errors.
+func mustRead(src string) sexp.Value {
+	v, err := sexp.ReadOne(src)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -10,9 +10,11 @@ package codegen
 import (
 	"bytes"
 	"fmt"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/binding"
+	"repro/internal/diag"
 	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/pdl"
@@ -44,6 +46,16 @@ type Options struct {
 	CSE bool
 	// OptimizerLog receives the transformation transcript.
 	OptimizerLog interface{ Write(p []byte) (int, error) }
+	// Fault, if non-nil, is the fault-injection plan consulted at every
+	// middle-end phase boundary (see internal/diag): injected panics and
+	// errors exercise the per-unit recovery paths. Nil costs one pointer
+	// check per phase. Not part of the compile-cache key — injected
+	// faults abort the unit before anything is stored.
+	Fault *diag.Plan
+	// OptWatchdog, when >0, bounds the wall-clock time of each unit's
+	// optimizer fixpoint; expiry fails the unit with an error instead of
+	// hanging the load.
+	OptWatchdog time.Duration
 }
 
 // DefaultOptions enables every phase.
@@ -102,7 +114,11 @@ func (c *Compiler) Prepare(name string, lam *tree.Lambda) (*Prepared, error) {
 func (c *Compiler) PrepareTask(name string, lam *tree.Lambda, task *obs.Task) (*Prepared, error) {
 	p := &Prepared{}
 	if c.Opts.Optimize {
+		if err := c.Opts.Fault.Fire("optimize", name); err != nil {
+			return nil, err
+		}
 		oo := opt.DefaultOptions()
+		oo.Watchdog = c.Opts.OptWatchdog
 		if c.Opts.OptimizerLog != nil {
 			p.transcript = &bytes.Buffer{}
 			oo.Log = p.transcript
@@ -116,7 +132,12 @@ func (c *Compiler) PrepareTask(name string, lam *tree.Lambda, task *obs.Task) (*
 			}
 		}
 		sp := task.Start("optimize")
-		n := opt.New(oo, nil).Optimize(lam)
+		o := opt.New(oo, nil)
+		n := o.Optimize(lam)
+		if o.TimedOut() {
+			return nil, fmt.Errorf("codegen: optimizer watchdog (%v) expired on %s before fixpoint",
+				c.Opts.OptWatchdog, name)
+		}
 		var ok bool
 		if lam, ok = n.(*tree.Lambda); !ok {
 			return nil, fmt.Errorf("codegen: optimizer folded %s away to %s", name, tree.Show(n))
@@ -127,6 +148,9 @@ func (c *Compiler) PrepareTask(name string, lam *tree.Lambda, task *obs.Task) (*
 		sp.SetNodes(tree.CountNodes(lam))
 		sp.End()
 		if c.Opts.CSE {
+			if err := c.Opts.Fault.Fire("cse", name); err != nil {
+				return nil, err
+			}
 			sp := task.Start("cse")
 			opt.EliminateCommonSubexpressions(lam)
 			if err := tree.Validate(lam); err != nil {
@@ -136,15 +160,27 @@ func (c *Compiler) PrepareTask(name string, lam *tree.Lambda, task *obs.Task) (*
 			sp.End()
 		}
 	}
+	if err := c.Opts.Fault.Fire("analysis", name); err != nil {
+		return nil, err
+	}
 	sp := task.Start("analysis")
 	analysis.Analyze(lam)
 	sp.End()
+	if err := c.Opts.Fault.Fire("binding", name); err != nil {
+		return nil, err
+	}
 	sp = task.Start("binding")
 	binding.Annotate(lam)
 	sp.End()
+	if err := c.Opts.Fault.Fire("rep", name); err != nil {
+		return nil, err
+	}
 	sp = task.Start("rep")
 	vr := rep.Annotate(lam, c.Opts.RepAnalysis)
 	sp.End()
+	if err := c.Opts.Fault.Fire("pdl", name); err != nil {
+		return nil, err
+	}
 	sp = task.Start("pdl")
 	pdl.Annotate(lam, c.Opts.PdlNumbers)
 	sp.End()

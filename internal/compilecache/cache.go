@@ -36,6 +36,40 @@ type Entry struct {
 	Items []s1.Item
 }
 
+// Validate sanity-checks a looked-up entry against the machine it
+// claims to be resident in: the function index must exist, the
+// argument-count range must match the resident descriptor, and the
+// entry's instruction count must equal the resident body's extent. A
+// corrupt or mismatched entry (a bug, a stale index after machine
+// surgery, or an injected fault) is reported as an error so the caller
+// can log a diagnostic and fall back to recompilation instead of
+// rebinding a name to garbage.
+func (e Entry) Validate(m *s1.Machine) error {
+	if e.Index < 0 || e.Index >= len(m.Funcs) {
+		return fmt.Errorf("compilecache: entry index %d out of range (machine has %d functions)",
+			e.Index, len(m.Funcs))
+	}
+	f := m.Funcs[e.Index]
+	if f.MinArgs != e.MinArgs || f.MaxArgs != e.MaxArgs {
+		return fmt.Errorf("compilecache: entry arg range %d..%d does not match resident %s (%d..%d)",
+			e.MinArgs, e.MaxArgs, f.Name, f.MinArgs, f.MaxArgs)
+	}
+	instrs := 0
+	for _, it := range e.Items {
+		if it.Instr != nil {
+			instrs++
+		}
+	}
+	if instrs == 0 {
+		return fmt.Errorf("compilecache: entry for %s has an empty body", f.Name)
+	}
+	if got := f.End - f.Entry; got != instrs {
+		return fmt.Errorf("compilecache: entry instruction count %d does not match resident %s extent %d",
+			instrs, f.Name, got)
+	}
+	return nil
+}
+
 // Cache is a concurrency-safe content-addressed store of compiled
 // functions.
 type Cache struct {

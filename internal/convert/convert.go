@@ -171,25 +171,45 @@ func (c *Converter) globalVar(sym *sexp.Symbol) *tree.Var {
 	return v
 }
 
-// ConvertTopLevel converts a whole program.
+// ConvertTopLevel converts a whole program, stopping at the first bad
+// form. Callers that want to keep going past a bad unit use the
+// per-form API (ScanProclaim over everything, then TopForm one form at
+// a time, collecting errors) — tree construction is per-form, so a
+// failed form contributes nothing to the Program and later forms
+// convert exactly as if it had been deleted from the source.
 func (c *Converter) ConvertTopLevel(forms []sexp.Value) (*Program, error) {
-	p := &Program{Specials: map[*sexp.Symbol]bool{}}
+	p := NewProgram()
 	// First pass: gather proclamations so that later defuns see them.
 	for _, f := range forms {
-		c.scanProclaim(f)
+		c.ScanProclaim(f)
 	}
 	for _, f := range forms {
-		if err := c.topForm(p, f); err != nil {
+		if err := c.TopForm(p, f); err != nil {
 			return nil, err
 		}
 	}
-	for s := range c.Specials {
-		p.Specials[s] = true
-	}
+	c.FinishProgram(p)
 	return p, nil
 }
 
-func (c *Converter) scanProclaim(form sexp.Value) {
+// NewProgram returns an empty Program for incremental per-form
+// conversion via TopForm.
+func NewProgram() *Program {
+	return &Program{Specials: map[*sexp.Symbol]bool{}}
+}
+
+// FinishProgram copies the converter's accumulated special-set into the
+// program; call it after the last TopForm.
+func (c *Converter) FinishProgram(p *Program) {
+	for s := range c.Specials {
+		p.Specials[s] = true
+	}
+}
+
+// ScanProclaim records special-variable proclamations made by form
+// (proclaim/declaim/defvar/...). It never fails: malformed
+// proclamations are left for TopForm to diagnose.
+func (c *Converter) ScanProclaim(form sexp.Value) {
 	items, err := sexp.ListToSlice(form)
 	if err != nil || len(items) == 0 {
 		return
@@ -226,13 +246,23 @@ func (c *Converter) scanProclaim(form sexp.Value) {
 	}
 }
 
-func (c *Converter) topForm(p *Program, form sexp.Value) error {
+// TopForm converts one top-level form into p. An error leaves p exactly
+// as it was: conversion state is per-form, so callers may report the
+// error and continue with the next form.
+func (c *Converter) TopForm(p *Program, form sexp.Value) error {
 	// Each top-level form gets its own global/special Var records: dynamic
 	// references denote the current binding by *name*, so nothing needs
 	// the records shared across definitions — and sharing them would let
 	// the optimizer's tree surgery on one function mutate the Refs/Sets
 	// lists of another being compiled concurrently.
 	c.globals = map[*sexp.Symbol]*tree.Var{}
+	// The gensym stream likewise restarts per form (the symbols are
+	// uninterned, so reuse across forms cannot collide). This keeps the
+	// generated names in a unit's listing a function of that unit alone —
+	// a unit rejected with an error must not shift the numbering of its
+	// neighbours, or error recovery would change the image of the
+	// surviving units.
+	c.gen = 0
 	items, err := sexp.ListToSlice(form)
 	if err == nil && len(items) > 0 {
 		if head, ok := items[0].(*sexp.Symbol); ok {
@@ -267,11 +297,15 @@ func (c *Converter) topForm(p *Program, form sexp.Value) error {
 				return nil // handled in scanProclaim
 			case "defvar", "defparameter", "defconstant":
 				if len(items) >= 3 {
+					sym, ok := items[1].(*sexp.Symbol)
+					if !ok {
+						return errf(form, "%s name must be a symbol", head.Name)
+					}
 					init, err := c.Convert(items[2], topEnv())
 					if err != nil {
 						return err
 					}
-					v := c.globalVar(items[1].(*sexp.Symbol))
+					v := c.globalVar(sym)
 					p.TopForms = append(p.TopForms, tree.NewSetq(v, init))
 				}
 				return nil

@@ -11,7 +11,7 @@ import (
 func conv1(t *testing.T, src string) tree.Node {
 	t.Helper()
 	c := New()
-	n, err := c.ConvertForm(sexp.MustRead(src))
+	n, err := c.ConvertForm(mustRead(src))
 	if err != nil {
 		t.Fatalf("convert %q: %v", src, err)
 	}
@@ -156,8 +156,8 @@ func TestFreeVariablesAreSpecial(t *testing.T) {
 	}
 	// Same symbol twice: same shared Var.
 	c := New()
-	n1, _ := c.ConvertForm(sexp.MustRead("x"))
-	n2, _ := c.ConvertForm(sexp.MustRead("x"))
+	n1, _ := c.ConvertForm(mustRead("x"))
+	n2, _ := c.ConvertForm(mustRead("x"))
 	if n1.(*tree.VarRef).Var != n2.(*tree.VarRef).Var {
 		t.Error("global references must share one Var record")
 	}
@@ -188,8 +188,8 @@ func TestDeclareSpecial(t *testing.T) {
 func TestProclaimSpecial(t *testing.T) {
 	c := New()
 	p, err := c.ConvertTopLevel([]sexp.Value{
-		sexp.MustRead("(proclaim '(special depth))"),
-		sexp.MustRead("(defun f (depth) depth)"),
+		mustRead("(proclaim '(special depth))"),
+		mustRead("(defun f (depth) depth)"),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -238,7 +238,7 @@ func TestLambdaListErrors(t *testing.T) {
 	}
 	c := New()
 	for _, src := range bad {
-		if _, err := c.ConvertForm(sexp.MustRead(src)); err == nil {
+		if _, err := c.ConvertForm(mustRead(src)); err == nil {
 			t.Errorf("%s should fail", src)
 		}
 	}
@@ -256,7 +256,7 @@ func TestSyntaxErrors(t *testing.T) {
 	}
 	c := New()
 	for _, src := range bad {
-		if _, err := c.ConvertForm(sexp.MustRead(src)); err == nil {
+		if _, err := c.ConvertForm(mustRead(src)); err == nil {
 			t.Errorf("%s should fail to convert", src)
 		}
 	}
@@ -337,7 +337,7 @@ func TestCaseq(t *testing.T) {
 	if cq.Default == nil {
 		t.Error("default missing")
 	}
-	if _, err := New().ConvertForm(sexp.MustRead("(caseq k (t 1) (2 3))")); err == nil {
+	if _, err := New().ConvertForm(mustRead("(caseq k (t 1) (2 3))")); err == nil {
 		t.Error("default clause must be last")
 	}
 }
@@ -354,7 +354,7 @@ func TestQuasiquote(t *testing.T) {
 			t.Errorf("%s => %s, want %s", c.src, got, c.want)
 		}
 	}
-	if _, err := New().ConvertForm(sexp.MustRead(",x")); err == nil {
+	if _, err := New().ConvertForm(mustRead(",x")); err == nil {
 		t.Error("comma outside backquote should fail")
 	}
 }
@@ -362,10 +362,10 @@ func TestQuasiquote(t *testing.T) {
 func TestTopLevelProgram(t *testing.T) {
 	c := New()
 	p, err := c.ConvertTopLevel([]sexp.Value{
-		sexp.MustRead("(defvar *depth* 0)"),
-		sexp.MustRead("(defun f (x) (g x))"),
-		sexp.MustRead("(defun g (x) (* x x))"),
-		sexp.MustRead("(f 3)"),
+		mustRead("(defvar *depth* 0)"),
+		mustRead("(defun f (x) (g x))"),
+		mustRead("(defun g (x) (* x x))"),
+		mustRead("(f 3)"),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -392,10 +392,10 @@ func TestTopLevelProgram(t *testing.T) {
 
 func TestDefunErrors(t *testing.T) {
 	c := New()
-	if _, err := c.ConvertTopLevel([]sexp.Value{sexp.MustRead("(defun)")}); err == nil {
+	if _, err := c.ConvertTopLevel([]sexp.Value{mustRead("(defun)")}); err == nil {
 		t.Error("(defun) should fail")
 	}
-	if _, err := c.ConvertTopLevel([]sexp.Value{sexp.MustRead("(defun 3 (x) x)")}); err == nil {
+	if _, err := c.ConvertTopLevel([]sexp.Value{mustRead("(defun 3 (x) x)")}); err == nil {
 		t.Error("(defun 3 ...) should fail")
 	}
 }
@@ -409,7 +409,7 @@ func TestUserMacroHook(t *testing.T) {
 		}
 		return nil, false, nil
 	}
-	n, err := c.ConvertForm(sexp.MustRead("(double 21)"))
+	n, err := c.ConvertForm(mustRead("(double 21)"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -434,4 +434,14 @@ func TestLexicalHeadCallsVariable(t *testing.T) {
 	if _, ok := inner.Fn.(*tree.VarRef); !ok {
 		t.Errorf("lexically bound head should call the variable, got %T", inner.Fn)
 	}
+}
+
+// mustRead parses one form, panicking on error — a test-table
+// convenience; the production reader paths all return errors.
+func mustRead(src string) sexp.Value {
+	v, err := sexp.ReadOne(src)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -12,20 +12,24 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/codegen"
 	"repro/internal/compilecache"
 	"repro/internal/convert"
+	"repro/internal/diag"
 	"repro/internal/interp"
 	"repro/internal/obs"
 	"repro/internal/s1"
 	"repro/internal/sexp"
+	"repro/internal/tree"
 )
 
 // Options configure a System. The zero value enables every compiler
@@ -59,7 +63,32 @@ type Options struct {
 	// constants, no macro redefinition in between) skips the middle end
 	// and code generation entirely. Hit/miss counts appear in Stats().
 	Cache bool
+	// MaxErrors bounds the error diagnostics *stored* per load (the
+	// -max-errors flag): 0 means the default of 20, negative means
+	// unlimited. Failures past the cap are still counted (and still fail
+	// the load), so the surviving image never depends on the cap.
+	MaxErrors int
+	// Fault is the fault-injection plan consulted at phase boundaries
+	// (the -fault flag / SLC_FAULT env; see diag.ParsePlan). Nil means
+	// no injection.
+	Fault *diag.Plan
+	// MaxSteps overrides the simulator's total instruction budget
+	// (the -max-steps flag; 0 keeps the machine default).
+	MaxSteps int64
+	// MaxHeapWords bounds live simulator heap words (the -max-heap
+	// flag): an allocation that cannot fit even after a forced GC fails
+	// with a RuntimeError instead of growing the heap without bound.
+	// 0 means unlimited.
+	MaxHeapWords int64
+	// OptWatchdog bounds the wall-clock time of each unit's optimizer
+	// fixpoint (the -opt-watchdog flag); an expired unit fails with a
+	// diagnostic. 0 means no watchdog.
+	OptWatchdog time.Duration
 }
+
+// DefaultMaxErrors is the stored-diagnostic cap when Options.MaxErrors
+// is zero.
+const DefaultMaxErrors = 20
 
 // System is a complete Lisp implementation instance.
 type System struct {
@@ -84,6 +113,11 @@ type System struct {
 	cache      *compilecache.Cache
 	constsFP   string
 	macroEpoch int
+
+	// fault is the injection plan (nil = none); maxErrors is the
+	// resolved stored-diagnostic cap (0 = unlimited).
+	fault     *diag.Plan
+	maxErrors int
 }
 
 // NewSystem builds a system.
@@ -104,6 +138,21 @@ func NewSystem(opts Options) *System {
 	}
 	if opts.OptimizerLog != nil {
 		co.OptimizerLog = opts.OptimizerLog
+	}
+	co.Fault = opts.Fault
+	co.OptWatchdog = opts.OptWatchdog
+	if opts.MaxSteps > 0 {
+		m.StepLimit = opts.MaxSteps
+	}
+	if opts.MaxHeapWords > 0 {
+		m.HeapLimit = opts.MaxHeapWords
+	}
+	maxErrors := opts.MaxErrors
+	switch {
+	case maxErrors == 0:
+		maxErrors = DefaultMaxErrors
+	case maxErrors < 0:
+		maxErrors = 0 // unlimited
 	}
 	conv := convert.New()
 	var constsFP string
@@ -137,9 +186,11 @@ func NewSystem(opts Options) *System {
 		Compiler: codegen.New(m, co),
 		Defs:     map[string]int{},
 		Obs:      opts.Obs,
-		macros:   map[*sexp.Symbol]*interp.Closure{},
-		jobs:     jobs,
-		constsFP: constsFP,
+		macros:    map[*sexp.Symbol]*interp.Closure{},
+		jobs:      jobs,
+		constsFP:  constsFP,
+		fault:     opts.Fault,
+		maxErrors: maxErrors,
 	}
 	if opts.Cache {
 		sys.cache = compilecache.New()
@@ -179,61 +230,198 @@ func NewSystem(opts Options) *System {
 
 // LoadString reads, converts, compiles and executes a program: defuns
 // are compiled to machine code (and also installed in the interpreter),
-// other top-level forms run on the simulator.
+// other top-level forms run on the simulator. When any unit fails, the
+// returned error is the *diag.List of everything that went wrong — the
+// surviving units are still compiled and installed.
 func (s *System) LoadString(src string) error {
 	_, err := s.EvalString(src)
 	return err
 }
 
-// EvalString is LoadString returning the value of the last top-level
-// form (nil when the program is definitions only) — the REPL entry.
+// EvalString is LoadString returning the value of the last successful
+// top-level form (nil when the program is definitions only) — the REPL
+// entry.
 func (s *System) EvalString(src string) (sexp.Value, error) {
+	v, list := s.EvalStringDiag(src)
+	if list.HasErrors() {
+		return v, list
+	}
+	return v, nil
+}
+
+// LoadStringDiag is LoadString with the full diagnostic list: every
+// failed unit (syntax error, convert error, panicking or faulted
+// middle-end, runtime error in a top-level form) contributes one
+// diagnostic, and every good unit is compiled regardless. The list is
+// never nil; a clean load returns an empty one.
+func (s *System) LoadStringDiag(src string) *diag.List {
+	_, list := s.EvalStringDiag(src)
+	return list
+}
+
+// unitName extracts the defining name from a (defun name ...) style
+// top-level form, for diagnostic labeling; "" when the form defines
+// nothing nameable.
+func unitName(form sexp.Value) string {
+	items, err := sexp.ListToSlice(form)
+	if err != nil || len(items) < 2 {
+		return ""
+	}
+	head, ok := items[0].(*sexp.Symbol)
+	if !ok {
+		return ""
+	}
+	switch head.Name {
+	case "defun", "defmacro", "defvar", "defparameter", "defconstant":
+		if n, ok := items[1].(*sexp.Symbol); ok {
+			return n.Name
+		}
+	}
+	return ""
+}
+
+// asDiag adapts an arbitrary unit error to a Diagnostic, filling in the
+// unit name and source position when the error does not already carry
+// them.
+func asDiag(err error, unit string, line, col int) *diag.Diagnostic {
+	if d, ok := err.(*diag.Diagnostic); ok {
+		if d.Unit == "" {
+			d.Unit = unit
+		}
+		if d.Line == 0 {
+			d.Line, d.Col = line, col
+		}
+		return d
+	}
+	d := &diag.Diagnostic{
+		Severity: diag.Error, Unit: unit, Line: line, Col: col,
+		Msg: err.Error(), Err: err,
+	}
+	var inj *diag.InjectedFault
+	if errors.As(err, &inj) {
+		d.Phase = inj.Phase
+	}
+	return d
+}
+
+// EvalStringDiag is the diagnostic-accumulating load pipeline. The
+// source is read with resynchronization (each syntax error costs one
+// top-level form and reading resumes at the next), converted and
+// compiled one unit at a time, and executed; a failed unit is skipped
+// before anything of it reaches the machine, so the resulting image is
+// byte-identical to compiling the source with the failed forms deleted.
+// The value of the last successful top-level form is returned alongside
+// the (never nil) diagnostic list.
+func (s *System) EvalStringDiag(src string) (sexp.Value, *diag.List) {
+	list := diag.NewList(s.maxErrors)
 	// Reading and macro-conversion are batch-granularity stages (they see
 	// the whole text, not one defun), so their spans attach to a pseudo
 	// unit named for the batch.
 	s.batchCount++
 	batch := s.Obs.Task(fmt.Sprintf("%%batch-%d", s.batchCount), 0)
 	sp := batch.Start("read")
-	forms, err := sexp.ReadAll(src)
+	forms, rerrs := sexp.ReadAllRecover(src)
 	sp.End()
-	if err != nil {
-		return nil, err
+	for _, re := range rerrs {
+		list.Add(&diag.Diagnostic{
+			Severity: diag.Error, Phase: "read",
+			Line: re.Line, Col: re.Col, Msg: re.Msg, Err: re,
+		})
 	}
+
 	sp = batch.Start("convert")
-	prog, err := s.Conv.ConvertTopLevel(forms)
+	prog := convert.NewProgram()
+	// First pass: gather proclamations so that later defuns see them.
+	for _, f := range forms {
+		s.Conv.ScanProclaim(f.Val)
+	}
+	// Second pass: convert per-form so one bad form costs one unit. The
+	// positions of whatever each form appended travel alongside Defs and
+	// TopForms for diagnostic labeling.
+	var defLines, defCols, topLines, topCols []int
+	for _, f := range forms {
+		err := func() (err error) {
+			name := unitName(f.Val)
+			defer func() {
+				if r := recover(); r != nil {
+					err = diag.FromPanic(r, "convert", name, 0, "")
+				}
+			}()
+			if err := s.fault.Fire("convert", name); err != nil {
+				return err
+			}
+			return s.Conv.TopForm(prog, f.Val)
+		}()
+		if err != nil {
+			list.Add(asDiag(err, unitName(f.Val), f.Line, f.Col))
+			continue
+		}
+		for len(defLines) < len(prog.Defs) {
+			defLines, defCols = append(defLines, f.Line), append(defCols, f.Col)
+		}
+		for len(topLines) < len(prog.TopForms) {
+			topLines, topCols = append(topLines, f.Line), append(topCols, f.Col)
+		}
+	}
+	s.Conv.FinishProgram(prog)
 	sp.End()
-	if err != nil {
-		return nil, err
-	}
-	if err := s.compileDefs(prog.Defs); err != nil {
-		return nil, err
-	}
+
+	s.compileDefs(prog.Defs, defLines, defCols, list)
+
 	var last sexp.Value = sexp.Nil
 	for i, form := range prog.TopForms {
 		s.toplevelCount++
 		name := fmt.Sprintf("%%toplevel-%d", s.toplevelCount)
+		line, col := topLines[i], topCols[i]
 		lam := convert.WrapToplevel(form)
 		t := s.Obs.Task(name, 0)
-		p, err := s.Compiler.PrepareTask(name, lam, t)
+		p, err := s.safePrepare(name, lam, t, 0)
 		if err != nil {
-			return nil, fmt.Errorf("compiling top-level form %d: %w", i, err)
+			list.Add(asDiag(err, name, line, col))
+			continue
 		}
 		sp := t.Start("emit")
 		idx, err := s.Compiler.Emit(name, p)
 		sp.End()
 		if err != nil {
-			return nil, fmt.Errorf("compiling top-level form %d: %w", i, err)
+			list.Add(asDiag(err, name, line, col))
+			continue
 		}
 		s.Obs.AddRules(p.Rules())
 		w, err := s.Machine.CallIndex(idx)
 		if err != nil {
-			return nil, fmt.Errorf("running top-level form %d: %w", i, err)
+			d := asDiag(err, name, line, col)
+			d.Phase = "run"
+			list.Add(d)
+			continue
 		}
-		if last, err = s.Machine.ToValue(w); err != nil {
-			return nil, err
+		if v, err := s.Machine.ToValue(w); err != nil {
+			d := asDiag(err, name, line, col)
+			d.Phase = "run"
+			list.Add(d)
+		} else {
+			last = v
 		}
 	}
-	return last, nil
+	return last, list
+}
+
+// safePrepare runs the concurrent-safe middle end of one unit under a
+// recover barrier: a panicking unit (an optimizer bug, an injected
+// fault) becomes an error diagnostic carrying the pipeline phase that
+// was in flight, the worker id, and the unit's tree — and takes down
+// only itself.
+func (s *System) safePrepare(name string, lam *tree.Lambda, t *obs.Task, worker int) (p *codegen.Prepared, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			d := diag.FromPanic(r, t.CurrentPhase(), name, worker, tree.Show(lam))
+			if d.Phase == "" {
+				d.Phase = "compile"
+			}
+			err = d
+		}
+	}()
+	return s.Compiler.PrepareTask(name, lam, t)
 }
 
 // unit is one defun flowing through the pipeline as an independent piece
@@ -253,8 +441,16 @@ type unit struct {
 // machine then proceeds serially in source order, so the machine image —
 // code layout, symbol and function indices, heap contents — evolves
 // exactly as under a sequential compile, and listings are byte-identical
-// regardless of Jobs.
-func (s *System) compileDefs(defs []*convert.Def) error {
+// regardless of Jobs. A unit that fails (or panics) anywhere before its
+// emit step contributes a diagnostic to list and nothing to the machine;
+// lines/cols are the source positions of the defs, parallel to defs.
+func (s *System) compileDefs(defs []*convert.Def, lines, cols []int, list *diag.List) {
+	pos := func(i int) (int, int) {
+		if i < len(lines) {
+			return lines[i], cols[i]
+		}
+		return 0, 0
+	}
 	units := make([]*unit, len(defs))
 	for i, d := range defs {
 		u := &unit{d: d}
@@ -265,7 +461,22 @@ func (s *System) compileDefs(defs []*convert.Def) error {
 			u.key = compilecache.Key(sexp.Print(d.Source), s.Compiler.Opts,
 				s.constsFP, s.macroEpoch)
 			if e, ok := s.cache.Lookup(u.key); ok {
-				u.hit, u.hitIdx = true, e.Index
+				if s.fault.ShouldCorrupt("cache", d.Name.Name) {
+					// Simulated corruption: point the entry past the
+					// function table so validation must catch it.
+					e.Index = len(s.Machine.Funcs) + 1
+				}
+				if verr := e.Validate(s.Machine); verr != nil {
+					line, col := pos(i)
+					list.Add(&diag.Diagnostic{
+						Severity: diag.Warning, Unit: d.Name.Name,
+						Phase: "cache", Line: line, Col: col,
+						Msg: "corrupt cache entry, recompiling: " + verr.Error(),
+						Err: verr,
+					})
+				} else {
+					u.hit, u.hitIdx = true, e.Index
+				}
 			}
 			sp.End()
 		}
@@ -288,7 +499,7 @@ func (s *System) compileDefs(defs []*convert.Def) error {
 	if workers <= 1 {
 		for _, u := range pending {
 			t := s.Obs.Task(u.d.Name.Name, 0)
-			u.prepared, u.err = s.Compiler.PrepareTask(u.d.Name.Name, u.d.Lambda, t)
+			u.prepared, u.err = s.safePrepare(u.d.Name.Name, u.d.Lambda, t, 0)
 		}
 	} else {
 		work := make(chan *unit)
@@ -299,7 +510,7 @@ func (s *System) compileDefs(defs []*convert.Def) error {
 				defer wg.Done()
 				for u := range work {
 					t := s.Obs.Task(u.d.Name.Name, id)
-					u.prepared, u.err = s.Compiler.PrepareTask(u.d.Name.Name, u.d.Lambda, t)
+					u.prepared, u.err = s.safePrepare(u.d.Name.Name, u.d.Lambda, t, id)
 				}
 			}(w)
 		}
@@ -310,8 +521,16 @@ func (s *System) compileDefs(defs []*convert.Def) error {
 		wg.Wait()
 	}
 
-	for _, u := range units {
+	for i, u := range units {
 		d := u.d
+		if u.err != nil {
+			// The unit failed before touching the machine: report it and
+			// skip installation entirely (including the interpreter), as
+			// if the form had been deleted from the source.
+			line, col := pos(i)
+			list.Add(asDiag(u.err, d.Name.Name, line, col))
+			continue
+		}
 		// The interpreter gets the converted tree (its role is the
 		// semantic baseline).
 		s.Interp.DefineFunction(d.Name, &interp.Closure{Lambda: d.Lambda})
@@ -325,8 +544,17 @@ func (s *System) compileDefs(defs []*convert.Def) error {
 			s.Defs[d.Name.Name] = u.hitIdx
 			continue
 		}
-		if u.err != nil {
-			return fmt.Errorf("compiling %s: %w", d.Name.Name, u.err)
+		if err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = diag.FromPanic(r, "emit", d.Name.Name, 0, "")
+				}
+			}()
+			return s.fault.Fire("emit", d.Name.Name)
+		}(); err != nil {
+			line, col := pos(i)
+			list.Add(asDiag(err, d.Name.Name, line, col))
+			continue
 		}
 		var idx int
 		var err error
@@ -347,7 +575,9 @@ func (s *System) compileDefs(defs []*convert.Def) error {
 		}
 		sp.End()
 		if err != nil {
-			return fmt.Errorf("compiling %s: %w", d.Name.Name, err)
+			line, col := pos(i)
+			list.Add(asDiag(fmt.Errorf("compiling %s: %w", d.Name.Name, err), d.Name.Name, line, col))
+			continue
 		}
 		// Rule events were buffered per-unit during the (possibly
 		// concurrent) Prepare; appending them here, in the serialized
@@ -356,7 +586,6 @@ func (s *System) compileDefs(defs []*convert.Def) error {
 		s.Obs.AddRules(u.prepared.Rules())
 		s.Defs[d.Name.Name] = idx
 	}
-	return nil
 }
 
 // Call invokes a compiled function on the simulator with host values.

@@ -69,10 +69,10 @@ func TestCompiledLists(t *testing.T) {
 (defun len (l) (if (null l) 0 (+ 1 (len (cdr l)))))
 (defun build (n) (if (zerop n) nil (cons n (build (- n 1)))))
 (defun smash (p) (rplaca p 99) p)`)
-	checkCall(t, sys, "swap", "(2 . 1)", sexp.MustRead("(1 . 2)"))
-	checkCall(t, sys, "len", "3", sexp.MustRead("(a b c)"))
+	checkCall(t, sys, "swap", "(2 . 1)", mustRead("(1 . 2)"))
+	checkCall(t, sys, "len", "3", mustRead("(a b c)"))
 	checkCall(t, sys, "build", "(3 2 1)", sexp.Fixnum(3))
-	checkCall(t, sys, "smash", "(99 2)", sexp.MustRead("(1 2)"))
+	checkCall(t, sys, "smash", "(99 2)", mustRead("(1 2)"))
 }
 
 func TestExptlConstantStack(t *testing.T) {
@@ -314,9 +314,9 @@ func TestFallbackPrims(t *testing.T) {
 (defun rev (l) (reverse l))
 (defun app (a b) (append a b))
 (defun mem (x l) (member x l))`)
-	checkCall(t, sys, "rev", "(3 2 1)", sexp.MustRead("(1 2 3)"))
-	checkCall(t, sys, "app", "(1 2 3 4)", sexp.MustRead("(1 2)"), sexp.MustRead("(3 4)"))
-	checkCall(t, sys, "mem", "(2 3)", sexp.Fixnum(2), sexp.MustRead("(1 2 3)"))
+	checkCall(t, sys, "rev", "(3 2 1)", mustRead("(1 2 3)"))
+	checkCall(t, sys, "app", "(1 2 3 4)", mustRead("(1 2)"), mustRead("(3 4)"))
+	checkCall(t, sys, "mem", "(2 3)", sexp.Fixnum(2), mustRead("(1 2 3)"))
 }
 
 func TestPdlNumbersAvoidHeap(t *testing.T) {
@@ -449,7 +449,7 @@ func TestDifferentialCompiledVsInterpreted(t *testing.T) {
 		{`(defun f (x) (let ((a (* x 2)) (b (+ x 1))) (- a b)))`, "f",
 			[][]sexp.Value{{sexp.Fixnum(10)}, {sexp.Fixnum(-3)}}},
 		{`(defun f (l) (do ((p l (cdr p)) (n 0 (+ n 1))) ((null p) n)))`, "f",
-			[][]sexp.Value{{sexp.MustRead("(a b c d)")}, {sexp.Nil}}},
+			[][]sexp.Value{{mustRead("(a b c d)")}, {sexp.Nil}}},
 		{`(defun f (x &optional (y (* x 10))) (+ x y))`, "f",
 			[][]sexp.Value{{sexp.Fixnum(5)}, {sexp.Fixnum(5), sexp.Fixnum(1)}}},
 		{`(defun f (x) (caseq x (1 'one) ((2 3) 'few) (t 'many)))`, "f",
@@ -457,7 +457,7 @@ func TestDifferentialCompiledVsInterpreted(t *testing.T) {
 		{`(defun f (x) (catch 'k (if x (throw 'k 'thrown) 'normal)))`, "f",
 			[][]sexp.Value{{sexp.T}, {sexp.Nil}}},
 		{`(defun f (x) (expt x 7))`, "f",
-			[][]sexp.Value{{sexp.Fixnum(3)}, {sexp.MustRead("1/2")}}},
+			[][]sexp.Value{{sexp.Fixnum(3)}, {mustRead("1/2")}}},
 		{`(defun f (s) (let ((q (sin$f s))) (+$f q q)))`, "f",
 			[][]sexp.Value{{sexp.Flonum(0.5)}, {sexp.Flonum(-2.25)}}},
 		{`(defun g (h) (funcall h 10))
@@ -684,4 +684,14 @@ func TestKitchenSink(t *testing.T) {
 	if sys.Machine.BindingDepth() != 0 {
 		t.Error("binding stack must unwind across throw")
 	}
+}
+
+// mustRead parses one form, panicking on error — a test-table
+// convenience; the production reader paths all return errors.
+func mustRead(src string) sexp.Value {
+	v, err := sexp.ReadOne(src)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/diag"
+	"repro/internal/sexp"
+)
+
+// faultySrc interleaves three broken units among good ones that exercise
+// the gensym-bearing macro expansions (do loops, or-thunks): the image
+// the survivors produce must not depend on the wrecks between them.
+// bad-panic is only broken under a fault plan targeting it; without one
+// it compiles fine (the filtered compile never mentions it, so the plan
+// is inert there).
+const faultySrc = `
+(defun good-a (x) (+ x 1))
+(defun bad-dotted (x) (car . x))
+(defun good-b (x) (* x (good-a x)))
+(defun bad-panic (x) (+ x 2))
+(defun good-c (x)
+  (do ((i 0 (+ i 1)) (acc 0 (+ acc (or (and (oddp i) 1) i))))
+      ((> i x) acc)))
+(defun good-d (l)
+  (let ((n 0))
+    (dolist (e l n) (setq n (+ n 1)))))
+(defun bad-unreadable (x) (oops
+`
+
+// filteredSrc is faultySrc with the three broken defuns deleted — the
+// reference image every recovering load must reproduce byte for byte.
+const filteredSrc = `
+(defun good-a (x) (+ x 1))
+(defun good-b (x) (* x (good-a x)))
+(defun good-c (x)
+  (do ((i 0 (+ i 1)) (acc 0 (+ acc (or (and (oddp i) 1) i))))
+      ((> i x) acc)))
+(defun good-d (l)
+  (let ((n 0))
+    (dolist (e l n) (setq n (+ n 1)))))
+`
+
+// requireSameImage asserts two systems built byte-identical machine
+// images: same definitions at the same indices, identical listings, and
+// an identical full code image.
+func requireSameImage(t *testing.T, want, got *System) {
+	t.Helper()
+	if len(want.Defs) != len(got.Defs) {
+		t.Fatalf("def count %d, want %d", len(got.Defs), len(want.Defs))
+	}
+	for name, idx := range want.Defs {
+		gidx, ok := got.Defs[name]
+		if !ok {
+			t.Fatalf("missing definition %s", name)
+		}
+		if gidx != idx {
+			t.Errorf("%s: function index %d, want %d", name, gidx, idx)
+		}
+		wl, err := want.Listing(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gl, err := got.Listing(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wl != gl {
+			t.Errorf("%s: listings differ\n--- want ---\n%s\n--- got ---\n%s", name, wl, gl)
+		}
+	}
+	if len(want.Machine.Code) != len(got.Machine.Code) {
+		t.Fatalf("code image length %d, want %d", len(got.Machine.Code), len(want.Machine.Code))
+	}
+	for i := range want.Machine.Code {
+		if want.Machine.Code[i] != got.Machine.Code[i] {
+			t.Fatalf("code image differs at instruction %d", i)
+		}
+	}
+}
+
+// TestBadUnitsYieldDiagnosticsAndFilteredImage is the acceptance
+// contract of error recovery: k broken defuns among good ones produce
+// exactly k error diagnostics (each positioned), and the machine image
+// is byte-identical to compiling the source with the broken forms
+// deleted — at Jobs 1 and Jobs 8 alike.
+func TestBadUnitsYieldDiagnosticsAndFilteredImage(t *testing.T) {
+	plan, err := diag.ParsePlan("optimize:defun=bad-panic:panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{1, 8} {
+		ref := NewSystem(Options{Jobs: jobs, Fault: plan})
+		if err := ref.LoadString(filteredSrc); err != nil {
+			t.Fatalf("jobs=%d: filtered load: %v", jobs, err)
+		}
+		sys := NewSystem(Options{Jobs: jobs, Fault: plan})
+		list := sys.LoadStringDiag(faultySrc)
+		if got := list.Errors(); got != 3 {
+			t.Fatalf("jobs=%d: %d error diagnostics, want 3:\n%v", jobs, got, list)
+		}
+		units := map[string]bool{}
+		for _, d := range list.All() {
+			if d.Line <= 0 || d.Col <= 0 {
+				t.Errorf("jobs=%d: diagnostic lacks a position: %v", jobs, d)
+			}
+			units[d.Unit] = true
+		}
+		if !units["bad-dotted"] || !units["bad-panic"] {
+			t.Errorf("jobs=%d: diagnostics name units %v", jobs, units)
+		}
+		requireSameImage(t, ref, sys)
+		// The survivors run.
+		v, err := sys.Call("good-c", sexp.Fixnum(6))
+		if err != nil {
+			t.Fatalf("jobs=%d: good-c: %v", jobs, err)
+		}
+		if sexp.Print(v) != "15" {
+			t.Errorf("jobs=%d: good-c = %s", jobs, sexp.Print(v))
+		}
+	}
+}
+
+// TestInjectedPanicCarriesPhaseAndWorker: under a parallel load, a unit
+// panicking in the optimizer must surface as a diagnostic naming the
+// phase, the unit, a pool worker, and the unit's tree — and must not
+// take any other unit down.
+func TestInjectedPanicCarriesPhaseAndWorker(t *testing.T) {
+	plan, err := diag.ParsePlan("optimize:defun=sq:panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(Options{Jobs: 8, Fault: plan})
+	list := sys.LoadStringDiag(corpusSrc)
+	if list.Errors() != 1 {
+		t.Fatalf("errors = %d, want 1:\n%v", list.Errors(), list)
+	}
+	var d *diag.Diagnostic
+	for _, e := range list.All() {
+		if e.Severity == diag.Error {
+			d = e
+		}
+	}
+	if d.Unit != "sq" || d.Phase != "optimize" {
+		t.Errorf("diagnostic unit/phase = %s/%s", d.Unit, d.Phase)
+	}
+	if d.Worker < 1 {
+		t.Errorf("worker = %d, want a pool id >= 1", d.Worker)
+	}
+	if !strings.Contains(d.Msg, "injected panic") || !strings.Contains(d.Msg, "in (lambda") {
+		t.Errorf("message lacks panic text or tree context: %q", d.Msg)
+	}
+	// Everything else compiled and runs.
+	if _, ok := sys.Defs["sq"]; ok {
+		t.Error("failed unit was installed")
+	}
+	checkCall(t, sys, "tak", "7", sexp.Fixnum(14), sexp.Fixnum(7), sexp.Fixnum(0))
+}
+
+// TestInjectedErrorFault: the error kind fails the unit without a panic.
+func TestInjectedErrorFault(t *testing.T) {
+	plan, err := diag.ParsePlan("binding:defun=f:error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(Options{Fault: plan})
+	list := sys.LoadStringDiag("(defun f (x) x)\n(defun g (x) (* x x))")
+	if list.Errors() != 1 {
+		t.Fatalf("errors = %d, want 1:\n%v", list.Errors(), list)
+	}
+	d := list.All()[0]
+	if d.Unit != "f" || d.Phase != "binding" {
+		t.Errorf("unit/phase = %s/%s", d.Unit, d.Phase)
+	}
+	checkCall(t, sys, "g", "49", sexp.Fixnum(7))
+}
+
+// TestCacheCorruptionRecompiles: a corrupt cache entry (injected) is
+// detected by validation, reported as a warning, and the unit is
+// recompiled — the load still succeeds.
+func TestCacheCorruptionRecompiles(t *testing.T) {
+	plan, err := diag.ParsePlan("cache:defun=f:corrupt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(Options{Cache: true, Fault: plan})
+	const src = "(defun f (x) (+ x 10))"
+	if err := sys.LoadString(src); err != nil {
+		t.Fatalf("cold load: %v", err)
+	}
+	list := sys.LoadStringDiag(src)
+	if list.HasErrors() {
+		t.Fatalf("reload failed: %v", list)
+	}
+	warns := list.All()
+	if len(warns) != 1 || warns[0].Severity != diag.Warning || warns[0].Phase != "cache" {
+		t.Fatalf("diagnostics = %v, want one cache warning", warns)
+	}
+	if !strings.Contains(warns[0].Msg, "corrupt cache entry") {
+		t.Errorf("warning message: %q", warns[0].Msg)
+	}
+	if sys.Stats().CompileCacheHits != 0 {
+		t.Errorf("corrupt entry must not count as a hit: %d", sys.Stats().CompileCacheHits)
+	}
+	checkCall(t, sys, "f", "17", sexp.Fixnum(7))
+	// Corruption fallback degrades to exactly a cache-off recompile: the
+	// reloaded image matches a system that never had the cache.
+	ref := NewSystem(Options{})
+	if err := ref.LoadString(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.LoadString(src); err != nil {
+		t.Fatal(err)
+	}
+	rl, err := ref.Listing("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl, err := sys.Listing("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl != gl {
+		t.Errorf("recompiled listing differs from cache-off reload\n--- cache-off ---\n%s\n--- recompiled ---\n%s", rl, gl)
+	}
+}
+
+// TestMaxErrorsCapCountsButStopsStoring: failures past the cap are
+// counted (and fail the load) without being stored.
+func TestMaxErrorsCapCountsButStopsStoring(t *testing.T) {
+	sys := NewSystem(Options{MaxErrors: 2})
+	list := sys.LoadStringDiag(`
+(defun b1 (x) (car . x))
+(defun b2 (x) (car . x))
+(defun b3 (x) (car . x))
+(defun b4 (x) (car . x))
+(defun ok (x) x)`)
+	if list.Errors() != 4 {
+		t.Fatalf("errors = %d, want 4", list.Errors())
+	}
+	if list.Len() != 2 {
+		t.Errorf("stored = %d, want 2", list.Len())
+	}
+	if list.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", list.Dropped())
+	}
+	if _, ok := sys.Defs["ok"]; !ok {
+		t.Error("units past the cap must still compile")
+	}
+	if !strings.Contains(list.Error(), "past -max-errors") {
+		t.Errorf("summary lacks drop note: %q", list.Error())
+	}
+}
+
+// TestRuntimeErrorInToplevelIsDiagnosed: a top-level form that fails at
+// run time yields a positioned "run" diagnostic, later forms still
+// execute, and the system remains usable — the REPL contract.
+func TestRuntimeErrorInToplevelIsDiagnosed(t *testing.T) {
+	sys := NewSystem(Options{})
+	v, list := sys.EvalStringDiag(`
+(defun id (x) x)
+(car (id 5))
+(+ 20 22)`)
+	if list.Errors() != 1 {
+		t.Fatalf("errors = %d, want 1:\n%v", list.Errors(), list)
+	}
+	d := list.All()[0]
+	if d.Phase != "run" || d.Line != 3 {
+		t.Errorf("phase/line = %s/%d, want run/3", d.Phase, d.Line)
+	}
+	if sexp.Print(v) != "42" {
+		t.Errorf("later form's value = %s, want 42", sexp.Print(v))
+	}
+	if w, err := sys.EvalString("(+ 1 2)"); err != nil || sexp.Print(w) != "3" {
+		t.Errorf("system unusable after runtime error: %v %v", w, err)
+	}
+}
+
+// TestStepLimitGuard: -max-steps turns a runaway program into a
+// RuntimeError instead of a hang.
+func TestStepLimitGuard(t *testing.T) {
+	sys := NewSystem(Options{MaxSteps: 20_000})
+	if err := sys.LoadString("(defun spin (x) (spin x))"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sys.Call("spin", sexp.Fixnum(1))
+	if err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("err = %v, want step limit", err)
+	}
+}
+
+// TestHeapLimitGuard: under -max-heap, unbounded retained allocation
+// fails with a heap-exhausted RuntimeError after a forced GC — while a
+// workload whose garbage collects back under the limit keeps running.
+func TestHeapLimitGuard(t *testing.T) {
+	sys := NewSystem(Options{MaxHeapWords: 4_000})
+	if err := sys.LoadString(`
+(defun retain (n acc) (if (zerop n) acc (retain (- n 1) (cons n acc))))
+(defun churn (n) (if (zerop n) 'done (progn (cons 1 2) (churn (- n 1)))))`); err != nil {
+		t.Fatal(err)
+	}
+	// Garbage-heavy but low-residency: must survive far more allocation
+	// than the limit, by collecting.
+	if _, err := sys.Call("churn", sexp.Fixnum(5_000)); err != nil {
+		t.Fatalf("churn under limit: %v", err)
+	}
+	_, err := sys.Call("retain", sexp.Fixnum(5_000), sexp.Nil)
+	if err == nil || !strings.Contains(err.Error(), "heap exhausted") {
+		t.Fatalf("err = %v, want heap exhausted", err)
+	}
+	// The machine recovered: it still runs.
+	if _, err := sys.Call("churn", sexp.Fixnum(10)); err != nil {
+		t.Fatalf("machine unusable after heap fault: %v", err)
+	}
+}
+
+// TestOptimizerWatchdog: an absurdly small budget trips on every unit,
+// failing it with a watchdog diagnostic instead of hanging the load.
+func TestOptimizerWatchdog(t *testing.T) {
+	sys := NewSystem(Options{OptWatchdog: time.Nanosecond})
+	list := sys.LoadStringDiag("(defun w (x) (+ x 1))")
+	if list.Errors() != 1 {
+		t.Fatalf("errors = %d, want 1:\n%v", list.Errors(), list)
+	}
+	if !strings.Contains(list.All()[0].Msg, "watchdog") {
+		t.Errorf("message = %q, want watchdog", list.All()[0].Msg)
+	}
+}

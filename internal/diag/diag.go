@@ -1,0 +1,253 @@
+// Package diag is the structured-diagnostics layer of the reproduction:
+// positioned, per-unit compiler and runtime diagnostics that accumulate
+// instead of aborting, so one malformed defun (or one buggy optimizer
+// rule) degrades a single compilation unit rather than the whole load.
+//
+// The model is deliberately small: a Diagnostic carries a severity, a
+// source position (line and column, when known), the compilation unit
+// and pipeline phase it arose in, the worker goroutine that produced
+// it, and the underlying error. A List accumulates diagnostics with a
+// cap on stored errors (`-max-errors`); beyond the cap, failures are
+// counted but not stored, and compilation continues so the surviving
+// units still produce the same machine image as compiling the filtered
+// source.
+//
+// The companion fault.go provides an injection plan (SLC_FAULT) that
+// turns the recovery paths themselves into tested code.
+package diag
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+const (
+	// Warning marks a degraded-but-recovered condition (a corrupt cache
+	// entry that fell back to recompilation, say); it does not fail a
+	// load.
+	Warning Severity = iota
+	// Error marks a failed compilation unit or top-level form.
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Warning {
+		return "warning"
+	}
+	return "error"
+}
+
+// Diagnostic is one structured compiler or runtime diagnostic.
+type Diagnostic struct {
+	Severity Severity
+	// Unit is the compilation unit: the defun name, a %toplevel-N
+	// pseudo-unit, or "" when no unit applies (reader errors).
+	Unit string
+	// Phase is the pipeline stage: read, convert, cache, optimize, cse,
+	// analysis, binding, rep, pdl, emit, run, ...
+	Phase string
+	// Line and Col locate the unit's top-level form in the source text
+	// (1-based; 0 = unknown).
+	Line, Col int
+	// Worker is the pool goroutine that produced the diagnostic (0 is
+	// the driver).
+	Worker int
+	// Msg is the human-readable description.
+	Msg string
+	// Err is the underlying error, when one exists.
+	Err error
+}
+
+// Error renders the diagnostic in a grep-friendly single-line form:
+//
+//	3:1: error: unit square [optimize]: panic: boom (worker 2)
+func (d *Diagnostic) Error() string {
+	var b strings.Builder
+	if d.Line > 0 {
+		fmt.Fprintf(&b, "%d:%d: ", d.Line, d.Col)
+	}
+	b.WriteString(d.Severity.String())
+	b.WriteString(": ")
+	if d.Unit != "" {
+		fmt.Fprintf(&b, "unit %s ", d.Unit)
+	}
+	if d.Phase != "" {
+		fmt.Fprintf(&b, "[%s]: ", d.Phase)
+	}
+	b.WriteString(d.Msg)
+	if d.Worker != 0 {
+		fmt.Fprintf(&b, " (worker %d)", d.Worker)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the underlying error to errors.Is/As chains.
+func (d *Diagnostic) Unwrap() error { return d.Err }
+
+// List accumulates diagnostics up to a cap on stored errors. The zero
+// value is usable (unlimited). List implements error; callers that kept
+// the old single-error signature return the list itself when any unit
+// failed. All methods are safe on a nil receiver and for concurrent use.
+type List struct {
+	mu sync.Mutex
+	// max bounds the number of *stored* Error-severity diagnostics
+	// (0 = unlimited). Failures past the cap are counted in dropped:
+	// compilation continues either way, so the surviving image does not
+	// depend on the cap.
+	max     int
+	all     []*Diagnostic
+	errors  int
+	dropped int
+}
+
+// NewList returns a list storing at most max error diagnostics
+// (0 = unlimited).
+func NewList(max int) *List { return &List{max: max} }
+
+// Add appends d, subject to the error cap. It reports whether the
+// diagnostic was stored (warnings always are).
+func (l *List) Add(d *Diagnostic) bool {
+	if l == nil || d == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if d.Severity == Error {
+		l.errors++
+		if l.max > 0 && l.errors > l.max {
+			l.dropped++
+			return false
+		}
+	}
+	l.all = append(l.all, d)
+	return true
+}
+
+// All returns a snapshot of the stored diagnostics, in arrival order.
+func (l *List) All() []*Diagnostic {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Diagnostic, len(l.all))
+	copy(out, l.all)
+	return out
+}
+
+// Len returns the number of stored diagnostics.
+func (l *List) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.all)
+}
+
+// Errors returns the total count of Error-severity diagnostics,
+// including any dropped past the cap.
+func (l *List) Errors() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.errors
+}
+
+// Dropped returns how many error diagnostics exceeded the cap and were
+// counted but not stored.
+func (l *List) Dropped() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// HasErrors reports whether any unit failed.
+func (l *List) HasErrors() bool { return l.Errors() > 0 }
+
+// Error summarizes every stored diagnostic, one per line, implementing
+// the error interface so a List can travel through existing
+// error-returning APIs.
+func (l *List) Error() string {
+	if l == nil {
+		return "no diagnostics"
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.all) == 0 {
+		return "no diagnostics"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d diagnostic(s)", len(l.all))
+	if l.dropped > 0 {
+		fmt.Fprintf(&b, " (+%d past -max-errors)", l.dropped)
+	}
+	for _, d := range l.all {
+		b.WriteString("\n  ")
+		b.WriteString(d.Error())
+	}
+	return b.String()
+}
+
+// FromPanic converts a recovered panic value into an Error diagnostic
+// carrying the phase name, the worker id, and a context string (the
+// back-translated tree of the failing unit, typically). A panic that is
+// itself an *InjectedFault or error keeps its message; anything else is
+// formatted with %v. A trimmed stack excerpt is folded into Err so the
+// provenance survives without drowning the report.
+func FromPanic(r any, phase, unit string, worker int, context string) *Diagnostic {
+	d := &Diagnostic{
+		Severity: Error,
+		Unit:     unit,
+		Phase:    phase,
+		Worker:   worker,
+	}
+	switch v := r.(type) {
+	case *InjectedFault:
+		d.Msg = "panic: " + v.Error()
+		d.Err = v
+		if d.Phase == "" {
+			d.Phase = v.Phase
+		}
+	case error:
+		d.Msg = "panic: " + v.Error()
+		d.Err = v
+	default:
+		d.Msg = fmt.Sprintf("panic: %v", v)
+	}
+	if context != "" {
+		d.Msg += "\n    in " + truncate(context, 200)
+	}
+	if d.Err == nil {
+		d.Err = fmt.Errorf("%s\n%s", d.Msg, trimStack(debug.Stack(), 8))
+	}
+	return d
+}
+
+// truncate shortens s to at most n runes with an ellipsis.
+func truncate(s string, n int) string {
+	rs := []rune(s)
+	if len(rs) <= n {
+		return s
+	}
+	return string(rs[:n]) + "..."
+}
+
+// trimStack keeps the first n lines of a debug.Stack dump.
+func trimStack(stack []byte, n int) string {
+	lines := strings.SplitN(string(stack), "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,131 @@
+package diag
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDiagnosticFormat(t *testing.T) {
+	d := &Diagnostic{Severity: Error, Unit: "square", Phase: "optimize",
+		Line: 3, Col: 1, Worker: 2, Msg: "panic: boom"}
+	got := d.Error()
+	for _, want := range []string{"3:1:", "error", "square", "optimize", "boom", "worker 2"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diagnostic %q missing %q", got, want)
+		}
+	}
+	w := &Diagnostic{Severity: Warning, Phase: "cache", Msg: "corrupt entry"}
+	if !strings.Contains(w.Error(), "warning") {
+		t.Errorf("warning rendered as %q", w.Error())
+	}
+}
+
+func TestListCap(t *testing.T) {
+	l := NewList(2)
+	for i := 0; i < 5; i++ {
+		l.Add(&Diagnostic{Severity: Error, Msg: "e"})
+	}
+	l.Add(&Diagnostic{Severity: Warning, Msg: "w"})
+	if l.Errors() != 5 {
+		t.Errorf("Errors() = %d, want 5", l.Errors())
+	}
+	if l.Dropped() != 3 {
+		t.Errorf("Dropped() = %d, want 3", l.Dropped())
+	}
+	// 2 stored errors + the warning (warnings are never capped).
+	if l.Len() != 3 {
+		t.Errorf("Len() = %d, want 3", l.Len())
+	}
+	if !strings.Contains(l.Error(), "past -max-errors") {
+		t.Errorf("summary %q should note the dropped errors", l.Error())
+	}
+}
+
+func TestNilListIsSafe(t *testing.T) {
+	var l *List
+	l.Add(&Diagnostic{Severity: Error, Msg: "e"})
+	if l.HasErrors() || l.Len() != 0 || l.All() != nil {
+		t.Error("nil list should be inert")
+	}
+}
+
+func TestFromPanic(t *testing.T) {
+	d := FromPanic("kaboom", "rep", "f", 3, "(defun f (x) x)")
+	if d.Severity != Error || d.Phase != "rep" || d.Worker != 3 {
+		t.Errorf("bad diagnostic: %+v", d)
+	}
+	if !strings.Contains(d.Msg, "kaboom") || !strings.Contains(d.Msg, "(defun f (x) x)") {
+		t.Errorf("msg %q", d.Msg)
+	}
+	inj := FromPanic(&InjectedFault{Phase: "optimize", Unit: "f", Kind: KindPanic}, "", "f", 1, "")
+	if inj.Phase != "optimize" {
+		t.Errorf("injected fault should supply the phase, got %q", inj.Phase)
+	}
+	var ij *InjectedFault
+	if !errors.As(inj, &ij) {
+		t.Error("underlying InjectedFault should unwrap")
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("optimize:defun=exptl:panic;cache:*:corrupt;rep:unit=g:error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Fire("optimize", "other"); err != nil {
+		t.Errorf("non-matching unit fired: %v", err)
+	}
+	if err := p.Fire("rep", "g"); err == nil {
+		t.Error("error fault should fire")
+	}
+	if !p.ShouldCorrupt("cache", "anything") {
+		t.Error("wildcard corrupt fault should match")
+	}
+	if p.ShouldCorrupt("emit", "anything") {
+		t.Error("corrupt fault is cache-phase only in this plan")
+	}
+	func() {
+		defer func() {
+			r := recover()
+			ij, ok := r.(*InjectedFault)
+			if !ok || ij.Unit != "exptl" {
+				t.Errorf("want InjectedFault panic, got %v", r)
+			}
+		}()
+		p.Fire("optimize", "exptl")
+		t.Error("panic fault did not panic")
+	}()
+
+	for _, bad := range []string{"optimize", "a:b", "x:defun=f:explode", "x:who=f:panic", ":*:panic"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) should fail", bad)
+		}
+	}
+	if p, err := ParsePlan("  "); p != nil || err != nil {
+		t.Error("blank plan should be nil, nil")
+	}
+	var nilPlan *Plan
+	if nilPlan.Fire("x", "y") != nil || nilPlan.ShouldCorrupt("x", "y") {
+		t.Error("nil plan must be inert")
+	}
+}
+
+func TestPlanFromEnv(t *testing.T) {
+	t.Setenv("SLC_FAULT", "optimize:defun=exptl:panic;cache:*:corrupt")
+	p, err := PlanFromEnv()
+	if err != nil || p == nil {
+		t.Fatalf("PlanFromEnv: %v %v", p, err)
+	}
+	if !p.ShouldCorrupt("cache", "anything") {
+		t.Error("env plan lost the corrupt entry")
+	}
+	t.Setenv("SLC_FAULT", "")
+	if p, err := PlanFromEnv(); p != nil || err != nil {
+		t.Error("empty env should be nil, nil")
+	}
+	t.Setenv("SLC_FAULT", "not-a-plan")
+	if _, err := PlanFromEnv(); err == nil {
+		t.Error("malformed env plan should fail")
+	}
+}

@@ -1,0 +1,151 @@
+package diag
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Fault injection makes the recovery paths first-class tested code: a
+// Plan, parsed from the SLC_FAULT environment variable or the -fault
+// flag, fires panics and errors at pipeline phase boundaries so that
+// per-unit degradation can be exercised deterministically, including
+// under -jobs N.
+//
+// Grammar (entries separated by ';'):
+//
+//	plan     := entry (';' entry)*
+//	entry    := phase ':' selector ':' kind
+//	phase    := pipeline stage name ("optimize", "emit", "cache", ...) | '*'
+//	selector := "defun=" name | "unit=" name | '*'
+//	kind     := "panic" | "error" | "corrupt"
+//
+// Examples:
+//
+//	SLC_FAULT=optimize:defun=exptl:panic      # panic while optimizing exptl
+//	SLC_FAULT=cache:*:corrupt                 # corrupt every cache hit
+//	SLC_FAULT=rep:defun=f:error;emit:defun=g:panic
+
+// Fault kinds.
+const (
+	KindPanic   = "panic"
+	KindError   = "error"
+	KindCorrupt = "corrupt"
+)
+
+// Fault is one injection rule.
+type Fault struct {
+	// Phase matches the pipeline stage name; "*" matches any phase.
+	Phase string
+	// Unit matches the compilation unit name; "*" matches any unit.
+	Unit string
+	// Kind is KindPanic, KindError or KindCorrupt.
+	Kind string
+}
+
+func (f Fault) matches(phase, unit string) bool {
+	return (f.Phase == "*" || f.Phase == phase) &&
+		(f.Unit == "*" || f.Unit == unit)
+}
+
+// InjectedFault is the panic/error value a firing fault produces; the
+// recovery machinery recognizes it to label diagnostics precisely.
+type InjectedFault struct {
+	Phase, Unit, Kind string
+}
+
+func (f *InjectedFault) Error() string {
+	return fmt.Sprintf("injected %s fault at %s:%s", f.Kind, f.Phase, f.Unit)
+}
+
+// Plan is a parsed fault-injection plan. A nil *Plan never fires, so
+// the hot path pays one nil check.
+type Plan struct {
+	faults []Fault
+}
+
+// ParsePlan parses the SLC_FAULT grammar. An empty string yields a nil
+// plan.
+func ParsePlan(s string) (*Plan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	p := &Plan{}
+	for _, ent := range strings.Split(s, ";") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		parts := strings.SplitN(ent, ":", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("diag: fault entry %q: want phase:selector:kind", ent)
+		}
+		f := Fault{Phase: parts[0], Kind: parts[2]}
+		switch sel := parts[1]; {
+		case sel == "*":
+			f.Unit = "*"
+		case strings.HasPrefix(sel, "defun="):
+			f.Unit = strings.TrimPrefix(sel, "defun=")
+		case strings.HasPrefix(sel, "unit="):
+			f.Unit = strings.TrimPrefix(sel, "unit=")
+		default:
+			return nil, fmt.Errorf("diag: fault selector %q: want defun=NAME, unit=NAME or *", sel)
+		}
+		switch f.Kind {
+		case KindPanic, KindError, KindCorrupt:
+		default:
+			return nil, fmt.Errorf("diag: fault kind %q: want panic, error or corrupt", f.Kind)
+		}
+		if f.Phase == "" || f.Unit == "" {
+			return nil, fmt.Errorf("diag: fault entry %q: empty phase or unit", ent)
+		}
+		p.faults = append(p.faults, f)
+	}
+	if len(p.faults) == 0 {
+		return nil, nil
+	}
+	return p, nil
+}
+
+// PlanFromEnv parses SLC_FAULT from the environment.
+func PlanFromEnv() (*Plan, error) {
+	return ParsePlan(os.Getenv("SLC_FAULT"))
+}
+
+// Fire checks the plan at a phase boundary for one unit: a matching
+// panic fault panics with an *InjectedFault, a matching error fault
+// returns one, and no match (or a nil plan) returns nil. Corrupt faults
+// never fire here — they are consulted via ShouldCorrupt at the cache
+// layer.
+func (p *Plan) Fire(phase, unit string) error {
+	if p == nil {
+		return nil
+	}
+	for _, f := range p.faults {
+		if !f.matches(phase, unit) {
+			continue
+		}
+		switch f.Kind {
+		case KindPanic:
+			panic(&InjectedFault{Phase: phase, Unit: unit, Kind: KindPanic})
+		case KindError:
+			return &InjectedFault{Phase: phase, Unit: unit, Kind: KindError}
+		}
+	}
+	return nil
+}
+
+// ShouldCorrupt reports whether a corrupt fault matches (the cache
+// layer then mangles the looked-up entry so validation must catch it).
+func (p *Plan) ShouldCorrupt(phase, unit string) bool {
+	if p == nil {
+		return false
+	}
+	for _, f := range p.faults {
+		if f.Kind == KindCorrupt && f.matches(phase, unit) {
+			return true
+		}
+	}
+	return false
+}

@@ -132,6 +132,19 @@ type Task struct {
 	r      *Recorder
 	unit   string
 	worker int
+	// phase names the currently open span, giving panic recovery a way
+	// to report which pipeline stage was in flight. Tasks are used by a
+	// single goroutine, so no lock.
+	phase string
+}
+
+// CurrentPhase returns the phase of the open span, "" when none is open
+// (or for the nil no-op task).
+func (t *Task) CurrentPhase() string {
+	if t == nil {
+		return ""
+	}
+	return t.phase
 }
 
 // Live reports whether the task records anything (false for the nil
@@ -162,6 +175,7 @@ func (t *Task) Start(phase string) *ActiveSpan {
 	if t == nil {
 		return nil
 	}
+	t.phase = phase
 	return &ActiveSpan{t: t, phase: phase, start: time.Since(t.r.epoch)}
 }
 
@@ -186,6 +200,7 @@ func (s *ActiveSpan) End() {
 		return
 	}
 	t := s.t
+	t.phase = ""
 	sp := Span{
 		Phase: s.phase, Unit: t.unit, Worker: t.worker,
 		Start: s.start, End: time.Since(t.r.epoch), Nodes: s.nodes,

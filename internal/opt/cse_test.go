@@ -5,14 +5,13 @@ import (
 	"testing"
 
 	"repro/internal/convert"
-	"repro/internal/sexp"
 	"repro/internal/tree"
 )
 
 func cseRun(t *testing.T, src string) (tree.Node, int) {
 	t.Helper()
 	c := convert.New()
-	n, err := c.ConvertForm(sexp.MustRead(src))
+	n, err := c.ConvertForm(mustRead(src))
 	if err != nil {
 		t.Fatal(err)
 	}

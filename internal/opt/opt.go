@@ -16,6 +16,7 @@ package opt
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/interp"
@@ -41,6 +42,14 @@ type Options struct {
 	SubstituteComplexity int
 	// Disabled rules by name (for ablation benchmarks).
 	Disabled map[string]bool
+	// Watchdog, when >0, bounds the wall-clock time of one Optimize
+	// call: past the deadline the fixpoint stops rewriting and TimedOut
+	// reports true, so a non-terminating (or merely pathological) rule
+	// interaction degrades into a per-unit diagnostic instead of a hung
+	// compiler. 0 disables the watchdog. Note that a tripped watchdog
+	// makes the output timing-dependent, so callers treat it as a unit
+	// failure, never as "partially optimized but fine".
+	Watchdog time.Duration
 }
 
 // DefaultOptions returns the standard settings.
@@ -71,6 +80,13 @@ type Optimizer struct {
 	deep     map[tree.Node]bool
 	visit    map[tree.Node]bool
 	fired    []tree.Node
+
+	// Watchdog state: deadline is the wall-clock cutoff (zero = none),
+	// timedOut latches once it passes, and wdCtr amortizes the
+	// time.Now() cost to one call per 1024 rewrite visits.
+	deadline time.Time
+	timedOut bool
+	wdCtr    int
 }
 
 // New returns an optimizer; in supplies the apply engine for compile-time
@@ -98,8 +114,16 @@ func New(opts Options, in *interp.Interp) *Optimizer {
 // Untouched subtrees can fire no rule they did not fire last pass, so the
 // result is identical to rescanning everything.
 func (o *Optimizer) Optimize(root tree.Node) tree.Node {
+	o.timedOut = false
+	o.deadline = time.Time{}
+	if o.opts.Watchdog > 0 {
+		o.deadline = time.Now().Add(o.opts.Watchdog)
+	}
 	census := map[*tree.Var][2]int{}
 	for pass := 0; pass < o.opts.MaxPasses; pass++ {
+		if o.expired() {
+			break
+		}
 		if pass == 0 {
 			analysis.Analyze(root)
 			o.visitAll = true
@@ -129,6 +153,24 @@ func (o *Optimizer) Optimize(root tree.Node) tree.Node {
 	o.visitAll, o.deep, o.visit, o.fired = false, nil, nil, nil
 	analysis.Analyze(root)
 	return root
+}
+
+// TimedOut reports whether the last Optimize call hit the watchdog
+// deadline before reaching a fixpoint.
+func (o *Optimizer) TimedOut() bool { return o.timedOut }
+
+// expired latches (and reports) watchdog expiry.
+func (o *Optimizer) expired() bool {
+	if o.timedOut {
+		return true
+	}
+	if o.deadline.IsZero() {
+		return false
+	}
+	if !time.Now().Before(o.deadline) {
+		o.timedOut = true
+	}
+	return o.timedOut
 }
 
 // markDirty marks n for a full revisit and its ancestors for node-local
@@ -223,6 +265,11 @@ func (o *Optimizer) logRule(rule, before string, newN tree.Node) {
 // it, a visit-marked node descends selectively, and a clean node returns
 // unchanged.
 func (o *Optimizer) rewrite(n tree.Node, force bool) tree.Node {
+	if !o.deadline.IsZero() {
+		if o.wdCtr++; o.timedOut || (o.wdCtr&1023 == 0 && o.expired()) {
+			return n
+		}
+	}
 	if !force {
 		if o.deep[n] {
 			force = true

@@ -13,7 +13,7 @@ import (
 func optimizeSrc(t *testing.T, src string) (tree.Node, *Optimizer) {
 	t.Helper()
 	c := convert.New()
-	n, err := c.ConvertForm(sexp.MustRead(src))
+	n, err := c.ConvertForm(mustRead(src))
 	if err != nil {
 		t.Fatalf("convert: %v", err)
 	}
@@ -294,7 +294,7 @@ func TestTestfnTranscript(t *testing.T) {
 	      (frotz d e (max$f d e))
 	      q)))`
 	c := convert.New()
-	n, err := c.ConvertForm(sexp.MustRead(src))
+	n, err := c.ConvertForm(mustRead(src))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,7 +417,7 @@ func TestDisabledRules(t *testing.T) {
 	opts.Disabled = map[string]bool{"META-EVALUATE-CONSTANT-CALL": true}
 	o := New(opts, nil)
 	c := convert.New()
-	n, _ := c.ConvertForm(sexp.MustRead("(+ 1 2)"))
+	n, _ := c.ConvertForm(mustRead("(+ 1 2)"))
 	out := o.Optimize(n)
 	if tree.Show(out) != "(+ 1 2)" {
 		t.Errorf("disabled folding still fired: %s", tree.Show(out))
@@ -438,4 +438,14 @@ func TestOptimizeTerminates(t *testing.T) {
 	if n == nil {
 		t.Fatal("nil result")
 	}
+}
+
+// mustRead parses one form, panicking on error — a test-table
+// convenience; the production reader paths all return errors.
+func mustRead(src string) sexp.Value {
+	v, err := sexp.ReadOne(src)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"repro/internal/convert"
-	"repro/internal/sexp"
 	"repro/internal/tree"
 )
 
@@ -34,7 +33,7 @@ var corpus = []string{
 func TestOptimizeIdempotent(t *testing.T) {
 	for _, src := range corpus {
 		c := convert.New()
-		n, err := c.ConvertForm(sexp.MustRead(src))
+		n, err := c.ConvertForm(mustRead(src))
 		if err != nil {
 			t.Fatalf("%s: %v", src, err)
 		}
@@ -57,7 +56,7 @@ func TestOptimizeIdempotent(t *testing.T) {
 func TestOptimizedTreesValidate(t *testing.T) {
 	for _, src := range corpus {
 		c := convert.New()
-		n, err := c.ConvertForm(sexp.MustRead(src))
+		n, err := c.ConvertForm(mustRead(src))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,7 +74,7 @@ func TestOptimizedTreesValidate(t *testing.T) {
 func TestBackTranslationReconverts(t *testing.T) {
 	for _, src := range corpus {
 		c := convert.New()
-		n, err := c.ConvertForm(sexp.MustRead(src))
+		n, err := c.ConvertForm(mustRead(src))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,7 +82,7 @@ func TestBackTranslationReconverts(t *testing.T) {
 		out := o.Optimize(n)
 		printed := tree.Show(out)
 		c2 := convert.New()
-		if _, err := c2.ConvertForm(sexp.MustRead(printed)); err != nil {
+		if _, err := c2.ConvertForm(mustRead(printed)); err != nil {
 			t.Errorf("%s: reconversion failed: %v\nprinted: %s", src, err, printed)
 		}
 	}
@@ -94,7 +93,7 @@ func TestBackTranslationReconverts(t *testing.T) {
 func TestCopyPreservesShape(t *testing.T) {
 	for _, src := range corpus {
 		c := convert.New()
-		n, err := c.ConvertForm(sexp.MustRead(src))
+		n, err := c.ConvertForm(mustRead(src))
 		if err != nil {
 			t.Fatal(err)
 		}

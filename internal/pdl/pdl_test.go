@@ -13,7 +13,7 @@ import (
 func prep(t *testing.T, src string) *tree.Lambda {
 	t.Helper()
 	c := convert.New()
-	n, err := c.ConvertForm(sexp.MustRead(src))
+	n, err := c.ConvertForm(mustRead(src))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestClosedVarInitNotPdl(t *testing.T) {
 
 func TestDisabledClearsAuthorizations(t *testing.T) {
 	c := convert.New()
-	n, _ := c.ConvertForm(sexp.MustRead("(lambda (x y) (frotz (+$f x y)))"))
+	n, _ := c.ConvertForm(mustRead("(lambda (x y) (frotz (+$f x y)))"))
 	lam := n.(*tree.Lambda)
 	binding.AnnotateFunction(lam)
 	rep.Annotate(lam, true)
@@ -147,4 +147,14 @@ func TestSetqToLocalAuthorized(t *testing.T) {
 	if sq.Value.Info().PdlOkP == nil {
 		t.Error("setq to a frame variable should authorize pdl")
 	}
+}
+
+// mustRead parses one form, panicking on error — a test-table
+// convenience; the production reader paths all return errors.
+func mustRead(src string) sexp.Value {
+	v, err := sexp.ReadOne(src)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

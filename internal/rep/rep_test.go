@@ -12,7 +12,7 @@ import (
 func prep(t *testing.T, src string) (*tree.Lambda, VarReps) {
 	t.Helper()
 	c := convert.New()
-	n, err := c.ConvertForm(sexp.MustRead(src))
+	n, err := c.ConvertForm(mustRead(src))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestLiteralChameleon(t *testing.T) {
 
 func TestDisabledForcesPointer(t *testing.T) {
 	c := convert.New()
-	n, _ := c.ConvertForm(sexp.MustRead("(lambda (x y) (+$f x y))"))
+	n, _ := c.ConvertForm(mustRead("(lambda (x y) (+$f x y))"))
 	lam := n.(*tree.Lambda)
 	binding.AnnotateFunction(lam)
 	Annotate(lam, false)
@@ -279,4 +279,14 @@ func TestClosedVarStaysPointer(t *testing.T) {
 	if vr.Rep(sVar) != tree.RepPOINTER {
 		t.Errorf("closed s rep = %v, must be POINTER", vr.Rep(sVar))
 	}
+}
+
+// mustRead parses one form, panicking on error — a test-table
+// convenience; the production reader paths all return errors.
+func mustRead(src string) sexp.Value {
+	v, err := sexp.ReadOne(src)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -1,6 +1,9 @@
 package s1
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // A mark-sweep garbage collector for the simulator heap. The paper's
 // runtime "and especially the garbage collector, has been written with
@@ -19,6 +22,18 @@ type allocRec struct {
 	size   int
 	marked bool
 	free   bool
+}
+
+// heapExhausted is the internal panic value raised when an allocation
+// cannot fit under HeapLimit even after a forced collection; the run
+// loop's recover barrier converts it into a RuntimeError.
+type heapExhausted struct {
+	need, live, limit int64
+}
+
+func (e *heapExhausted) Error() string {
+	return fmt.Sprintf("heap exhausted: %d live words + %d requested exceeds limit %d after GC",
+		e.live, e.need, e.limit)
 }
 
 // GCStats meters collector activity.
@@ -127,6 +142,7 @@ func (m *Machine) GC() int64 {
 	m.GCMeters.WordsReclaimed += reclaimed
 	m.GCMeters.BlocksFreed += blocks
 	m.liveSinceGC = 0
+	m.liveWords -= reclaimed
 	if p := m.prof; p != nil {
 		p.gcPause(time.Since(gcStart))
 	}
@@ -139,6 +155,17 @@ func (m *Machine) gcAlloc(n int) uint64 {
 	if m.gcThreshold > 0 && m.liveSinceGC >= m.gcThreshold {
 		m.GC()
 	}
+	// The heap guard: collect when the limit would be crossed, and if
+	// the survivors still don't leave room, fail the allocation — as a
+	// panic, because the call chain down to Cons has no error path; the
+	// run loop converts it to a RuntimeError.
+	if m.HeapLimit > 0 && m.liveWords+int64(n) > m.HeapLimit {
+		m.GC()
+		if m.liveWords+int64(n) > m.HeapLimit {
+			panic(&heapExhausted{need: int64(n), live: m.liveWords, limit: m.HeapLimit})
+		}
+	}
+	m.liveWords += int64(n)
 	if lst := m.freeLists[n]; len(lst) > 0 {
 		addr := lst[len(lst)-1]
 		m.freeLists[n] = lst[:len(lst)-1]

@@ -86,7 +86,7 @@ func TestGCFreeListReuse(t *testing.T) {
 
 func TestGCCodeImmediatesAreRoots(t *testing.T) {
 	m := New()
-	lst := m.FromValue(sexp.MustRead("(1 2 3)"))
+	lst := m.FromValue(mustRead("(1 2 3)"))
 	if _, err := m.AddFunction("f", 0, 0, []Item{
 		InstrItem(Instr{Op: OpMOV, A: R(RegA), B: Imm(lst)}),
 		InstrItem(Instr{Op: OpRET}),

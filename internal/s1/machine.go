@@ -91,8 +91,14 @@ type Machine struct {
 
 	// Out receives print output.
 	Out io.Writer
-	// StepLimit bounds execution (instructions).
+	// StepLimit bounds execution (instructions): a runaway program gets
+	// a RuntimeError instead of wedging the process (-max-steps).
 	StepLimit int64
+	// HeapLimit, when >0, bounds live heap words (-max-heap): an
+	// allocation that would exceed it first forces a collection, and if
+	// the heap is still over the limit the program gets a RuntimeError
+	// ("heap exhausted") instead of growing without bound.
+	HeapLimit int64
 	// Stats accumulates the meters.
 	Stats Stats
 	// GCMeters accumulates garbage-collector activity.
@@ -109,6 +115,7 @@ type Machine struct {
 	freeLists   map[int][]uint64
 	gcThreshold int64
 	liveSinceGC int64
+	liveWords   int64
 	regs        [NumRegs]Word
 	bindStack   []bindEntry
 	catchStack  []catchFrame
@@ -348,8 +355,20 @@ func (m *Machine) CallFunction(name string, args ...Word) (Word, error) {
 	return m.CallIndex(idx, args...)
 }
 
-// CallIndex invokes function index idx with args.
-func (m *Machine) CallIndex(idx int, args ...Word) (Word, error) {
+// CallIndex invokes function index idx with args. The same panic
+// barrier as Run guards the frame setup (argument pushes may allocate
+// under a heap limit).
+func (m *Machine) CallIndex(idx int, args ...Word) (w Word, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.halted = true
+			if he, ok := r.(*heapExhausted); ok {
+				err = &RuntimeError{PC: m.pc, Msg: he.Error()}
+			} else {
+				err = &RuntimeError{PC: m.pc, Msg: fmt.Sprintf("machine fault: %v", r)}
+			}
+		}
+	}()
 	if p := m.prof; p != nil {
 		p.restart(m)
 	}
@@ -401,8 +420,22 @@ func (m *Machine) enterFrame(nargs, retPC int, fn Word, fast bool) error {
 	return nil
 }
 
-// Run executes until HALT or error.
-func (m *Machine) Run() error {
+// Run executes until HALT or error. Panics raised below the
+// instruction loop — heap exhaustion after a failed collection, or an
+// internal simulator fault — are converted into RuntimeErrors so a sick
+// program degrades into an error value the REPL and driver can report.
+func (m *Machine) Run() (err error) {
+	defer func() {
+		if r := recover(); r == nil {
+			return
+		} else if he, ok := r.(*heapExhausted); ok {
+			m.halted = true
+			err = &RuntimeError{PC: m.pc, Msg: he.Error()}
+		} else {
+			m.halted = true
+			err = &RuntimeError{PC: m.pc, Msg: fmt.Sprintf("machine fault: %v", r)}
+		}
+	}()
 	for !m.halted {
 		if m.Stats.Instrs >= m.StepLimit {
 			return &RuntimeError{PC: m.pc, Msg: "step limit exceeded"}

@@ -517,7 +517,7 @@ func TestValueConversionRoundTrip(t *testing.T) {
 		"#(1 2)", `"str"`, "12345678901234567890123456789", "2/3", "3.25",
 	}
 	for _, src := range cases {
-		v := sexp.MustRead(src)
+		v := mustRead(src)
 		w := m.FromValue(v)
 		back, err := m.ToValue(w)
 		if err != nil {
@@ -536,10 +536,10 @@ func TestPrimHook(t *testing.T) {
 		if name != "reverse" {
 			t.Errorf("hook name = %s", name)
 		}
-		return sexp.MustRead("(3 2 1)"), nil
+		return mustRead("(3 2 1)"), nil
 	})
 	sym := m.InternSym("reverse")
-	lst := m.FromValue(sexp.MustRead("(1 2 3)"))
+	lst := m.FromValue(mustRead("(1 2 3)"))
 	addFn(t, m, "r", 0, 0, []Item{
 		InstrItem(Instr{Op: OpPUSH, A: Imm(lst)}),
 		InstrItem(Instr{Op: OpCALLSQ, TagArg: SQPrim, B: ImmInt(int64(sym)), C: ImmInt(1)}),
@@ -740,8 +740,8 @@ func TestSQEqlAndEqual(t *testing.T) {
 	if v := run(SQEql, f1, f2); v.Tag != TagT {
 		t.Error("eql flonums of equal value")
 	}
-	l1 := m.FromValue(sexp.MustRead("(1 2)"))
-	l2 := m.FromValue(sexp.MustRead("(1 2)"))
+	l1 := m.FromValue(mustRead("(1 2)"))
+	l2 := m.FromValue(mustRead("(1 2)"))
 	if v := run(SQEql, l1, l2); v.Tag != TagNil {
 		t.Error("distinct lists are not eql")
 	}
@@ -757,7 +757,7 @@ func TestPrintWordAndSQPrint(t *testing.T) {
 	}
 	var buf strings.Builder
 	m.Out = &buf
-	lst := m.FromValue(sexp.MustRead("(a 1 2.5)"))
+	lst := m.FromValue(mustRead("(a 1 2.5)"))
 	addFn(t, m, "pr", 0, 0, []Item{
 		InstrItem(Instr{Op: OpMOV, A: R(RegA), B: Imm(lst)}),
 		InstrItem(Instr{Op: OpCALLSQ, TagArg: SQPrint}),
@@ -773,7 +773,7 @@ func TestPrintWordAndSQPrint(t *testing.T) {
 
 func TestVectorAndArrayConversion(t *testing.T) {
 	m := New()
-	v := sexp.MustRead("#(1 (2 3) \"s\")")
+	v := mustRead("#(1 (2 3) \"s\")")
 	w := m.FromValue(v)
 	back, err := m.ToValue(w)
 	if err != nil || !sexp.Equal(v, back) {
@@ -832,4 +832,14 @@ func TestSpecialWriteSQ(t *testing.T) {
 	if m.Syms[sym].Value.Int() != 77 {
 		t.Error("global write failed")
 	}
+}
+
+// mustRead parses one form, panicking on error — a test-table
+// convenience; the production reader paths all return errors.
+func mustRead(src string) sexp.Value {
+	v, err := sexp.ReadOne(src)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

@@ -1,0 +1,46 @@
+package sexp
+
+import "testing"
+
+// FuzzRead is the reader's no-panic contract: arbitrary input must
+// produce forms or positioned errors, never a panic, and the
+// error-recovering variant must terminate with every reported error
+// carrying a sane position. Printing whatever parsed must also not
+// panic (the printer walks exactly what the reader built).
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"(defun f (x) (* x x))",
+		"(a . b) #(1 2 3) #\\x 'sym |Mixed Case| 1/2 1.5e3",
+		"(a (b (c",
+		")))(",
+		"(defun broken (x\n(defun ok () 1)",
+		"#| block #| nested |# |# (f) ; line\n",
+		"\"unterminated",
+		"(1 . 2 3)",
+		"`(a ,b ,@c)",
+		"#z #",
+		"...(((((''''''``````,,,,,,",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if vs, err := ReadAll(src); err == nil {
+			for _, v := range vs {
+				_ = Print(v)
+			}
+		}
+		forms, errs := ReadAllRecover(src)
+		for _, fm := range forms {
+			_ = Print(fm.Val)
+			if fm.Line < 1 || fm.Col < 1 {
+				t.Fatalf("form with bad position %d:%d", fm.Line, fm.Col)
+			}
+		}
+		for _, e := range errs {
+			if e.Line < 1 || e.Col < 1 {
+				t.Fatalf("error with bad position %d:%d (%s)", e.Line, e.Col, e.Msg)
+			}
+		}
+	})
+}

@@ -13,19 +13,32 @@ import (
 // quote, `#'` function, “ ` “/`,`/`,@` quasiquote, `#(...)` vectors and
 // `;` line comments plus `#|...|#` block comments.
 type Reader struct {
-	src  []rune
-	pos  int
-	line int
+	src []rune
+	pos int
+	// line and lineStart track the current source line (1-based) and the
+	// rune index where it begins, so every error carries a column.
+	line      int
+	lineStart int
+	// depth is the current form-nesting depth; maxNestingDepth bounds it
+	// so pathological inputs fail with a syntax error instead of
+	// unbounded recursion.
+	depth int
 }
 
-// SyntaxError describes a reader failure with its source line.
+// maxNestingDepth bounds form nesting ("(((...": lists, quotes,
+// vectors). Real programs sit far below it; fuzzers do not.
+const maxNestingDepth = 10_000
+
+// SyntaxError describes a reader failure with its source line and
+// column (both 1-based).
 type SyntaxError struct {
 	Line int
+	Col  int
 	Msg  string
 }
 
 func (e *SyntaxError) Error() string {
-	return fmt.Sprintf("sexp: line %d: %s", e.Line, e.Msg)
+	return fmt.Sprintf("sexp: line %d:%d: %s", e.Line, e.Col, e.Msg)
 }
 
 // NewReader returns a Reader over src.
@@ -33,12 +46,38 @@ func NewReader(src string) *Reader {
 	return &Reader{src: []rune(src), line: 1}
 }
 
-// ReadAll parses every form in src.
+// col is the 1-based column of the reader's current position.
+func (r *Reader) col() int { return r.pos - r.lineStart + 1 }
+
+// bumpLine records a newline whose '\n' sits at rune index pos.
+func (r *Reader) bumpLine(pos int) {
+	r.line++
+	r.lineStart = pos + 1
+}
+
+// errHere builds a SyntaxError at the current position.
+func (r *Reader) errHere(msg string) *SyntaxError {
+	return &SyntaxError{Line: r.line, Col: r.col(), Msg: msg}
+}
+
+// readSafe is Read with a recover barrier: the reader must never take
+// down its caller, so an internal panic (an invariant bug, not a user
+// error) degrades into a positioned SyntaxError.
+func (r *Reader) readSafe() (v Value, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			v, err = nil, r.errHere(fmt.Sprintf("reader panic: %v", rec))
+		}
+	}()
+	return r.Read()
+}
+
+// ReadAll parses every form in src, stopping at the first error.
 func ReadAll(src string) ([]Value, error) {
 	r := NewReader(src)
 	var out []Value
 	for {
-		v, err := r.Read()
+		v, err := r.readSafe()
 		if err != nil {
 			return nil, err
 		}
@@ -49,32 +88,89 @@ func ReadAll(src string) ([]Value, error) {
 	}
 }
 
+// Form is a top-level form annotated with the position of its first
+// character (1-based line and column).
+type Form struct {
+	Val  Value
+	Line int
+	Col  int
+}
+
+// ReadAllRecover parses every top-level form in src, recovering from
+// syntax errors: each error is recorded with its position, the reader
+// resynchronizes to the next plausible top-level form (the next '('
+// that is the first non-blank rune on its line), and parsing continues.
+// The good forms and all errors are returned together, so a load can
+// compile every healthy unit while reporting every sick one.
+func ReadAllRecover(src string) ([]Form, []*SyntaxError) {
+	r := NewReader(src)
+	var forms []Form
+	var errs []*SyntaxError
+	for {
+		r.skipSpace()
+		if r.pos >= len(r.src) {
+			return forms, errs
+		}
+		start, line, col := r.pos, r.line, r.col()
+		v, err := r.readSafe()
+		if err != nil {
+			se, ok := err.(*SyntaxError)
+			if !ok {
+				se = &SyntaxError{Line: r.line, Col: r.col(), Msg: err.Error()}
+			}
+			errs = append(errs, se)
+			if !r.resync(start) {
+				return forms, errs
+			}
+			continue
+		}
+		if v == nil {
+			return forms, errs
+		}
+		forms = append(forms, Form{Val: v, Line: line, Col: col})
+	}
+}
+
+// resync advances past a syntax error to the next '(' that is the
+// first non-blank rune on its line, strictly beyond from (the start of
+// the broken form, guaranteeing progress). Reports false when the input
+// is exhausted first.
+func (r *Reader) resync(from int) bool {
+	if r.pos <= from {
+		r.pos = from + 1
+	}
+	atLineStart := false
+	for ; r.pos < len(r.src); r.pos++ {
+		c := r.src[r.pos]
+		switch {
+		case c == '\n':
+			r.bumpLine(r.pos)
+			atLineStart = true
+		case atLineStart && c == '(':
+			return true
+		case !unicode.IsSpace(c):
+			atLineStart = false
+		}
+	}
+	return false
+}
+
 // ReadOne parses exactly one form from src, failing on trailing junk.
 func ReadOne(src string) (Value, error) {
 	r := NewReader(src)
-	v, err := r.Read()
+	v, err := r.readSafe()
 	if err != nil {
 		return nil, err
 	}
 	if v == nil {
-		return nil, &SyntaxError{Line: r.line, Msg: "empty input"}
+		return nil, r.errHere("empty input")
 	}
-	if tail, err := r.Read(); err != nil {
+	if tail, err := r.readSafe(); err != nil {
 		return nil, err
 	} else if tail != nil {
-		return nil, &SyntaxError{Line: r.line, Msg: "trailing form " + Print(tail)}
+		return nil, r.errHere("trailing form " + Print(tail))
 	}
 	return v, nil
-}
-
-// MustRead parses one form and panics on error; intended for tests and
-// table literals.
-func MustRead(src string) Value {
-	v, err := ReadOne(src)
-	if err != nil {
-		panic(err)
-	}
-	return v
 }
 
 // Read returns the next form, or (nil, nil) at end of input.
@@ -89,7 +185,7 @@ func (r *Reader) Read() (Value, error) {
 		r.pos++
 		return r.readList(')')
 	case ')':
-		return nil, &SyntaxError{Line: r.line, Msg: "unexpected )"}
+		return nil, r.errHere("unexpected )")
 	case '\'':
 		r.pos++
 		return r.readWrapped(SymQuote)
@@ -117,12 +213,17 @@ func (r *Reader) Read() (Value, error) {
 }
 
 func (r *Reader) readWrapped(head *Symbol) (Value, error) {
+	if r.depth++; r.depth > maxNestingDepth {
+		r.depth--
+		return nil, r.errHere("form nested too deeply")
+	}
 	v, err := r.Read()
+	r.depth--
 	if err != nil {
 		return nil, err
 	}
 	if v == nil {
-		return nil, &SyntaxError{Line: r.line, Msg: "end of input after " + head.Name}
+		return nil, r.errHere("end of input after " + head.Name)
 	}
 	return List(head, v), nil
 }
@@ -130,7 +231,7 @@ func (r *Reader) readWrapped(head *Symbol) (Value, error) {
 func (r *Reader) readHash() (Value, error) {
 	r.pos++ // past '#'
 	if r.pos >= len(r.src) {
-		return nil, &SyntaxError{Line: r.line, Msg: "end of input after #"}
+		return nil, r.errHere("end of input after #")
 	}
 	switch r.src[r.pos] {
 	case '\'':
@@ -157,7 +258,7 @@ func (r *Reader) readHash() (Value, error) {
 		}
 		return r.Read()
 	}
-	return nil, &SyntaxError{Line: r.line, Msg: fmt.Sprintf("unknown dispatch #%c", r.src[r.pos])}
+	return nil, r.errHere(fmt.Sprintf("unknown dispatch #%c", r.src[r.pos]))
 }
 
 func (r *Reader) readCharacter() (Value, error) {
@@ -176,18 +277,23 @@ func (r *Reader) readCharacter() (Value, error) {
 	}
 	runes := []rune(name)
 	if len(runes) != 1 {
-		return nil, &SyntaxError{Line: r.line, Msg: "bad character name #\\" + name}
+		return nil, r.errHere("bad character name #\\" + name)
 	}
 	return Character(runes[0]), nil
 }
 
 func (r *Reader) readList(close rune) (Value, error) {
+	if r.depth++; r.depth > maxNestingDepth {
+		r.depth--
+		return nil, r.errHere("form nested too deeply")
+	}
+	defer func() { r.depth-- }()
 	var items []Value
 	var tail Value = Nil
 	for {
 		r.skipSpace()
 		if r.pos >= len(r.src) {
-			return nil, &SyntaxError{Line: r.line, Msg: "unterminated list"}
+			return nil, r.errHere("unterminated list")
 		}
 		if r.src[r.pos] == close {
 			r.pos++
@@ -195,7 +301,7 @@ func (r *Reader) readList(close rune) (Value, error) {
 		}
 		if r.src[r.pos] == '.' && r.pos+1 < len(r.src) && isDelimiter(r.src[r.pos+1]) {
 			if len(items) == 0 {
-				return nil, &SyntaxError{Line: r.line, Msg: "dot at head of list"}
+				return nil, r.errHere("dot at head of list")
 			}
 			r.pos++
 			v, err := r.Read()
@@ -203,12 +309,12 @@ func (r *Reader) readList(close rune) (Value, error) {
 				return nil, err
 			}
 			if v == nil {
-				return nil, &SyntaxError{Line: r.line, Msg: "end of input after dot"}
+				return nil, r.errHere("end of input after dot")
 			}
 			tail = v
 			r.skipSpace()
 			if r.pos >= len(r.src) || r.src[r.pos] != close {
-				return nil, &SyntaxError{Line: r.line, Msg: "expected ) after dotted tail"}
+				return nil, r.errHere("expected ) after dotted tail")
 			}
 			r.pos++
 			break
@@ -218,7 +324,7 @@ func (r *Reader) readList(close rune) (Value, error) {
 			return nil, err
 		}
 		if v == nil {
-			return nil, &SyntaxError{Line: r.line, Msg: "unterminated list"}
+			return nil, r.errHere("unterminated list")
 		}
 		items = append(items, v)
 	}
@@ -233,7 +339,7 @@ func (r *Reader) readString() (Value, error) {
 	var b strings.Builder
 	for {
 		if r.pos >= len(r.src) {
-			return nil, &SyntaxError{Line: r.line, Msg: "unterminated string"}
+			return nil, r.errHere("unterminated string")
 		}
 		c := r.src[r.pos]
 		r.pos++
@@ -242,7 +348,7 @@ func (r *Reader) readString() (Value, error) {
 			return String(b.String()), nil
 		case '\\':
 			if r.pos >= len(r.src) {
-				return nil, &SyntaxError{Line: r.line, Msg: "unterminated string escape"}
+				return nil, r.errHere("unterminated string escape")
 			}
 			e := r.src[r.pos]
 			r.pos++
@@ -255,7 +361,7 @@ func (r *Reader) readString() (Value, error) {
 				b.WriteRune(e)
 			}
 		case '\n':
-			r.line++
+			r.bumpLine(r.pos - 1)
 			b.WriteRune(c)
 		default:
 			b.WriteRune(c)
@@ -268,10 +374,13 @@ func (r *Reader) readAtom() (Value, error) {
 		r.pos++
 		start := r.pos
 		for r.pos < len(r.src) && r.src[r.pos] != '|' {
+			if r.src[r.pos] == '\n' {
+				r.bumpLine(r.pos)
+			}
 			r.pos++
 		}
 		if r.pos >= len(r.src) {
-			return nil, &SyntaxError{Line: r.line, Msg: "unterminated |symbol|"}
+			return nil, r.errHere("unterminated |symbol|")
 		}
 		name := string(r.src[start:r.pos])
 		r.pos++
@@ -357,7 +466,7 @@ func (r *Reader) skipSpace() {
 		c := r.src[r.pos]
 		switch {
 		case c == '\n':
-			r.line++
+			r.bumpLine(r.pos)
 			r.pos++
 		case unicode.IsSpace(c):
 			r.pos++
@@ -382,7 +491,7 @@ func (r *Reader) skipBlockComment() error {
 	depth := 1
 	for r.pos < len(r.src) {
 		if r.src[r.pos] == '\n' {
-			r.line++
+			r.bumpLine(r.pos)
 		}
 		if r.pos+1 < len(r.src) {
 			if r.src[r.pos] == '|' && r.src[r.pos+1] == '#' {
@@ -401,7 +510,7 @@ func (r *Reader) skipBlockComment() error {
 		}
 		r.pos++
 	}
-	return &SyntaxError{Line: r.line, Msg: "unterminated block comment"}
+	return r.errHere("unterminated block comment")
 }
 
 func isDelimiter(c rune) bool {

@@ -1,0 +1,141 @@
+package sexp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSyntaxErrorCarriesLineAndColumn(t *testing.T) {
+	cases := []struct {
+		src        string
+		line, col  int
+		msgPattern string
+	}{
+		{")", 1, 1, "unexpected )"},
+		{"(a b\n  ))", 2, 4, "unexpected )"},
+		{"(a b", 1, 5, "unterminated list"},
+		{"\n\n   #z", 3, 5, "unknown dispatch"},
+		{`"abc`, 1, 5, "unterminated string"},
+	}
+	for _, c := range cases {
+		_, err := ReadAll(c.src)
+		if err == nil {
+			t.Errorf("ReadAll(%q): expected error", c.src)
+			continue
+		}
+		se, ok := err.(*SyntaxError)
+		if !ok {
+			t.Errorf("ReadAll(%q): error %v is not a SyntaxError", c.src, err)
+			continue
+		}
+		if se.Line != c.line || se.Col != c.col {
+			t.Errorf("ReadAll(%q): position %d:%d, want %d:%d (%s)",
+				c.src, se.Line, se.Col, c.line, c.col, se.Msg)
+		}
+		if !strings.Contains(se.Msg, c.msgPattern) {
+			t.Errorf("ReadAll(%q): msg %q, want %q", c.src, se.Msg, c.msgPattern)
+		}
+	}
+}
+
+func TestReadAllRecoverResync(t *testing.T) {
+	src := `(defun good-1 (x) (* x x))
+(defun broken-1 (x) (* x x)       ; missing close paren
+(defun good-2 (y) (+ y 1))
+(defun broken-2 (z) (oops . . z))
+(defun good-3 (z) z)
+`
+	forms, errs := ReadAllRecover(src)
+	// broken-1's missing paren makes the reader swallow good-2's line as
+	// a nested form until it trips over broken-2's dotted garbage — one
+	// contiguous error region, one diagnostic.
+	if len(errs) != 1 {
+		t.Fatalf("got %d errors (%v), want 1", len(errs), errs)
+	}
+	// The broken region must not swallow its healthy neighbours.
+	var names []string
+	for _, f := range forms {
+		items, err := ListToSlice(f.Val)
+		if err != nil || len(items) < 2 {
+			t.Fatalf("unexpected form shape %v", f.Val)
+		}
+		names = append(names, items[1].(*Symbol).Name)
+	}
+	// Resync recovers at good-3: good-1 and good-3 survive, and the
+	// error carries a position.
+	want := map[string]bool{"good-1": true, "good-3": true}
+	for n := range want {
+		found := false
+		for _, g := range names {
+			if g == n {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("form %s lost during resync (got %v)", n, names)
+		}
+	}
+	for _, e := range errs {
+		if e.Line == 0 || e.Col == 0 {
+			t.Errorf("error without position: %v", e)
+		}
+	}
+}
+
+func TestReadAllRecoverIndependentErrors(t *testing.T) {
+	// Self-contained broken forms: each error is confined to its own
+	// top-level form, so every good unit parses.
+	src := "(defun a () 1)\n(defun bad () #z)\n(defun b () 2)\n(defun bad2 ( #q ) 3)\n(defun c () 3)\n"
+	forms, errs := ReadAllRecover(src)
+	if len(errs) != 2 {
+		t.Fatalf("got %d errors (%v), want 2", len(errs), errs)
+	}
+	if len(forms) != 3 {
+		t.Fatalf("got %d forms, want 3", len(forms))
+	}
+	wantPos := [][2]int{{1, 1}, {3, 1}, {5, 1}}
+	for i, f := range forms {
+		if f.Line != wantPos[i][0] || f.Col != wantPos[i][1] {
+			t.Errorf("form %d at %d:%d, want %d:%d", i, f.Line, f.Col,
+				wantPos[i][0], wantPos[i][1])
+		}
+	}
+}
+
+func TestReadAllRecoverCleanSourceMatchesReadAll(t *testing.T) {
+	src := "(defun f (x) (* x x))\n'(a . b)\n#(1 2 3)\n42\n"
+	forms, errs := ReadAllRecover(src)
+	if len(errs) != 0 {
+		t.Fatalf("clean source produced errors: %v", errs)
+	}
+	plain, err := ReadAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forms) != len(plain) {
+		t.Fatalf("form count %d vs %d", len(forms), len(plain))
+	}
+	for i := range plain {
+		if Print(forms[i].Val) != Print(plain[i]) {
+			t.Errorf("form %d: %s vs %s", i, Print(forms[i].Val), Print(plain[i]))
+		}
+	}
+}
+
+func TestDeepNestingIsAnErrorNotACrash(t *testing.T) {
+	deep := strings.Repeat("(", 60_000)
+	if _, err := ReadAll(deep); err == nil {
+		t.Fatal("expected depth error")
+	} else if !strings.Contains(err.Error(), "nested too deeply") {
+		t.Fatalf("got %v", err)
+	}
+	quoted := strings.Repeat("'", 60_000) + "x"
+	if _, err := ReadAll(quoted); err == nil {
+		t.Fatal("expected depth error for quote chain")
+	}
+	// A legal, modestly nested form still reads.
+	ok := strings.Repeat("(", 500) + "x" + strings.Repeat(")", 500)
+	if _, err := ReadAll(ok); err != nil {
+		t.Fatalf("legal nesting rejected: %v", err)
+	}
+}

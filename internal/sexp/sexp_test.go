@@ -140,8 +140,8 @@ func TestPrintReadRoundTrip(t *testing.T) {
 		"'(1 2/3 4.5)",
 	}
 	for _, f := range forms {
-		v1 := MustRead(f)
-		v2 := MustRead(Print(v1))
+		v1 := mustRead(f)
+		v2 := mustRead(Print(v1))
 		if !Equal(v1, v2) {
 			t.Errorf("round trip failed for %q: %s vs %s", f, Print(v1), Print(v2))
 		}
@@ -168,10 +168,10 @@ func TestEqEqlEqual(t *testing.T) {
 	if !Eql(big1, Fixnum(7)) || !Eql(Fixnum(7), big1) {
 		t.Error("eql fixnum/bignum of same value")
 	}
-	if !Equal(MustRead("(1 (2) 3)"), MustRead("(1 (2) 3)")) {
+	if !Equal(mustRead("(1 (2) 3)"), mustRead("(1 (2) 3)")) {
 		t.Error("equal lists")
 	}
-	if Equal(MustRead("(1 2)"), MustRead("(1 3)")) {
+	if Equal(mustRead("(1 2)"), mustRead("(1 3)")) {
 		t.Error("unequal lists")
 	}
 	if !Equal(String("ab"), String("ab")) {
@@ -203,7 +203,7 @@ func TestArithmeticBasics(t *testing.T) {
 		{Min, "3", "4.0", "3"},
 	}
 	for _, c := range cases {
-		got, err := c.op(MustRead(c.a), MustRead(c.b))
+		got, err := c.op(mustRead(c.a), mustRead(c.b))
 		if err != nil {
 			t.Errorf("(%s %s): %v", c.a, c.b, err)
 			continue
@@ -310,9 +310,9 @@ func TestPredicates(t *testing.T) {
 	check("oddp 3", o, err, true)
 	e, err := Evenp(Fixnum(3))
 	check("evenp 3", e, err, false)
-	p, err := Plusp(MustRead("1/2"))
+	p, err := Plusp(mustRead("1/2"))
 	check("plusp 1/2", p, err, true)
-	m, err := Minusp(MustRead("-3"))
+	m, err := Minusp(mustRead("-3"))
 	check("minusp -3", m, err, true)
 }
 
@@ -375,7 +375,7 @@ func TestFloorDivInvariant(t *testing.T) {
 // Property: Print/Read round-trips fixnums and flonums.
 func TestNumberRoundTrip(t *testing.T) {
 	fi := func(a int64) bool {
-		v := MustRead(Print(Fixnum(a)))
+		v := mustRead(Print(Fixnum(a)))
 		return Eql(v, Fixnum(a))
 	}
 	if err := quick.Check(fi, nil); err != nil {
@@ -435,4 +435,14 @@ func TestTruthy(t *testing.T) {
 	if Bool(true) != Value(T) || Bool(false) != Value(Nil) {
 		t.Error("Bool conversion")
 	}
+}
+
+// mustRead parses one form, panicking on error — a test-table
+// convenience; the production reader paths all return errors.
+func mustRead(src string) Value {
+	v, err := ReadOne(src)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

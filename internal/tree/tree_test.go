@@ -39,7 +39,7 @@ func TestBackTranslateQuoting(t *testing.T) {
 		{sexp.T, "t"},
 		{sexp.String("s"), `"s"`},
 		{sexp.Intern("foo"), "'foo"},
-		{sexp.MustRead("(1 2)"), "'(1 2)"},
+		{mustRead("(1 2)"), "'(1 2)"},
 	}
 	for _, c := range cases {
 		if got := Show(NewLiteral(c.v)); got != c.want {
@@ -409,4 +409,14 @@ func TestBackTranslateUnique(t *testing.T) {
 	if !strings.Contains(s, "x#") {
 		t.Errorf("unique back-translation should tag vars: %s", s)
 	}
+}
+
+// mustRead parses one form, panicking on error — a test-table
+// convenience; the production reader paths all return errors.
+func mustRead(src string) sexp.Value {
+	v, err := sexp.ReadOne(src)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
