@@ -9,6 +9,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -573,6 +574,12 @@ func BenchmarkCompileThroughput(b *testing.B) {
 		traced bool
 	}{{"sequential", 1, false}, {"parallel", 0, false}, {"parallel-traced", 0, true}} {
 		b.Run(mode.name, func(b *testing.B) {
+			if mode.jobs == 0 && runtime.GOMAXPROCS(0) == 1 {
+				// With one scheduler thread the worker pool degenerates to
+				// sequential compilation plus channel overhead; the number
+				// would not measure parallel speedup, so don't record one.
+				b.Skip("GOMAXPROCS=1: parallel mode cannot demonstrate speedup")
+			}
 			for i := 0; i < b.N; i++ {
 				o := core.Options{Jobs: mode.jobs}
 				if mode.traced {

@@ -57,6 +57,7 @@ func run() error {
 		noRep      = flag.Bool("no-rep", false, "disable representation analysis")
 		noPdl      = flag.Bool("no-pdl", false, "disable pdl-number stack allocation")
 		noCache    = flag.Bool("no-spec-cache", false, "disable special-variable lookup caching")
+		noFuse     = flag.Bool("nofuse", false, "disable peephole superinstruction fusion in the simulator")
 		listing    = flag.Bool("listing", false, "print assembly listings for every function")
 		transcript = flag.Bool("transcript", false, "print the source-to-source transformation transcript")
 		stats      = flag.Bool("stats", false, "print machine meters after execution")
@@ -113,7 +114,7 @@ func run() error {
 		Cache: *useCache, Jobs: *jobs,
 		MaxErrors: *maxErrors, Fault: faultPlan,
 		MaxSteps: *maxSteps, MaxHeapWords: *maxHeap,
-		OptWatchdog: *optWatch}
+		OptWatchdog: *optWatch, NoFuse: *noFuse}
 	if *transcript {
 		sysOpts.OptimizerLog = os.Stdout
 	}

@@ -1,6 +1,7 @@
 package codegen_test
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 
@@ -437,5 +438,29 @@ func TestSetqClosedVariable(t *testing.T) {
 	}
 	if sexp.Print(v) != "2" {
 		t.Errorf("shared mutable capture = %s", sexp.Print(v))
+	}
+}
+
+// TestNoSelfMoves sweeps a representative corpus and checks that
+// lowering's dropSelfMoves filter left no register-to-self MOV in any
+// listing: packing can fold a copy's source and destination into one
+// register, and such copies should be elided at compile time rather than
+// retired as run-time no-ops.
+func TestNoSelfMoves(t *testing.T) {
+	src := matrixSrc + `
+(defun poly (x) (let ((y x)) (let ((z y)) (* z (+ y x)))))
+(defun reuse (a b) (let ((t1 (+ a b))) (let ((t2 t1)) (- t2 b))))`
+	sys := newSys(t, src, nil, matrixConsts())
+	re := regexp.MustCompile(`\bMOV (\w+) (\w+)`)
+	for name := range sys.Defs {
+		lst, err := sys.Listing(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(lst, "\n") {
+			if m := re.FindStringSubmatch(line); m != nil && m[1] == m[2] {
+				t.Errorf("%s: register-to-self MOV survived lowering: %s", name, line)
+			}
+		}
 	}
 }

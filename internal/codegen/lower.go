@@ -104,7 +104,26 @@ func (f *fc) lower() ([]s1.Item, error) {
 		}
 		items = append(items, s1.InstrItem(ins))
 	}
-	return items, nil
+	return dropSelfMoves(items), nil
+}
+
+// dropSelfMoves removes register-to-self MOVs, which appear when packing
+// folds a copy's source and destination TN into one register. The decoder
+// would retire them as no-ops (decode.go), but eliding them here makes
+// the copy free instead of a wasted dispatch and keeps filler out of the
+// instruction pairs the superinstruction fuser tiles. Labels are separate
+// items resolved after lowering, so removal cannot retarget a jump.
+func dropSelfMoves(items []s1.Item) []s1.Item {
+	out := items[:0]
+	for _, it := range items {
+		if it.Instr != nil && it.Instr.Op == s1.OpMOV &&
+			it.Instr.A.Mode == s1.MReg && it.Instr.B.Mode == s1.MReg &&
+			it.Instr.A.Base == it.Instr.B.Base {
+			continue
+		}
+		out = append(out, it)
+	}
+	return out
 }
 
 // commutative lists operations whose sources may be exchanged.

@@ -67,6 +67,14 @@ func (e Entry) Validate(m *s1.Machine) error {
 		return fmt.Errorf("compilecache: entry instruction count %d does not match resident %s extent %d",
 			instrs, f.Name, got)
 	}
+	// A hit rebinds the name to resident code that Run dispatches through
+	// the pre-decoded stream (decode.go), so the resident extent must be
+	// decoded — if it is not, the rebind would point calls at raw
+	// instructions the decoded dispatcher cannot reach.
+	if !m.DecodedCovers(f.Entry, f.End) {
+		return fmt.Errorf("compilecache: resident %s extent [%d,%d) is outside the decoded stream",
+			f.Name, f.Entry, f.End)
+	}
 	return nil
 }
 

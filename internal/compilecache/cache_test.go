@@ -36,6 +36,32 @@ func TestValidateAcceptsResidentEntry(t *testing.T) {
 	}
 }
 
+// TestValidateRejectsUndecodedExtent hand-registers a descriptor whose
+// extent lies past the decoded stream — as if machine surgery had
+// appended raw code without AddFunction's decode step — and checks that
+// Validate refuses to rebind a cache hit onto it.
+func TestValidateRejectsUndecodedExtent(t *testing.T) {
+	sys := core.NewSystem(core.Options{})
+	if err := sys.LoadString("(defun f (x) (+ x 1))"); err != nil {
+		t.Fatal(err)
+	}
+	m := sys.Machine
+	entry := len(m.Code)
+	m.Funcs = append(m.Funcs, s1.FuncDesc{
+		Name: "ghost", Entry: entry, End: entry + 2, MinArgs: 1, MaxArgs: 1})
+	e := compilecache.Entry{
+		Index: len(m.Funcs) - 1, MinArgs: 1, MaxArgs: 1,
+		Items: []s1.Item{{Instr: &s1.Instr{}}, {Instr: &s1.Instr{}}},
+	}
+	err := e.Validate(m)
+	if err == nil {
+		t.Fatal("entry with undecoded extent accepted")
+	}
+	if !strings.Contains(err.Error(), "decoded stream") {
+		t.Errorf("err = %v, want substring %q", err, "decoded stream")
+	}
+}
+
 func TestValidateRejectsCorruptEntries(t *testing.T) {
 	sys := core.NewSystem(core.Options{})
 	if err := sys.LoadString("(defun f (x) (+ x 1))\n(defun g (x y) (* x y))"); err != nil {

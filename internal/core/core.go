@@ -84,6 +84,12 @@ type Options struct {
 	// fixpoint (the -opt-watchdog flag); an expired unit fails with a
 	// diagnostic. 0 means no watchdog.
 	OptWatchdog time.Duration
+	// NoFuse disables the simulator's peephole superinstruction fuser
+	// (the -nofuse flag): execution still runs on the pre-decoded
+	// instruction stream, but every instruction dispatches individually.
+	// Observable behavior is identical either way (see DESIGN.md §10);
+	// the switch exists for differential testing and benchmarking.
+	NoFuse bool
 }
 
 // DefaultMaxErrors is the stored-diagnostic cap when Options.MaxErrors
@@ -146,6 +152,9 @@ func NewSystem(opts Options) *System {
 	}
 	if opts.MaxHeapWords > 0 {
 		m.HeapLimit = opts.MaxHeapWords
+	}
+	if opts.NoFuse {
+		m.SetNoFuse(true)
 	}
 	maxErrors := opts.MaxErrors
 	switch {

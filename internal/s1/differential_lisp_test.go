@@ -1,0 +1,97 @@
+// Lisp-level differential: the bench kernels compiled by the full
+// pipeline must behave identically under fused and -nofuse dispatch —
+// same printed results, same machine meters, same GC activity, and
+// (satellite of the decoded-engine work) byte-identical -profile output,
+// since fused superinstructions attribute cycles to their constituent
+// original opcodes.
+package s1_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sexp"
+)
+
+// lispDiffSystem compiles k's source into a fresh system.
+func lispDiffSystem(t *testing.T, k runtimeKernel, nofuse, profile bool) *core.System {
+	t.Helper()
+	sys := core.NewSystem(core.Options{Constants: k.consts, NoFuse: nofuse})
+	if profile {
+		sys.EnableProfile()
+	}
+	if k.gcAt > 0 {
+		sys.Machine.SetGCThreshold(k.gcAt)
+	}
+	if err := sys.LoadString(k.src); err != nil {
+		t.Fatal(err)
+	}
+	sys.ResetStats()
+	return sys
+}
+
+func TestLispDifferentialFusedVsUnfused(t *testing.T) {
+	for _, k := range runtimeKernels() {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			fused := lispDiffSystem(t, k, false, false)
+			unfused := lispDiffSystem(t, k, true, false)
+			fv, ferr := fused.Call(k.fn, k.args...)
+			uv, uerr := unfused.Call(k.fn, k.args...)
+			if ferr != nil || uerr != nil {
+				t.Fatalf("fused err=%v unfused err=%v", ferr, uerr)
+			}
+			if sexp.Print(fv) != sexp.Print(uv) {
+				t.Errorf("result divergence: fused=%s unfused=%s",
+					sexp.Print(fv), sexp.Print(uv))
+			}
+			if *fused.Stats() != *unfused.Stats() {
+				t.Errorf("stats divergence:\n  fused:   %+v\n  unfused: %+v",
+					*fused.Stats(), *unfused.Stats())
+			}
+			if fused.Machine.GCMeters != unfused.Machine.GCMeters {
+				t.Errorf("GC divergence:\n  fused:   %+v\n  unfused: %+v",
+					fused.Machine.GCMeters, unfused.Machine.GCMeters)
+			}
+			if fused.Machine.FusedGroupCount() == 0 {
+				t.Errorf("%s compiled to no superinstruction groups", k.name)
+			}
+		})
+	}
+}
+
+// TestProfileStableAcrossFusion runs each kernel under -profile with and
+// without fusion and requires identical profile tables: opcode execs and
+// cycles, function attribution, and high-water marks. Only the GC-pause
+// line carries wall-clock durations, so it is excluded.
+func TestProfileStableAcrossFusion(t *testing.T) {
+	stripWallClock := func(s string) string {
+		var out []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, ";; gc:") {
+				continue
+			}
+			out = append(out, line)
+		}
+		return strings.Join(out, "\n")
+	}
+	for _, k := range runtimeKernels() {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			var bufs [2]strings.Builder
+			for i, nofuse := range []bool{false, true} {
+				sys := lispDiffSystem(t, k, nofuse, true)
+				if _, err := sys.Call(k.fn, k.args...); err != nil {
+					t.Fatal(err)
+				}
+				sys.Machine.WriteProfile(&bufs[i])
+			}
+			fusedP, unfusedP := stripWallClock(bufs[0].String()), stripWallClock(bufs[1].String())
+			if fusedP != unfusedP {
+				t.Errorf("profile diverges across -nofuse:\n--- fused ---\n%s\n--- unfused ---\n%s",
+					fusedP, unfusedP)
+			}
+		})
+	}
+}

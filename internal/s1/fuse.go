@@ -1,0 +1,143 @@
+package s1
+
+// Peephole superinstruction fusion (DESIGN.md §10). The fuser tiles each
+// function's decoded stream with groups of adjacent instructions and
+// replaces the group head's decFused entry with a single closure that
+// runs the constituents back to back, eliminating the Run-loop overhead
+// (halt/step-limit/bounds checks and dispatch) between them.
+//
+// Grouping is structural rather than an enumerated pair list: a group is
+// up to maxFuse instructions where every member but the last always falls
+// through (fusableInterior) and the last may transfer control
+// (fusableLast). That single rule covers the hot shapes our codegen
+// actually emits — constant-load+arith (MOV;ADD), compare+conditional-
+// jump (MOV;JNIL, SUB;JEQ), argument staging (MOV;MOV;CALLSQ), and
+// push+push+call (PUSH;PUSH;PUSH;TCALL) — and MOV-to-self elimination
+// happens at decode time (decMOV). The formed signatures are recorded in
+// Machine.FuseGroups for reporting.
+//
+// Correctness invariants:
+//   - Constituents keep their own base closures, which retire exactly one
+//     architectural instruction each (tick + stats + profile note), so
+//     Stats, -profile output and -max-steps accounting are identical to
+//     unfused dispatch.
+//   - Only the head's decFused entry changes. A jump, call return, or
+//     throw landing in the middle of a group dispatches that PC's own
+//     unfused entry — the back-mapping from decoded entries to original
+//     PCs is the identity, so there is no mapping table to consult.
+//   - Groups never straddle a function entry (fuseRange boundary set), so
+//     a group is always within one function's code.
+//   - Run consults dinstr.n before dispatching a fused head: if the group
+//     would overshoot StepLimit, it falls back to the base entry, making
+//     the step-limit trip point exact in original-instruction units.
+
+// maxFuse bounds superinstruction length. Four covers the longest hot
+// shape in our listings (PUSH;PUSH;PUSH;TCALL) without building closure
+// chains of unbounded depth.
+const maxFuse = 4
+
+// fuseRange tiles decFused[lo:hi) with superinstruction groups.
+func (m *Machine) fuseRange(lo, hi int) {
+	// Function entries are group boundaries.
+	bounds := map[int]bool{}
+	for _, f := range m.Funcs {
+		if f.Entry > lo && f.Entry < hi {
+			bounds[f.Entry] = true
+		}
+	}
+	for pc := lo; pc < hi; {
+		pc += m.tryFuse(pc, hi, bounds)
+	}
+}
+
+// tryFuse forms the longest legal group starting at pc and returns the
+// number of instructions consumed (1 when no group forms).
+func (m *Machine) tryFuse(pc, hi int, bounds map[int]bool) int {
+	if !fusableInterior(m.Code[pc].Op) {
+		return 1
+	}
+	n := 1
+	for n < maxFuse && pc+n < hi && !bounds[pc+n] &&
+		fusableInterior(m.Code[pc+n].Op) {
+		n++
+	}
+	if n < maxFuse && pc+n < hi && !bounds[pc+n] &&
+		fusableLast(m.Code[pc+n].Op) {
+		n++
+	}
+	if n < 2 {
+		return 1
+	}
+	parts := make([]dexec, n)
+	sig := ""
+	for i := range parts {
+		parts[i] = m.decBase[pc+i].run
+		if i > 0 {
+			sig += "+"
+		}
+		sig += m.Code[pc+i].Op.String()
+	}
+	m.decFused[pc] = dinstr{run: composeGroup(parts), n: int32(n)}
+	if m.fuseGroups == nil {
+		m.fuseGroups = map[string]int64{}
+	}
+	m.fuseGroups[sig]++
+	return n
+}
+
+// composeGroup chains constituent closures. Each non-final constituent
+// falls through on success (setting m.pc to the next constituent's index,
+// preserving the decode-entry invariant); any error or panic aborts the
+// group with m.pc still on the faulting constituent.
+func composeGroup(parts []dexec) dexec {
+	switch len(parts) {
+	case 2:
+		a, b := parts[0], parts[1]
+		return func(m *Machine) error {
+			if err := a(m); err != nil {
+				return err
+			}
+			return b(m)
+		}
+	case 3:
+		a, b, c := parts[0], parts[1], parts[2]
+		return func(m *Machine) error {
+			if err := a(m); err != nil {
+				return err
+			}
+			if err := b(m); err != nil {
+				return err
+			}
+			return c(m)
+		}
+	case 4:
+		a, b, c, d := parts[0], parts[1], parts[2], parts[3]
+		return func(m *Machine) error {
+			if err := a(m); err != nil {
+				return err
+			}
+			if err := b(m); err != nil {
+				return err
+			}
+			if err := c(m); err != nil {
+				return err
+			}
+			return d(m)
+		}
+	}
+	return parts[0]
+}
+
+// FuseGroups returns the superinstruction groups formed at decode time,
+// keyed by opcode signature (e.g. "PUSH+PUSH+TCALL" -> static count).
+// Nil when fusion is disabled or nothing fused.
+func (m *Machine) FuseGroups() map[string]int64 { return m.fuseGroups }
+
+// FusedGroupCount is the total number of static superinstruction groups.
+func (m *Machine) FusedGroupCount() int64 {
+	var n int64
+	for _, c := range m.fuseGroups {
+		n += c
+	}
+	return n
+}

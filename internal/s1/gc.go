@@ -16,13 +16,25 @@ import (
 // and Alloc reuses them. Roots are the registers, the live stack extent,
 // the deep-binding stack, catch frames, symbol value/function cells, and
 // every immediate operand in compiled code (quoted constants).
+//
+// Block records live in gcRecs, a slice parallel to the heap: the entry
+// at a block's start offset holds {size, marked, free}; interior offsets
+// stay zero. Because the heap is non-moving and offsets are dense, this
+// turns the mark-phase pointer test and the per-allocation record insert
+// into slice indexing — the address-keyed map this replaced dominated
+// allocation-heavy kernel profiles. Free lists for small sizes are
+// array-bucketed (freeSmall); rare larger sizes fall back to a map.
 
-// allocRec tracks one heap block.
-type allocRec struct {
-	size   int
+// gcRec tracks one heap block; the zero value marks a non-block offset.
+type gcRec struct {
+	size   int32
 	marked bool
 	free   bool
 }
+
+// gcSmallMax bounds the array-bucketed free lists; Cons cells, flonums,
+// closures and small vectors all fall well under it.
+const gcSmallMax = 64
 
 // heapExhausted is the internal panic value raised when an allocation
 // cannot fit under HeapLimit even after a forced collection; the run
@@ -44,13 +56,6 @@ type GCStats struct {
 	WordsReused    int64
 }
 
-func (m *Machine) gcEnsure() {
-	if m.allocRecs == nil {
-		m.allocRecs = map[uint64]*allocRec{}
-		m.freeLists = map[int][]uint64{}
-	}
-}
-
 // GCThresholdWords, when >0, triggers a collection automatically whenever
 // live heap growth since the last collection exceeds the threshold.
 func (m *Machine) SetGCThreshold(words int64) { m.gcThreshold = words }
@@ -58,7 +63,6 @@ func (m *Machine) SetGCThreshold(words int64) { m.gcThreshold = words }
 // GC runs a full mark-sweep collection and returns the number of words
 // reclaimed.
 func (m *Machine) GC() int64 {
-	m.gcEnsure()
 	m.GCMeters.Collections++
 	var gcStart time.Time
 	if m.prof != nil {
@@ -68,27 +72,28 @@ func (m *Machine) GC() int64 {
 	// --- mark ---
 	var mark func(w Word)
 	mark = func(w Word) {
-		var scan bool
 		switch w.Tag {
 		case TagCons, TagFlonum, TagClosure, TagEnv, TagVector, TagArray, TagFArray:
-			scan = true
 		default:
 			return
 		}
-		addr := w.Bits
-		rec, ok := m.allocRecs[addr]
-		if !ok || rec.marked || rec.free {
+		if w.Bits < HeapBase {
+			return
+		}
+		off := w.Bits - HeapBase
+		if off >= uint64(len(m.gcRecs)) {
+			return
+		}
+		rec := &m.gcRecs[off]
+		if rec.size == 0 || rec.marked || rec.free {
 			return
 		}
 		rec.marked = true
-		if !scan {
-			return
-		}
 		// Scan pointer-bearing payloads; raw payloads (flonum data,
 		// float-array data) contain no pointers but marking the whole
 		// block is harmless since raw words carry TagRaw.
-		for i := 0; i < rec.size; i++ {
-			mark(m.heap[addr-HeapBase+uint64(i)])
+		for i := int32(0); i < rec.size; i++ {
+			mark(m.heap[off+uint64(i)])
 		}
 	}
 
@@ -122,7 +127,8 @@ func (m *Machine) GC() int64 {
 
 	// --- sweep ---
 	var reclaimed, blocks int64
-	for addr, rec := range m.allocRecs {
+	for _, off := range m.gcBlocks {
+		rec := &m.gcRecs[off]
 		if rec.free {
 			continue
 		}
@@ -131,12 +137,12 @@ func (m *Machine) GC() int64 {
 			continue
 		}
 		rec.free = true
-		m.freeLists[rec.size] = append(m.freeLists[rec.size], addr)
+		m.gcFree(int(rec.size), off)
 		reclaimed += int64(rec.size)
 		blocks++
 		// Poison the block to catch dangling pointers in tests.
-		for i := 0; i < rec.size; i++ {
-			m.heap[addr-HeapBase+uint64(i)] = Word{Tag: TagGC, Bits: 0xdead}
+		for i := int32(0); i < rec.size; i++ {
+			m.heap[off+uint64(i)] = Word{Tag: TagGC, Bits: 0xdead}
 		}
 	}
 	m.GCMeters.WordsReclaimed += reclaimed
@@ -149,9 +155,38 @@ func (m *Machine) GC() int64 {
 	return reclaimed
 }
 
+// gcFree pushes a freed block's offset onto the free list for its size.
+func (m *Machine) gcFree(n int, off uint64) {
+	if n <= gcSmallMax {
+		m.freeSmall[n] = append(m.freeSmall[n], off)
+		return
+	}
+	if m.freeBig == nil {
+		m.freeBig = map[int][]uint64{}
+	}
+	m.freeBig[n] = append(m.freeBig[n], off)
+}
+
+// gcReuse pops a free block of exactly n words, returning its offset.
+func (m *Machine) gcReuse(n int) (uint64, bool) {
+	if n <= gcSmallMax {
+		if lst := m.freeSmall[n]; len(lst) > 0 {
+			off := lst[len(lst)-1]
+			m.freeSmall[n] = lst[:len(lst)-1]
+			return off, true
+		}
+		return 0, false
+	}
+	if lst := m.freeBig[n]; len(lst) > 0 {
+		off := lst[len(lst)-1]
+		m.freeBig[n] = lst[:len(lst)-1]
+		return off, true
+	}
+	return 0, false
+}
+
 // gcAlloc is Alloc with free-list reuse and the auto-collect trigger.
 func (m *Machine) gcAlloc(n int) uint64 {
-	m.gcEnsure()
 	if m.gcThreshold > 0 && m.liveSinceGC >= m.gcThreshold {
 		m.GC()
 	}
@@ -166,35 +201,59 @@ func (m *Machine) gcAlloc(n int) uint64 {
 		}
 	}
 	m.liveWords += int64(n)
-	if lst := m.freeLists[n]; len(lst) > 0 {
-		addr := lst[len(lst)-1]
-		m.freeLists[n] = lst[:len(lst)-1]
-		rec := m.allocRecs[addr]
+	m.liveSinceGC += int64(n)
+	m.Stats.HeapAllocs++
+	if off, ok := m.gcReuse(n); ok {
+		rec := &m.gcRecs[off]
 		rec.free = false
 		rec.marked = false
 		for i := 0; i < n; i++ {
-			m.heap[addr-HeapBase+uint64(i)] = Word{}
+			m.heap[off+uint64(i)] = Word{}
 		}
 		m.GCMeters.WordsReused += int64(n)
-		m.Stats.HeapAllocs++
-		m.liveSinceGC += int64(n)
-		return addr
+		return HeapBase + off
 	}
-	base := HeapBase + uint64(len(m.heap))
-	m.heap = append(m.heap, make([]Word, n)...)
+	off := uint64(len(m.heap))
+	// Grow heap and the parallel record slice. Extending within capacity
+	// is the common case. On spill, double the capacity rather than
+	// letting append pick its large-slice growth factor: a program that
+	// outruns the collector grows the heap monotonically, and the copy
+	// per appended word is the allocator's dominant cost at 1.25x.
+	// Heap words past len have never been written, so they are zero.
+	need := len(m.heap) + n
+	if need <= cap(m.heap) {
+		m.heap = m.heap[:need]
+	} else {
+		grown := make([]Word, need, growCap(need))
+		copy(grown, m.heap)
+		m.heap = grown
+	}
+	if need <= cap(m.gcRecs) {
+		m.gcRecs = m.gcRecs[:need]
+	} else {
+		grown := make([]gcRec, need, growCap(need))
+		copy(grown, m.gcRecs)
+		m.gcRecs = grown
+	}
 	m.Stats.HeapWords += int64(n)
-	m.Stats.HeapAllocs++
-	m.allocRecs[base] = &allocRec{size: n}
-	m.liveSinceGC += int64(n)
-	return base
+	m.gcRecs[off] = gcRec{size: int32(n)}
+	m.gcBlocks = append(m.gcBlocks, off)
+	return HeapBase + off
+}
+
+// growCap picks the capacity for a spilled heap-parallel slice.
+func growCap(need int) int {
+	if need < 4096 {
+		return 4096
+	}
+	return need * 2
 }
 
 // LiveHeapWords reports the words in non-free blocks.
 func (m *Machine) LiveHeapWords() int64 {
-	m.gcEnsure()
 	var live int64
-	for _, rec := range m.allocRecs {
-		if !rec.free {
+	for _, off := range m.gcBlocks {
+		if rec := &m.gcRecs[off]; !rec.free {
 			live += int64(rec.size)
 		}
 	}

@@ -135,8 +135,10 @@ func (o Op) String() string {
 
 // cycleCost gives the simulator's per-opcode costs, scaled from the S-1
 // design (fast integer ALU, multi-cycle float, expensive but single-
-// instruction transcendentals, microcoded linkage).
-var cycleCost = map[Op]int64{
+// instruction transcendentals, microcoded linkage). A dense array rather
+// than a map: the decoder (decode.go) bakes the cost into each closure,
+// and the old per-step map lookup was a measurable share of dispatch.
+var cycleCost = [NumOps]int64{
 	OpNOP: 1, OpMOV: 1, OpMOVP: 1, OpTAG: 1,
 	OpADD: 1, OpSUB: 1, OpMULT: 3, OpDIV: 10, OpASH: 1,
 	OpFADD: 2, OpFSUB: 2, OpFMULT: 4, OpFDIV: 8, OpFMAX: 2, OpFMIN: 2,

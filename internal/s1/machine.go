@@ -110,9 +110,14 @@ type Machine struct {
 
 	stack []Word
 	heap  []Word
-	// GC state (gc.go).
-	allocRecs   map[uint64]*allocRec
-	freeLists   map[int][]uint64
+	// GC state (gc.go). gcRecs parallels heap: the entry at a block's
+	// start offset holds its record; interior entries stay zero. Offsets
+	// into heap are dense, so slices replace the address-keyed maps the
+	// allocator used to probe on every allocation.
+	gcRecs      []gcRec
+	gcBlocks    []uint64
+	freeSmall   [gcSmallMax + 1][]uint64
+	freeBig     map[int][]uint64
 	gcThreshold int64
 	liveSinceGC int64
 	liveWords   int64
@@ -124,6 +129,34 @@ type Machine struct {
 	// prof, when non-nil, collects the runtime profile (profile.go).
 	// The disabled fast path costs one nil check per instruction.
 	prof *Profile
+	// Decoded execution state (decode.go / fuse.go). decBase holds one
+	// pre-decoded closure per Code index; decFused is the dispatch stream
+	// — identical to decBase under -nofuse, otherwise with
+	// superinstruction closures installed at group-head indexes.
+	decBase  []dinstr
+	decFused []dinstr
+	noFuse   bool
+	// fuseGroups counts statically formed superinstruction groups by
+	// opcode signature.
+	fuseGroups map[string]int64
+}
+
+// SetNoFuse enables or disables the peephole superinstruction fuser.
+// Observable behavior (results, Stats, profiles, GC activity) is
+// identical either way; only dispatch granularity changes. Toggling
+// rebuilds the fused overlay for already-decoded code.
+func (m *Machine) SetNoFuse(v bool) {
+	if m.noFuse == v {
+		return
+	}
+	m.noFuse = v
+	if v {
+		m.decFused = m.decBase
+		m.fuseGroups = nil
+		return
+	}
+	m.decFused = append([]dinstr(nil), m.decBase...)
+	m.fuseRange(0, len(m.decBase))
 }
 
 // New creates an empty machine. Code index 0 is a HALT used as the
@@ -140,8 +173,9 @@ func New() *Machine {
 	return m
 }
 
-// AddFunction assembles a function body into the machine and registers
-// its descriptor; returns the function index.
+// AddFunction assembles a function body into the machine, pre-decodes it
+// for execution (decode.go), and registers its descriptor; returns the
+// function index.
 func (m *Machine) AddFunction(name string, minArgs, maxArgs int, items []Item) (int, error) {
 	code, entry, err := assemble(name, items, m.Code)
 	if err != nil {
@@ -154,7 +188,16 @@ func (m *Machine) AddFunction(name string, minArgs, maxArgs int, items []Item) (
 		MinArgs: minArgs, MaxArgs: maxArgs,
 	})
 	m.funcIdx[name] = idx
+	m.ensureDecoded()
 	return idx, nil
+}
+
+// DecodedCovers reports whether the decoded stream covers [entry, end) —
+// the compile cache validates it before rebinding a name to a resident
+// body, since a cache-hit rebind reuses the decoded form without
+// re-assembling anything.
+func (m *Machine) DecodedCovers(entry, end int) bool {
+	return entry >= 0 && entry <= end && end <= len(m.decBase)
 }
 
 // FuncNamed returns the descriptor index for name, or -1.
@@ -420,10 +463,13 @@ func (m *Machine) enterFrame(nargs, retPC int, fn Word, fast bool) error {
 	return nil
 }
 
-// Run executes until HALT or error. Panics raised below the
-// instruction loop — heap exhaustion after a failed collection, or an
-// internal simulator fault — are converted into RuntimeErrors so a sick
-// program degrades into an error value the REPL and driver can report.
+// Run executes until HALT or error, dispatching the pre-decoded
+// instruction stream (decode.go): one closure call per instruction, or
+// per superinstruction group where the fuser collapsed a hot sequence
+// (fuse.go). Panics raised below the instruction loop — heap exhaustion
+// after a failed collection, or an internal simulator fault — are
+// converted into RuntimeErrors so a sick program degrades into an error
+// value the REPL and driver can report.
 func (m *Machine) Run() (err error) {
 	defer func() {
 		if r := recover(); r == nil {
@@ -436,366 +482,28 @@ func (m *Machine) Run() (err error) {
 			err = &RuntimeError{PC: m.pc, Msg: fmt.Sprintf("machine fault: %v", r)}
 		}
 	}()
+	m.ensureDecoded()
+	dec, limit := m.decFused, m.StepLimit
 	for !m.halted {
-		if m.Stats.Instrs >= m.StepLimit {
+		if m.Stats.Instrs >= limit {
 			return &RuntimeError{PC: m.pc, Msg: "step limit exceeded"}
 		}
-		if m.pc < 0 || m.pc >= len(m.Code) {
-			return &RuntimeError{PC: m.pc, Msg: "PC out of range"}
+		pc := m.pc
+		if pc < 0 || pc >= len(dec) {
+			return &RuntimeError{PC: pc, Msg: "PC out of range"}
 		}
-		if err := m.step(); err != nil {
+		d := dec[pc]
+		if d.n > 1 && m.Stats.Instrs+int64(d.n) > limit {
+			// The fused group would overshoot -max-steps; retire its
+			// instructions one at a time so the limit trips at the exact
+			// original-instruction count, as unfused dispatch would.
+			d = m.decBase[pc]
+		}
+		if err := d.run(m); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-func (m *Machine) step() error {
-	ins := &m.Code[m.pc]
-	cost := cycleCost[ins.Op]
-	m.Stats.Instrs++
-	m.Stats.Cycles += cost
-	if p := m.prof; p != nil {
-		p.note(ins.Op, cost)
-	}
-	next := m.pc + 1
-
-	switch ins.Op {
-	case OpNOP:
-
-	case OpHALT:
-		m.halted = true
-		return nil
-
-	case OpMOV:
-		v, err := m.value(ins.B)
-		if err != nil {
-			return err
-		}
-		if err := m.setValue(ins.A, v); err != nil {
-			return err
-		}
-		m.Stats.Movs++
-
-	case OpMOVP:
-		a, err := m.effaddr(ins.B)
-		if err != nil {
-			return err
-		}
-		if err := m.setValue(ins.A, Ptr(Tag(ins.TagArg), a)); err != nil {
-			return err
-		}
-
-	case OpTAG:
-		v, err := m.value(ins.B)
-		if err != nil {
-			return err
-		}
-		if err := m.setValue(ins.A, RawInt(int64(v.Tag))); err != nil {
-			return err
-		}
-
-	case OpADD, OpSUB, OpMULT, OpDIV, OpASH:
-		x, y, err := m.binOperands(ins)
-		if err != nil {
-			return err
-		}
-		var r int64
-		switch ins.Op {
-		case OpADD:
-			r = x.Int() + y.Int()
-		case OpSUB:
-			r = x.Int() - y.Int()
-		case OpMULT:
-			r = x.Int() * y.Int()
-		case OpDIV:
-			if y.Int() == 0 {
-				return &RuntimeError{PC: m.pc, Msg: "integer division by zero"}
-			}
-			r = x.Int() / y.Int()
-		case OpASH:
-			s := y.Int()
-			if s >= 0 {
-				r = x.Int() << uint(s&63)
-			} else {
-				r = x.Int() >> uint((-s)&63)
-			}
-		}
-		if err := m.setValue(ins.A, RawInt(r)); err != nil {
-			return err
-		}
-
-	case OpFADD, OpFSUB, OpFMULT, OpFDIV, OpFMAX, OpFMIN:
-		x, y, err := m.binOperands(ins)
-		if err != nil {
-			return err
-		}
-		var r float64
-		switch ins.Op {
-		case OpFADD:
-			r = x.Float() + y.Float()
-		case OpFSUB:
-			r = x.Float() - y.Float()
-		case OpFMULT:
-			r = x.Float() * y.Float()
-		case OpFDIV:
-			r = x.Float() / y.Float()
-		case OpFMAX:
-			r = fmax(x.Float(), y.Float())
-		case OpFMIN:
-			r = fmin(x.Float(), y.Float())
-		}
-		if err := m.setValue(ins.A, RawFloat(r)); err != nil {
-			return err
-		}
-
-	case OpFSIN, OpFCOS, OpFSQRT, OpFATAN, OpFEXP, OpFLOG, OpFABS, OpFNEG,
-		OpFLT, OpFIX:
-		v, err := m.value(ins.B)
-		if err != nil {
-			return err
-		}
-		out, err := m.unaryOp(ins.Op, v)
-		if err != nil {
-			return err
-		}
-		if err := m.setValue(ins.A, out); err != nil {
-			return err
-		}
-
-	case OpJMP:
-		next = ins.target
-
-	case OpJEQ, OpJNE, OpJLT, OpJLE, OpJGT, OpJGE:
-		x, err := m.value(ins.A)
-		if err != nil {
-			return err
-		}
-		y, err := m.value(ins.B)
-		if err != nil {
-			return err
-		}
-		if intCond(ins.Op, x.Int(), y.Int()) {
-			next = ins.target
-		}
-
-	case OpFJEQ, OpFJNE, OpFJLT, OpFJLE, OpFJGT, OpFJGE:
-		x, err := m.value(ins.A)
-		if err != nil {
-			return err
-		}
-		y, err := m.value(ins.B)
-		if err != nil {
-			return err
-		}
-		if floatCond(ins.Op, x.Float(), y.Float()) {
-			next = ins.target
-		}
-
-	case OpJNIL, OpJNNIL:
-		v, err := m.value(ins.A)
-		if err != nil {
-			return err
-		}
-		if (v.Tag == TagNil) == (ins.Op == OpJNIL) {
-			next = ins.target
-		}
-
-	case OpJTAG, OpJNTAG:
-		v, err := m.value(ins.A)
-		if err != nil {
-			return err
-		}
-		if (v.Tag == Tag(ins.TagArg)) == (ins.Op == OpJTAG) {
-			next = ins.target
-		}
-
-	case OpJEQW, OpJNEW:
-		x, err := m.value(ins.A)
-		if err != nil {
-			return err
-		}
-		y, err := m.value(ins.B)
-		if err != nil {
-			return err
-		}
-		if (x == y) == (ins.Op == OpJEQW) {
-			next = ins.target
-		}
-
-	case OpPUSH:
-		v, err := m.value(ins.A)
-		if err != nil {
-			return err
-		}
-		if err := m.push(v); err != nil {
-			return err
-		}
-
-	case OpPOP:
-		v, err := m.pop()
-		if err != nil {
-			return err
-		}
-		if ins.A.Mode != MNone {
-			if err := m.setValue(ins.A, v); err != nil {
-				return err
-			}
-		}
-
-	case OpALLOC:
-		n, err := m.value(ins.B)
-		if err != nil {
-			return err
-		}
-		base := m.Alloc(int(n.Int()))
-		if err := m.setValue(ins.A, RawInt(int64(base))); err != nil {
-			return err
-		}
-
-	case OpCALL, OpCALLF:
-		fn, err := m.value(ins.A)
-		if err != nil {
-			return err
-		}
-		return m.enterFrame(int(ins.TagArg), next, fn, ins.Op == OpCALLF)
-
-	case OpTCALL, OpTCALLF:
-		fn, err := m.value(ins.A)
-		if err != nil {
-			return err
-		}
-		m.Stats.TailCalls++
-		return m.tailCall(int(ins.TagArg), fn)
-
-	case OpRET:
-		return m.ret()
-
-	case OpCLOSE:
-		env, err := m.value(ins.B)
-		if err != nil {
-			return err
-		}
-		a := m.Alloc(2)
-		m.heap[a-HeapBase] = RawInt(ins.TagArg)
-		m.heap[a-HeapBase+1] = env
-		if err := m.setValue(ins.A, Ptr(TagClosure, a)); err != nil {
-			return err
-		}
-
-	case OpENV:
-		parent, err := m.value(ins.B)
-		if err != nil {
-			return err
-		}
-		n := int(ins.TagArg)
-		a := m.Alloc(1 + n)
-		m.heap[a-HeapBase] = parent
-		for i := 0; i < n; i++ {
-			m.heap[a-HeapBase+1+uint64(i)] = NilWord
-		}
-		m.Stats.EnvAllocs++
-		if err := m.setValue(ins.A, Ptr(TagEnv, a)); err != nil {
-			return err
-		}
-
-	case OpSPECBIND:
-		v, err := m.value(ins.A)
-		if err != nil {
-			return err
-		}
-		m.bindStack = append(m.bindStack, bindEntry{sym: int(ins.TagArg), val: v})
-		if p := m.prof; p != nil && len(m.bindStack) > p.BindHighWater {
-			p.BindHighWater = len(m.bindStack)
-		}
-
-	case OpSPECUNBIND:
-		n := int(ins.TagArg)
-		if n > len(m.bindStack) {
-			return &RuntimeError{PC: m.pc, Msg: "binding stack underflow"}
-		}
-		m.bindStack = m.bindStack[:len(m.bindStack)-n]
-
-	case OpCATCH:
-		tag, err := m.value(ins.A)
-		if err != nil {
-			return err
-		}
-		m.catchStack = append(m.catchStack, catchFrame{
-			tag: tag, sp: m.regs[RegSP], fp: m.regs[RegFP], ep: m.regs[RegEP],
-			handler: ins.target, bindDepth: len(m.bindStack),
-			fnDepth: m.prof.depth(),
-		})
-		if p := m.prof; p != nil && len(m.catchStack) > p.CatchHighWater {
-			p.CatchHighWater = len(m.catchStack)
-		}
-
-	case OpENDCATCH:
-		if len(m.catchStack) == 0 {
-			return &RuntimeError{PC: m.pc, Msg: "catch stack underflow"}
-		}
-		m.catchStack = m.catchStack[:len(m.catchStack)-1]
-
-	case OpCALLSQ:
-		m.Stats.SQCalls++
-		jumped, err := m.callSQ(int(ins.TagArg), ins)
-		if err != nil {
-			return err
-		}
-		if jumped {
-			return nil
-		}
-
-	default:
-		return &RuntimeError{PC: m.pc, Msg: "bad opcode " + ins.Op.String()}
-	}
-	m.pc = next
-	return nil
-}
-
-// binOperands fetches the source operands of a 2- or 3-operand
-// arithmetic instruction (dst := dst op B, or dst := B op C).
-func (m *Machine) binOperands(ins *Instr) (Word, Word, error) {
-	if ins.C.Mode == MNone {
-		x, err := m.value(ins.A)
-		if err != nil {
-			return Word{}, Word{}, err
-		}
-		y, err := m.value(ins.B)
-		return x, y, err
-	}
-	x, err := m.value(ins.B)
-	if err != nil {
-		return Word{}, Word{}, err
-	}
-	y, err := m.value(ins.C)
-	return x, y, err
-}
-
-func (m *Machine) unaryOp(op Op, v Word) (Word, error) {
-	switch op {
-	case OpFSIN:
-		return RawFloat(sinCycles(v.Float())), nil
-	case OpFCOS:
-		return RawFloat(cosCycles(v.Float())), nil
-	case OpFSQRT:
-		return RawFloat(sqrt(v.Float())), nil
-	case OpFATAN:
-		return RawFloat(atan(v.Float())), nil
-	case OpFEXP:
-		return RawFloat(exp(v.Float())), nil
-	case OpFLOG:
-		return RawFloat(logf(v.Float())), nil
-	case OpFABS:
-		return RawFloat(fabs(v.Float())), nil
-	case OpFNEG:
-		return RawFloat(-v.Float()), nil
-	case OpFLT:
-		return RawFloat(float64(v.Int())), nil
-	case OpFIX:
-		return RawInt(int64(v.Float())), nil
-	}
-	return Word{}, &RuntimeError{PC: m.pc, Msg: "bad unary op"}
 }
 
 func (m *Machine) ret() error {
@@ -889,42 +597,6 @@ func (m *Machine) tailCall(k int, fn Word) error {
 		p.tail(m, idx)
 	}
 	return nil
-}
-
-func intCond(op Op, x, y int64) bool {
-	switch op {
-	case OpJEQ:
-		return x == y
-	case OpJNE:
-		return x != y
-	case OpJLT:
-		return x < y
-	case OpJLE:
-		return x <= y
-	case OpJGT:
-		return x > y
-	case OpJGE:
-		return x >= y
-	}
-	return false
-}
-
-func floatCond(op Op, x, y float64) bool {
-	switch op {
-	case OpFJEQ:
-		return x == y
-	case OpFJNE:
-		return x != y
-	case OpFJLT:
-		return x < y
-	case OpFJLE:
-		return x <= y
-	case OpFJGT:
-		return x > y
-	case OpFJGE:
-		return x >= y
-	}
-	return false
 }
 
 // ResetStats clears the meters (not the machine state).

@@ -123,6 +123,10 @@ func (m *Machine) callSQ(idx int, ins *Instr) (bool, error) {
 		return false, lispErr("wrong type of argument: %s", A)
 
 	case SQAdd, SQSub, SQMul, SQDiv, SQNumEq, SQLt, SQGt, SQLe, SQGe:
+		if out, ok := m.fastNum(idx, A, B); ok {
+			setA(out)
+			break
+		}
 		x, err := m.numValue(A)
 		if err != nil {
 			return false, err
@@ -388,6 +392,113 @@ func boolWord(b bool) Word {
 		return TWord
 	}
 	return NilWord
+}
+
+// fastNum handles the dominant numeric SQ cases — both operands fixnums,
+// or both flonums — without boxing through host sexp values (the same
+// boxing elimination the decoded dispatch layer performs for open-coded
+// arithmetic; see DESIGN.md §10). Results are bit-identical to the
+// generic path: fixnum overflow, inexact fixnum division, and any other
+// case whose result would not be a fixnum/flonum reports ok=false and
+// falls back to numValue/genericNum. Flonum comparisons replicate
+// sexp.Compare's three-way float semantics (NaN compares "equal") rather
+// than raw ==.
+func (m *Machine) fastNum(idx int, a, b Word) (Word, bool) {
+	if a.Tag == TagFixnum && b.Tag == TagFixnum {
+		x, y := a.Int(), b.Int()
+		switch idx {
+		case SQAdd:
+			s := x + y
+			if (x > 0 && y > 0 && s < 0) || (x < 0 && y < 0 && s >= 0) {
+				return Word{}, false // promotes to bignum
+			}
+			return FixnumWord(s), true
+		case SQSub:
+			d := x - y
+			if (x >= 0 && y < 0 && d < 0) || (x < 0 && y > 0 && d >= 0) {
+				return Word{}, false
+			}
+			return FixnumWord(d), true
+		case SQMul:
+			if x == 0 || y == 0 {
+				return FixnumWord(0), true
+			}
+			p := x * y
+			if p/y != x || (x == -1 && y == math.MinInt64) || (y == -1 && x == math.MinInt64) {
+				return Word{}, false
+			}
+			return FixnumWord(p), true
+		case SQDiv:
+			if y == 0 || x%y != 0 {
+				return Word{}, false // error or exact ratio
+			}
+			return FixnumWord(x / y), true
+		case SQNumEq:
+			return boolWord(x == y), true
+		case SQLt:
+			return boolWord(x < y), true
+		case SQGt:
+			return boolWord(x > y), true
+		case SQLe:
+			return boolWord(x <= y), true
+		case SQGe:
+			return boolWord(x >= y), true
+		}
+		return Word{}, false
+	}
+	// Float path: both flonums, or flonum/fixnum mixed — sexp's binop
+	// contaminates to float when either operand is a Flonum, and
+	// sexp.Compare uses three-way float comparison, so converting the
+	// fixnum side mirrors the generic result exactly.
+	var x, y float64
+	switch {
+	case a.Tag == TagFlonum:
+		xw, err := m.load(a.Bits)
+		if err != nil {
+			return Word{}, false
+		}
+		x = xw.Float()
+	case a.Tag == TagFixnum:
+		x = float64(a.Int())
+	default:
+		return Word{}, false
+	}
+	switch {
+	case b.Tag == TagFlonum:
+		yw, err := m.load(b.Bits)
+		if err != nil {
+			return Word{}, false
+		}
+		y = yw.Float()
+	case b.Tag == TagFixnum:
+		y = float64(b.Int())
+	default:
+		return Word{}, false
+	}
+	{
+		switch idx {
+		case SQAdd:
+			return m.ConsFlonum(x + y), true
+		case SQSub:
+			return m.ConsFlonum(x - y), true
+		case SQMul:
+			return m.ConsFlonum(x * y), true
+		case SQDiv:
+			// IEEE semantics, like sexp.Div on flonums: /0 gives Inf/NaN.
+			return m.ConsFlonum(x / y), true
+		case SQNumEq:
+			return boolWord(!(x < y) && !(x > y)), true
+		case SQLt:
+			return boolWord(x < y), true
+		case SQGt:
+			return boolWord(x > y), true
+		case SQLe:
+			return boolWord(!(x > y)), true
+		case SQGe:
+			return boolWord(!(x < y)), true
+		}
+	}
+	return Word{}, false
 }
 
 // numValue converts a pointer-world word to a host number for the
