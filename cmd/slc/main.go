@@ -28,6 +28,12 @@
 //	slc -max-errors 50 prog.lisp              # store up to 50 diagnostics
 //	slc -run main -max-steps 1000000 -max-heap 65536 prog.lisp
 //	slc -fault 'optimize:defun=exptl:panic' -jobs 8 prog.lisp
+//
+// Durability flags (see DESIGN.md §11):
+//
+//	slc -cache-dir /tmp/slc-cache prog.lisp   # crash-safe durable compile cache
+//	slc -gc-stress -run main prog.lisp        # GC before every allocation
+//	slc -image-hash prog.lisp                 # print the machine-image fingerprint
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"sort"
 
 	"repro/internal/codegen"
+	"repro/internal/compilecache"
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/obs"
@@ -65,6 +72,9 @@ func run() error {
 		interpret  = flag.Bool("interp", false, "run -run through the interpreter instead of compiled code")
 		replMode   = flag.Bool("repl", false, "start an interactive compiled REPL (after loading files, if any)")
 		useCache   = flag.Bool("cache", false, "memoize compiled functions by source content (re-loads of a seen defun skip the middle end)")
+		cacheDir   = flag.String("cache-dir", "", "durable on-disk compile cache directory (crash-safe; shareable between processes)")
+		gcStress   = flag.Bool("gc-stress", false, "force a garbage collection before every runtime allocation (invariant shakeout)")
+		imageHash  = flag.Bool("image-hash", false, "print the machine-image fingerprint after loading")
 		jobs       = flag.Int("jobs", 0, "concurrent compile workers (0 = GOMAXPROCS, 1 = sequential)")
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file of the compile pipeline (load in Perfetto)")
 		phaseStats = flag.Bool("phase-stats", false, "print an aggregated per-phase compile-time table")
@@ -114,7 +124,16 @@ func run() error {
 		Cache: *useCache, Jobs: *jobs,
 		MaxErrors: *maxErrors, Fault: faultPlan,
 		MaxSteps: *maxSteps, MaxHeapWords: *maxHeap,
-		OptWatchdog: *optWatch, NoFuse: *noFuse}
+		OptWatchdog: *optWatch, NoFuse: *noFuse,
+		GCStress: *gcStress}
+	if *cacheDir != "" {
+		d, err := compilecache.OpenDisk(*cacheDir, faultPlan)
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		sysOpts.DiskCache = d
+	}
 	if *transcript {
 		sysOpts.OptimizerLog = os.Stdout
 	}
@@ -147,6 +166,10 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "%s: %d more error(s) past -max-errors\n", flag.Arg(0), n)
 		}
 		loadErrors = list.Errors()
+	}
+
+	if *imageHash {
+		fmt.Println(sys.Machine.ImageFingerprint())
 	}
 
 	if *listing {

@@ -1,0 +1,147 @@
+// Command slcd is the long-running compile/eval daemon: a local
+// HTTP/JSON service that compiles Lisp source and runs compiled
+// functions on the S-1 simulator, request by request, without dying.
+//
+// Each request runs in a fresh per-request system under its own step
+// and heap budgets with a context deadline; compile errors, runtime
+// faults, panics and timeouts all degrade to structured JSON
+// diagnostics while the daemon keeps serving. Admission is bounded:
+// past -workers executing plus -queue-depth waiting requests, slcd
+// sheds with 429 + Retry-After. SIGINT/SIGTERM drain in-flight
+// requests (bounded by -drain-timeout) before exit.
+//
+// The durable compile cache (-cache-dir) is shared across requests and
+// across processes: it is crash-safe (temp-file + atomic rename,
+// per-entry checksums, flock) and self-healing (startup recovery
+// quarantines torn entries; a circuit breaker shunts it after repeated
+// corruption). See DESIGN.md §11.
+//
+// Usage:
+//
+//	slcd -addr localhost:7171 -cache-dir /tmp/slc-cache -debug-addr localhost:6060
+//
+//	curl -s localhost:7171/run -d '{
+//	  "source": "(defun exptl (b n a) (if (= n 0) a (exptl b (- n 1) (* a b))))",
+//	  "fn": "exptl", "args": ["2", "10", "1"]
+//	}'
+//
+// Health, readiness and the request-span ring are served off
+// -debug-addr: /healthz, /readyz, /requests, plus the usual /metrics
+// and /debug/pprof.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/compilecache"
+	"repro/internal/daemon"
+	"repro/internal/diag"
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "slcd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "localhost:7171", "API listen address")
+		workers    = flag.Int("workers", 0, "concurrently executing requests (0 = GOMAXPROCS)")
+		queueDepth = flag.Int("queue-depth", 16, "requests allowed to wait for a worker before shedding")
+		reqTimeout = flag.Duration("req-timeout", 10*time.Second, "per-request deadline")
+		drainTime  = flag.Duration("drain-timeout", 30*time.Second, "bound on draining in-flight requests at shutdown")
+		maxSteps   = flag.Int64("max-steps", 50_000_000, "per-request simulator instruction budget (0 = machine default)")
+		maxHeap    = flag.Int64("max-heap", 4<<20, "per-request live heap word budget (0 = unlimited)")
+		cacheDir   = flag.String("cache-dir", "", "durable on-disk compile cache directory shared across requests and processes")
+		faultSpec  = flag.String("fault", "", "fault-injection plan, e.g. 'disk:*:cache-write;request:unit=slow:deadline' (default $SLC_FAULT)")
+		optWatch   = flag.Duration("opt-watchdog", 5*time.Second, "wall-clock budget for each unit's optimizer fixpoint (0 = none)")
+		debugAddr  = flag.String("debug-addr", "", "serve /healthz, /readyz, /requests, /metrics and /debug/pprof on this address")
+	)
+	flag.Parse()
+
+	var faultPlan *diag.Plan
+	{
+		var err error
+		if *faultSpec != "" {
+			faultPlan, err = diag.ParsePlan(*faultSpec)
+		} else {
+			faultPlan, err = diag.PlanFromEnv()
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := daemon.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		ReqTimeout:   *reqTimeout,
+		MaxSteps:     *maxSteps,
+		MaxHeapWords: *maxHeap,
+		OptWatchdog:  *optWatch,
+		Fault:        faultPlan,
+	}
+	if *cacheDir != "" {
+		d, err := compilecache.OpenDisk(*cacheDir, faultPlan)
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		cfg.Disk = d
+		fmt.Fprintf(os.Stderr, ";; durable cache at %s\n", *cacheDir)
+	}
+	srv := daemon.New(cfg)
+
+	if *debugAddr != "" {
+		dbg, err := obs.StartDebugServer(*debugAddr, srv.Metrics, srv.RegisterDebug)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, ";; debug server on http://%s (/healthz, /readyz, /requests, /metrics, /debug/pprof)\n", dbg.Addr())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, ";; slcd serving on http://%s (POST /compile, POST /run)\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, ";; %s: draining in-flight requests\n", sig)
+	case err := <-errc:
+		return err
+	}
+
+	// Drain: stop admitting, finish in-flight work, then close the
+	// listener. Shutdown alone would wait on requests too, but Drain
+	// flips readiness first so load balancers stop routing here.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTime)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		hs.Close()
+		return err
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, ";; drained cleanly")
+	return nil
+}

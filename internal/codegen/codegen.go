@@ -326,6 +326,15 @@ func (c *Compiler) gensym(prefix string) string {
 	return fmt.Sprintf("%s%d", prefix, c.gen)
 }
 
+// GenCount reads the gensym counter. Generated label names embed it, so
+// the durable compile cache records it alongside each capture: an entry
+// replays only at the counter value it was captured at, and the counter
+// is then advanced (SetGenCount) exactly as a recompile would have.
+func (c *Compiler) GenCount() int { return c.gen }
+
+// SetGenCount sets the gensym counter (durable-cache replay).
+func (c *Compiler) SetGenCount(n int) { c.gen = n }
+
 // ConstArrayWord reports the machine word of an interned compile-time
 // constant float array (the machine holds its own copy of the data).
 func (c *Compiler) ConstArrayWord(fa *sexp.FloatArray) (s1.Word, bool) {

@@ -1,0 +1,160 @@
+package compilecache
+
+import (
+	"sync"
+	"time"
+)
+
+// The corrupt-entry circuit breaker. A cache directory that has started
+// serving corrupt entries (disk failure, a bad actor, an incompatible
+// writer) makes every lookup cost a read + checksum + quarantine before
+// the compiler falls back to a full recompile anyway. After a run of
+// consecutive corrupt hits the breaker opens and Lookup stops touching
+// the disk entirely; after a cooldown it half-opens, letting exactly one
+// probe lookup through — a clean hit (or store) closes it again, another
+// corrupt one re-opens it with the cooldown doubled (capped), so a
+// persistently bad directory costs O(log) probes rather than a read per
+// compile.
+//
+// States (DESIGN.md §11):
+//
+//	Closed --[threshold consecutive corrupts]--> Open
+//	Open --[cooldown elapsed]--> HalfOpen
+//	HalfOpen --[probe ok]--> Closed      (cooldown resets)
+//	HalfOpen --[probe corrupt]--> Open   (cooldown doubles, capped)
+
+// BreakerState is the circuit breaker's current disposition.
+type BreakerState int
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Defaults for the disk layer's breaker.
+const (
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 2 * time.Second
+	maxBreakerCooldown      = 5 * time.Minute
+)
+
+// Breaker is a corrupt-hit circuit breaker with half-open probing and
+// exponential cooldown backoff.
+type Breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	threshold int
+	base      time.Duration
+	cooldown  time.Duration
+	openedAt  time.Time
+	corrupts  int   // consecutive corrupt hits while closed
+	trips     int64 // lifetime open transitions
+	now       func() time.Time
+}
+
+// NewBreaker returns a closed breaker tripping after threshold
+// consecutive corrupt hits, with the given initial cooldown.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{threshold: threshold, base: cooldown, cooldown: cooldown, now: time.Now}
+}
+
+// SetClock injects a time source (tests).
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+}
+
+// State reports the current state, performing the open → half-open
+// transition if the cooldown has elapsed.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	return b.state
+}
+
+// Trips reports the lifetime number of closed/half-open → open
+// transitions.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+func (b *Breaker) maybeHalfOpen() {
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		b.state = BreakerHalfOpen
+	}
+}
+
+// Allow reports whether a lookup may consult the disk. In the half-open
+// state it admits exactly one probe; concurrent callers see false until
+// the probe resolves.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		// Admit one probe: re-open until it reports back, so a burst of
+		// lookups cannot stampede a directory that may still be bad.
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		return true
+	default:
+		return false
+	}
+}
+
+// RecordCorrupt notes a corrupt entry. Reaching the threshold while
+// closed — or failing a half-open probe (which Allow left in the open
+// state) — opens the breaker.
+func (b *Breaker) RecordCorrupt() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen {
+		// Failed probe: stay open with the cooldown doubled, capped.
+		b.cooldown *= 2
+		if b.cooldown > maxBreakerCooldown {
+			b.cooldown = maxBreakerCooldown
+		}
+		b.openedAt = b.now()
+		b.trips++
+		b.corrupts = 0
+		return
+	}
+	b.corrupts++
+	if b.corrupts >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.trips++
+		b.corrupts = 0
+	}
+}
+
+// RecordSuccess notes a verified hit. A successful probe closes the
+// breaker and resets the backoff; while closed it just clears the
+// consecutive-corrupt run.
+func (b *Breaker) RecordSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.corrupts = 0
+	b.cooldown = b.base
+}

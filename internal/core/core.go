@@ -63,6 +63,20 @@ type Options struct {
 	// constants, no macro redefinition in between) skips the middle end
 	// and code generation entirely. Hit/miss counts appear in Stats().
 	Cache bool
+	// DiskCache, if non-nil, adds the durable on-disk layer under the
+	// in-memory cache (implies Cache): misses probe the crash-safe store
+	// and, when the entry's recorded allocator context matches this
+	// machine, replay its captured emission instead of compiling —
+	// producing the byte-identical image a recompile would have. The
+	// handle is shared: many Systems (and many processes) may use one.
+	// Ignored when Constants is non-empty, because compile-time constant
+	// arrays are interned per-process and would break cross-process
+	// replay.
+	DiskCache *compilecache.Disk
+	// GCStress forces a simulator collection before every heap
+	// allocation (the -gc-stress flag), surfacing construction-order GC
+	// bugs deterministically. Orders of magnitude slower; testing only.
+	GCStress bool
 	// MaxErrors bounds the error diagnostics *stored* per load (the
 	// -max-errors flag): 0 means the default of 20, negative means
 	// unlimited. Failures past the cap are still counted (and still fail
@@ -115,8 +129,10 @@ type System struct {
 
 	jobs int
 	// cache memoizes compiled bodies; constsFP and macroEpoch are the
-	// non-source cache-key inputs (see compilecache.Key).
+	// non-source cache-key inputs (see compilecache.Key). disk is the
+	// durable layer consulted on memory misses (nil = none).
 	cache      *compilecache.Cache
+	disk       *compilecache.Disk
 	constsFP   string
 	macroEpoch int
 
@@ -155,6 +171,9 @@ func NewSystem(opts Options) *System {
 	}
 	if opts.NoFuse {
 		m.SetNoFuse(true)
+	}
+	if opts.GCStress {
+		m.SetGCStress(true)
 	}
 	maxErrors := opts.MaxErrors
 	switch {
@@ -201,8 +220,11 @@ func NewSystem(opts Options) *System {
 		fault:     opts.Fault,
 		maxErrors: maxErrors,
 	}
-	if opts.Cache {
+	if opts.Cache || opts.DiskCache != nil {
 		sys.cache = compilecache.New()
+	}
+	if opts.DiskCache != nil && len(opts.Constants) == 0 {
+		sys.disk = opts.DiskCache
 	}
 	// defmacro: expanders are interpreter closures applied to the
 	// unevaluated argument forms.
@@ -440,6 +462,7 @@ type unit struct {
 	key      string
 	hitIdx   int
 	hit      bool
+	disk     *compilecache.DiskEntry
 	prepared *codegen.Prepared
 	err      error
 }
@@ -487,6 +510,17 @@ func (s *System) compileDefs(defs []*convert.Def, lines, cols []int, list *diag.
 					u.hit, u.hitIdx = true, e.Index
 				}
 			}
+			if !u.hit && s.disk != nil {
+				// Memory miss: probe the durable layer. Whether the entry
+				// actually replays is decided at install time — earlier
+				// units' installs move the allocator context — so the probe
+				// only fetches and verifies the bytes.
+				dsp := t.Start("disk-probe")
+				if de, ok := s.disk.Lookup(u.key); ok {
+					u.disk = de
+				}
+				dsp.End()
+			}
 			sp.End()
 		}
 	}
@@ -497,7 +531,10 @@ func (s *System) compileDefs(defs []*convert.Def, lines, cols []int, list *diag.
 	// overlap in time — exactly what the trace view needs.
 	pending := make([]*unit, 0, len(units))
 	for _, u := range units {
-		if !u.hit {
+		// Disk-hit candidates skip the concurrent middle end too: when the
+		// replay turns out not to apply, the install loop compiles them
+		// inline (the rare path — a corpus whose prefix diverged).
+		if !u.hit && u.disk == nil {
 			pending = append(pending, u)
 		}
 	}
@@ -553,6 +590,50 @@ func (s *System) compileDefs(defs []*convert.Def, lines, cols []int, list *diag.
 			s.Defs[d.Name.Name] = u.hitIdx
 			continue
 		}
+		if u.disk != nil {
+			// A durable entry exists for this source. If its recorded
+			// allocator context and gensym counter match the machine right
+			// now, replaying it reproduces the emission word for word.
+			// Otherwise compile inline — a mismatch is normal (different
+			// corpus prefix), not an error.
+			t := s.Obs.Task(d.Name.Name, 0)
+			if rerr := u.disk.Replayable(s.Machine, s.Compiler.GenCount()); rerr == nil {
+				sp := t.Start("disk-replay")
+				genBefore := s.Compiler.GenCount()
+				idx, ierr := u.disk.Install(s.Machine)
+				sp.End()
+				if ierr == nil {
+					s.Compiler.SetGenCount(genBefore + u.disk.GenDelta)
+					s.Machine.Stats.CompileCacheHits++
+					s.Machine.RebindFunction(d.Name.Name, idx)
+					s.Machine.SetSymbolFunction(d.Name.Name, s1.Ptr(s1.TagFunc, uint64(idx)))
+					s.Defs[d.Name.Name] = idx
+					f := s.Machine.Funcs[idx]
+					last := u.disk.Capture.Funcs[len(u.disk.Capture.Funcs)-1]
+					s.cache.Store(u.key, compilecache.Entry{
+						Index: idx, MinArgs: f.MinArgs, MaxArgs: f.MaxArgs,
+						Items: s1.ToItems(last.Items),
+					})
+					continue
+				}
+				// A mid-replay failure may have left partial mutations;
+				// recompiling is still correct, but flag it loudly.
+				line, col := pos(i)
+				list.Add(&diag.Diagnostic{
+					Severity: diag.Warning, Unit: d.Name.Name,
+					Phase: "disk-replay", Line: line, Col: col,
+					Msg: "durable cache replay failed, recompiling: " + ierr.Error(),
+					Err: ierr,
+				})
+			}
+			// Inline fallback: this unit skipped the worker-pool Prepare.
+			u.prepared, u.err = s.safePrepare(d.Name.Name, d.Lambda, t, 0)
+			if u.err != nil {
+				line, col := pos(i)
+				list.Add(asDiag(u.err, d.Name.Name, line, col))
+				continue
+			}
+		}
 		if err := func() (err error) {
 			defer func() {
 				if r := recover(); r != nil {
@@ -572,12 +653,44 @@ func (s *System) compileDefs(defs []*convert.Def, lines, cols []int, list *diag.
 		if s.cache != nil && u.key != "" {
 			s.Machine.Stats.CompileCacheMisses++
 			var items []s1.Item
+			var ctxBefore string
+			genBefore := s.Compiler.GenCount()
+			gcBefore := s.Machine.GCMeters.Collections
+			if s.disk != nil {
+				// Record the emission's machine mutations for the durable
+				// layer, against the context they started from.
+				ctxBefore = s.Machine.AllocContext()
+				s.Machine.BeginCapture()
+			}
 			idx, items, err = s.Compiler.EmitRecorded(d.Name.Name, u.prepared)
+			capt := s.Machine.EndCapture()
 			if err == nil {
 				f := s.Machine.Funcs[idx]
 				s.cache.Store(u.key, compilecache.Entry{
 					Index: idx, MinArgs: f.MinArgs, MaxArgs: f.MaxArgs, Items: items,
 				})
+				// A collection mid-emission would make the recorded
+				// allocation sequence context-dependent (the mark set at
+				// the collection point includes code not yet present during
+				// a replay), so such captures are discarded rather than
+				// stored.
+				if capt != nil && s.Machine.GCMeters.Collections == gcBefore {
+					de := &compilecache.DiskEntry{
+						Key: u.key, Name: d.Name.Name,
+						MinArgs: f.MinArgs, MaxArgs: f.MaxArgs,
+						GenBefore: genBefore, GenDelta: s.Compiler.GenCount() - genBefore,
+						Ctx: ctxBefore, Capture: *capt,
+					}
+					if serr := s.disk.Store(u.key, de); serr != nil {
+						line, col := pos(i)
+						list.Add(&diag.Diagnostic{
+							Severity: diag.Warning, Unit: d.Name.Name,
+							Phase: "disk-store", Line: line, Col: col,
+							Msg: "durable cache store failed: " + serr.Error(),
+							Err: serr,
+						})
+					}
+				}
 			}
 		} else {
 			idx, err = s.Compiler.Emit(d.Name.Name, u.prepared)

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/compilecache"
+	"repro/internal/sexp"
+)
+
+// loadWithDisk builds a fresh system over the durable cache directory
+// and loads src into it, returning the system and the disk handle (which
+// the caller closes).
+func loadWithDisk(t *testing.T, dir, src string) (*System, *compilecache.Disk) {
+	t.Helper()
+	d, err := compilecache.OpenDisk(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(Options{DiskCache: d})
+	if err := sys.LoadString(src); err != nil {
+		d.Close()
+		t.Fatalf("load: %v", err)
+	}
+	return sys, d
+}
+
+// TestDiskCacheByteIdenticalWarmLoad is the durable layer's core
+// property: a process that loads a corpus entirely from disk-cache
+// replays builds the exact machine image a cold compile builds — code,
+// function table, symbol cells, heap and boxes all byte-identical.
+func TestDiskCacheByteIdenticalWarmLoad(t *testing.T) {
+	dir := t.TempDir()
+
+	cold, d1 := loadWithDisk(t, dir, corpusSrc)
+	coldFP := cold.Machine.ImageFingerprint()
+	st1 := d1.Stats()
+	if st1.Stores == 0 {
+		t.Fatal("cold load stored nothing durable")
+	}
+	if st1.Hits != 0 {
+		t.Fatalf("cold load hit the empty cache %d times", st1.Hits)
+	}
+	d1.Close()
+
+	warm, d2 := loadWithDisk(t, dir, corpusSrc)
+	defer d2.Close()
+	warmFP := warm.Machine.ImageFingerprint()
+	st2 := d2.Stats()
+	if st2.Hits == 0 {
+		t.Fatal("warm load never hit the durable cache")
+	}
+	if warm.Machine.Stats.CompileCacheHits == 0 {
+		t.Fatal("warm load replayed nothing")
+	}
+	if warm.Machine.Stats.CompileCacheMisses != 0 {
+		t.Errorf("warm load recompiled %d units; every unit should replay",
+			warm.Machine.Stats.CompileCacheMisses)
+	}
+	if coldFP != warmFP {
+		t.Fatalf("warm image differs from cold image:\n cold %s\n warm %s", coldFP, warmFP)
+	}
+
+	// And the replayed image actually runs.
+	v, err := warm.Call("exptl", sexp.Fixnum(2), sexp.Fixnum(10), sexp.Fixnum(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sexp.Print(v) != "1024" {
+		t.Errorf("exptl on replayed image = %s", sexp.Print(v))
+	}
+	if v, err := warm.Call("adder-test", sexp.Fixnum(5), sexp.Fixnum(37)); err != nil || sexp.Print(v) != "42" {
+		t.Errorf("closure on replayed image = %v, %v", v, err)
+	}
+}
+
+// TestDiskCacheContextMismatchFallsBack loads a corpus whose prefix
+// differs from the one that populated the cache: the shared later defuns
+// find durable entries, but the entries were captured in a different
+// allocator context and must fall back to inline recompilation — no
+// error, correct code.
+func TestDiskCacheContextMismatchFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	sys1, d1 := loadWithDisk(t, dir,
+		"(defun pad (x) (list x x x))\n(defun shared (n) (* n n))")
+	_ = sys1
+	d1.Close()
+
+	// Same 'shared' source, different (absent) prefix: the disk probe
+	// hits, replay does not apply, the inline compile must succeed.
+	sys2, d2 := loadWithDisk(t, dir, "(defun shared (n) (* n n))")
+	defer d2.Close()
+	if d2.Stats().Hits == 0 {
+		t.Fatal("expected a disk probe hit for the shared defun")
+	}
+	v, err := sys2.Call("shared", sexp.Fixnum(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sexp.Print(v) != "81" {
+		t.Errorf("shared = %s", sexp.Print(v))
+	}
+	// The fallback must not have polluted the image with replay debris:
+	// a fresh compile of the same one-defun corpus is identical.
+	plain := NewSystem(Options{})
+	if err := plain.LoadString("(defun shared (n) (* n n))"); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Machine.ImageFingerprint() != sys2.Machine.ImageFingerprint() {
+		t.Error("fallback-compiled image differs from a plain compile")
+	}
+}
+
+// TestDiskCacheDisabledWithConstants: compile-time constants intern
+// per-process state the capture cannot carry, so the durable layer must
+// stay out of the loop entirely.
+func TestDiskCacheDisabledWithConstants(t *testing.T) {
+	dir := t.TempDir()
+	d, err := compilecache.OpenDisk(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	arr := sexp.NewFloatArray([]int{4})
+	sys := NewSystem(Options{
+		DiskCache: d,
+		Constants: map[string]sexp.Value{"karr": arr},
+	})
+	if err := sys.LoadString("(defun geta (i) (aref$f karr i))"); err != nil {
+		t.Fatal(err)
+	}
+	if st := d.Stats(); st.Stores != 0 || st.Hits != 0 {
+		t.Errorf("durable layer touched under Constants: %+v", st)
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"repro/internal/compilecache"
+)
+
+// tortureSrc generates the i'th torture defun; writer and verifier must
+// agree on it so surviving entries are probed by the same keys.
+func tortureSrc(i int) string {
+	return fmt.Sprintf("(defun torture-%d (x) (list x %d (* x %d)))", i, i, i+1)
+}
+
+const tortureUnits = 120
+
+// TestHelperTortureWriter is not a test: it is the child process body
+// for TestKill9CacheTorture, writing durable cache entries in a tight
+// loop until the parent kills it with SIGKILL.
+func TestHelperTortureWriter(t *testing.T) {
+	dir := os.Getenv("SLC_TORTURE_DIR")
+	if dir == "" {
+		t.Skip("helper process for TestKill9CacheTorture")
+	}
+	d, err := compilecache.OpenDisk(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; ; i++ {
+		// A fresh system per unit: every machine starts pristine, so every
+		// entry is captured in (and replayable from) the pristine context.
+		sys := NewSystem(Options{DiskCache: d})
+		if err := sys.LoadString(tortureSrc(i % tortureUnits)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestKill9CacheTorture is the durability acceptance test: a writer
+// process is SIGKILLed mid-flight repeatedly; afterwards recovery must
+// quarantine any debris, no lookup may ever see a corrupt entry, and
+// every surviving entry must replay to the byte-identical image a clean
+// compile produces.
+func TestKill9CacheTorture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes")
+	}
+	dir := t.TempDir()
+	for round := 0; round < 8; round++ {
+		cmd := exec.Command(os.Args[0], "-test.run=TestHelperTortureWriter$", "-test.v=false")
+		cmd.Env = append(os.Environ(), "SLC_TORTURE_DIR="+dir)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// Stagger the kill point across rounds so it lands in different
+		// phases of the store protocol.
+		time.Sleep(time.Duration(3+round*5) * time.Millisecond)
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+
+	// Restart: recovery runs inside OpenDisk.
+	d, err := compilecache.OpenDisk(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	for i := 0; i < tortureUnits; i++ {
+		src := tortureSrc(i)
+		warm := NewSystem(Options{DiskCache: d})
+		if err := warm.LoadString(src); err != nil {
+			t.Fatalf("unit %d after recovery: %v", i, err)
+		}
+		plain := NewSystem(Options{})
+		if err := plain.LoadString(src); err != nil {
+			t.Fatal(err)
+		}
+		if warm.Machine.ImageFingerprint() != plain.Machine.ImageFingerprint() {
+			t.Fatalf("unit %d: image after recovery differs from a clean compile", i)
+		}
+	}
+	st := d.Stats()
+	if st.Corrupt != 0 {
+		t.Errorf("lookups saw %d corrupt entries after recovery; torn writes must never verify", st.Corrupt)
+	}
+	t.Logf("torture: %d hits, %d recompiles, %d quarantined at recovery", st.Hits, st.Misses, st.Quarantined)
+}

@@ -1,0 +1,450 @@
+// Package daemon is the long-running compile/eval service behind
+// cmd/slcd: a local HTTP/JSON API that accepts Lisp source, compiles it
+// with the full pipeline, optionally calls a compiled function, and
+// returns printed values plus structured diagnostics.
+//
+// Every request runs in its own fresh core.System — simulator machines
+// are not shareable — with its own step and heap budgets, under the
+// PR 3 panic-isolation barriers: a panicking, faulted, or runaway unit
+// degrades to a positioned diagnostic in the response and the daemon
+// keeps serving. The durable compile cache (internal/compilecache) is
+// the shared state that makes per-request systems cheap: a warm request
+// replays its compilation from disk instead of re-running the middle
+// end.
+//
+// Robustness machinery (DESIGN.md §11):
+//
+//   - admission control: at most Workers requests execute concurrently
+//     and at most QueueDepth more wait; past that the daemon sheds with
+//     429 + Retry-After instead of queuing unboundedly
+//   - deadlines: each request gets a context deadline (ReqTimeout); when
+//     it fires, the request's machine is interrupted cooperatively and
+//     the response is a 504 with a structured diagnostic
+//   - graceful shutdown: Drain stops admission (503, readiness goes
+//     false) and waits for in-flight requests; cmd/slcd wires it to
+//     SIGTERM
+//   - observability: per-request spans land in a ring buffer exported as
+//     JSON off the obs debug mux, next to /healthz and /readyz
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/compilecache"
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/sexp"
+)
+
+// Config sizes and arms a Server. Zero values take the documented
+// defaults.
+type Config struct {
+	// Workers bounds concurrently executing requests (default
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker (default 16);
+	// admission past Workers+QueueDepth sheds with 429.
+	QueueDepth int
+	// ReqTimeout is the per-request deadline (default 10s).
+	ReqTimeout time.Duration
+	// MaxSteps/MaxHeapWords are the per-request machine budgets
+	// (0 = the machine defaults / unlimited).
+	MaxSteps     int64
+	MaxHeapWords int64
+	// OptWatchdog bounds each unit's optimizer fixpoint.
+	OptWatchdog time.Duration
+	// Disk is the shared durable compile cache (nil = none).
+	Disk *compilecache.Disk
+	// Fault is the injection plan; a matching deadline fault makes a
+	// request behave as if its deadline had already expired.
+	Fault *diag.Plan
+}
+
+// DiagJSON is one diagnostic in the response body.
+type DiagJSON struct {
+	Severity string `json:"severity"`
+	Unit     string `json:"unit,omitempty"`
+	Phase    string `json:"phase,omitempty"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	Msg      string `json:"msg"`
+}
+
+// Request is the body of POST /compile and POST /run.
+type Request struct {
+	// Source is the Lisp program text: defuns are compiled, other
+	// top-level forms run on the simulator.
+	Source string `json:"source"`
+	// Fn, for /run, names the compiled function to call after loading.
+	Fn string `json:"fn,omitempty"`
+	// Args are the call arguments as printed S-expressions.
+	Args []string `json:"args,omitempty"`
+}
+
+// Response is the body of every API reply (including sheds and
+// timeouts, which additionally use the HTTP status code).
+type Response struct {
+	OK bool `json:"ok"`
+	// Value is the printed value of the call (/run) or of the last
+	// top-level form (/compile).
+	Value string `json:"value,omitempty"`
+	// Defs lists the functions compiled by this request.
+	Defs        []string   `json:"defs,omitempty"`
+	Diagnostics []DiagJSON `json:"diagnostics,omitempty"`
+	TimedOut    bool       `json:"timed_out,omitempty"`
+	DurationMs  float64    `json:"duration_ms"`
+}
+
+// Stats are the daemon's lifetime counters, exported as metrics.
+type Stats struct {
+	Accepted  int64 `json:"accepted"`
+	Succeeded int64 `json:"succeeded"`
+	Failed    int64 `json:"failed"` // compile/run errors (structured, served)
+	Shed      int64 `json:"shed"`
+	TimedOut  int64 `json:"timed_out"`
+	Panics    int64 `json:"panics"` // requests that hit the last-resort barrier
+	Drained   int64 `json:"drained"`
+}
+
+// span is one request's record in the export ring.
+type span struct {
+	ID         int64   `json:"id"`
+	Path       string  `json:"path"`
+	Status     int     `json:"status"`
+	OK         bool    `json:"ok"`
+	TimedOut   bool    `json:"timed_out,omitempty"`
+	Start      string  `json:"start"`
+	DurationMs float64 `json:"duration_ms"`
+	Note       string  `json:"note,omitempty"`
+}
+
+// spanRingSize bounds the request-span export.
+const spanRingSize = 256
+
+// Server is the daemon. It is an http.Handler serving the request API;
+// RegisterDebug hangs the health/readiness/span endpoints off a debug
+// mux.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	// admission counts executing + queued requests; workers is the
+	// execution semaphore.
+	admission chan struct{}
+	workers   chan struct{}
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+
+	mu     sync.Mutex
+	stats  Stats
+	nextID int64
+	ring   []span
+}
+
+// New builds a Server from cfg, applying defaults.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.ReqTimeout <= 0 {
+		cfg.ReqTimeout = 10 * time.Second
+	}
+	s := &Server{
+		cfg:       cfg,
+		admission: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		workers:   make(chan struct{}, cfg.Workers),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /compile", func(w http.ResponseWriter, r *http.Request) { s.handle(w, r, false) })
+	s.mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) { s.handle(w, r, true) })
+	return s
+}
+
+// ServeHTTP makes the Server mountable directly (tests use
+// httptest.NewServer(s)).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Stats returns a copy of the lifetime counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Metrics exposes the counters in the obs metrics-snapshot shape.
+func (s *Server) Metrics() map[string]float64 {
+	st := s.Stats()
+	return map[string]float64{
+		"slcd_requests_accepted": float64(st.Accepted),
+		"slcd_requests_ok":       float64(st.Succeeded),
+		"slcd_requests_failed":   float64(st.Failed),
+		"slcd_requests_shed":     float64(st.Shed),
+		"slcd_requests_timeout":  float64(st.TimedOut),
+		"slcd_requests_panic":    float64(st.Panics),
+		"slcd_inflight":          float64(len(s.workers)),
+		"slcd_queued":            float64(len(s.admission) - len(s.workers)),
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain stops admitting requests (429s become 503s, readiness goes
+// false) and blocks until every in-flight request has completed or ctx
+// expires. It returns nil on a clean drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.mu.Lock()
+		s.stats.Drained++
+		s.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("daemon: drain deadline expired with requests in flight")
+	}
+}
+
+// RegisterDebug hangs /healthz, /readyz and /requests off mux (the obs
+// -debug-addr server).
+func (s *Server) RegisterDebug(mux *http.ServeMux) {
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/requests", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		out := struct {
+			Stats  Stats  `json:"stats"`
+			Recent []span `json:"recent"`
+		}{Stats: s.stats, Recent: append([]span(nil), s.ring...)}
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+}
+
+// record appends one finished request to the span ring.
+func (s *Server) record(sp span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	sp.ID = s.nextID
+	if len(s.ring) >= spanRingSize {
+		s.ring = s.ring[1:]
+	}
+	s.ring = append(s.ring, sp)
+}
+
+// writeJSON sends resp with the given status.
+func writeJSON(w http.ResponseWriter, status int, resp *Response) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handle is the request lifecycle: admission, deadline, execution with
+// the panic barrier, span recording.
+func (s *Server) handle(w http.ResponseWriter, r *http.Request, call bool) {
+	start := time.Now()
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, &Response{
+			Diagnostics: []DiagJSON{{Severity: "error", Phase: "admission",
+				Msg: "server is draining"}},
+			DurationMs: msSince(start),
+		})
+		return
+	}
+	// Admission: a slot in the bounded queue, or an immediate shed.
+	select {
+	case s.admission <- struct{}{}:
+	default:
+		s.mu.Lock()
+		s.stats.Shed++
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, &Response{
+			Diagnostics: []DiagJSON{{Severity: "error", Phase: "admission",
+				Msg: "server saturated, retry later"}},
+			DurationMs: msSince(start),
+		})
+		s.record(span{Path: r.URL.Path, Status: http.StatusTooManyRequests,
+			Start: start.UTC().Format(time.RFC3339Nano), DurationMs: msSince(start), Note: "shed"})
+		return
+	}
+	defer func() { <-s.admission }()
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+
+	var req Request
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, &Response{
+			Diagnostics: []DiagJSON{{Severity: "error", Phase: "request",
+				Msg: "bad request body: " + err.Error()}},
+			DurationMs: msSince(start),
+		})
+		return
+	}
+
+	// Wait (bounded, since admission is bounded) for a worker slot.
+	s.workers <- struct{}{}
+	defer func() { <-s.workers }()
+
+	s.mu.Lock()
+	s.stats.Accepted++
+	s.mu.Unlock()
+
+	timeout := s.cfg.ReqTimeout
+	if s.cfg.Fault.Should(diag.KindDeadline, "request", req.Fn) {
+		// Injected deadline: the request starts life already expired.
+		timeout = -time.Nanosecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	resp := s.execute(ctx, &req, call)
+	resp.DurationMs = msSince(start)
+	status := http.StatusOK
+	switch {
+	case resp.TimedOut:
+		status = http.StatusGatewayTimeout
+		s.mu.Lock()
+		s.stats.TimedOut++
+		s.mu.Unlock()
+	case !resp.OK:
+		status = http.StatusUnprocessableEntity
+		s.mu.Lock()
+		s.stats.Failed++
+		s.mu.Unlock()
+	default:
+		s.mu.Lock()
+		s.stats.Succeeded++
+		s.mu.Unlock()
+	}
+	writeJSON(w, status, resp)
+	s.record(span{Path: r.URL.Path, Status: status, OK: resp.OK, TimedOut: resp.TimedOut,
+		Start: start.UTC().Format(time.RFC3339Nano), DurationMs: msSince(start),
+		Note: firstDiag(resp)})
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t)) / float64(time.Millisecond) }
+
+func firstDiag(r *Response) string {
+	if len(r.Diagnostics) == 0 {
+		return ""
+	}
+	return r.Diagnostics[0].Msg
+}
+
+// execute compiles (and optionally calls) in a fresh per-request system
+// under the last-resort panic barrier. The compile pipeline has its own
+// per-unit barriers; this one catches anything that escapes them, so a
+// wholly unexpected panic still degrades to a structured response.
+func (s *Server) execute(ctx context.Context, req *Request, call bool) (resp *Response) {
+	resp = &Response{}
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			s.stats.Panics++
+			s.mu.Unlock()
+			resp.OK = false
+			resp.Diagnostics = append(resp.Diagnostics, DiagJSON{
+				Severity: "error", Phase: "request",
+				Msg: fmt.Sprintf("internal panic: %v", r),
+			})
+		}
+	}()
+
+	sys := core.NewSystem(core.Options{
+		Jobs:         1, // concurrency lives at the request level
+		MaxSteps:     s.cfg.MaxSteps,
+		MaxHeapWords: s.cfg.MaxHeapWords,
+		OptWatchdog:  s.cfg.OptWatchdog,
+		DiskCache:    s.cfg.Disk,
+		Fault:        s.cfg.Fault,
+	})
+	// The deadline interrupts the machine cooperatively: Run checks the
+	// flag every few hundred dispatches and unwinds with a RuntimeError.
+	stop := context.AfterFunc(ctx, func() { sys.Machine.Interrupt() })
+	defer stop()
+
+	v, list := sys.EvalStringDiag(req.Source)
+	for _, d := range list.All() {
+		resp.Diagnostics = append(resp.Diagnostics, DiagJSON{
+			Severity: d.Severity.String(), Unit: d.Unit, Phase: d.Phase,
+			Line: d.Line, Col: d.Col, Msg: d.Msg,
+		})
+	}
+	if ctx.Err() != nil {
+		resp.TimedOut = true
+		resp.Diagnostics = append(resp.Diagnostics, DiagJSON{
+			Severity: "error", Phase: "deadline",
+			Msg: "request deadline exceeded",
+		})
+		return resp
+	}
+	if list.HasErrors() {
+		return resp
+	}
+	for name := range sys.Defs {
+		resp.Defs = append(resp.Defs, name)
+	}
+	if v != nil {
+		resp.Value = sexp.Print(v)
+	}
+
+	if call && req.Fn != "" {
+		args := make([]sexp.Value, len(req.Args))
+		for i, a := range req.Args {
+			av, err := sexp.ReadOne(a)
+			if err != nil {
+				resp.Diagnostics = append(resp.Diagnostics, DiagJSON{
+					Severity: "error", Phase: "request",
+					Msg: fmt.Sprintf("argument %d: %v", i, err),
+				})
+				return resp
+			}
+			args[i] = av
+		}
+		cv, err := sys.Call(req.Fn, args...)
+		if err != nil {
+			if ctx.Err() != nil {
+				resp.TimedOut = true
+				resp.Diagnostics = append(resp.Diagnostics, DiagJSON{
+					Severity: "error", Unit: req.Fn, Phase: "deadline",
+					Msg: "request deadline exceeded: " + err.Error(),
+				})
+			} else {
+				resp.Diagnostics = append(resp.Diagnostics, DiagJSON{
+					Severity: "error", Unit: req.Fn, Phase: "run", Msg: err.Error(),
+				})
+			}
+			return resp
+		}
+		resp.Value = sexp.Print(cv)
+	}
+	resp.OK = true
+	return resp
+}

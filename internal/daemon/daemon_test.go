@@ -1,0 +1,362 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/compilecache"
+	"repro/internal/diag"
+	"repro/internal/obs"
+)
+
+// spinSrc never terminates on its own; only the cooperative interrupt
+// (deadline) can unwind it.
+const spinSrc = `
+(defun spin (n)
+  (prog (i)
+    (setq i 0)
+   loop
+    (setq i (+ i 1))
+    (go loop)))`
+
+func post(t *testing.T, ts *httptest.Server, path string, req Request) (int, Response, http.Header) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	hr, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var resp Response
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		t.Fatalf("%s: undecodable body: %v", path, err)
+	}
+	return hr.StatusCode, resp, hr.Header
+}
+
+// TestCompileAndRun is the happy path: compile a corpus, call into it,
+// get printed values and the list of compiled defs back.
+func TestCompileAndRun(t *testing.T) {
+	s := New(Config{Workers: 2, ReqTimeout: 10 * time.Second})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	code, resp, _ := post(t, ts, "/run", Request{
+		Source: `(defun exptl (b n a) (if (= n 0) a (exptl b (- n 1) (* a b))))`,
+		Fn:     "exptl", Args: []string{"2", "10", "1"},
+	})
+	if code != http.StatusOK || !resp.OK {
+		t.Fatalf("run: status %d, resp %+v", code, resp)
+	}
+	if resp.Value != "1024" {
+		t.Errorf("exptl value = %q", resp.Value)
+	}
+	if len(resp.Defs) != 1 || resp.Defs[0] != "exptl" {
+		t.Errorf("defs = %v", resp.Defs)
+	}
+
+	// /compile reports the last top-level form's value.
+	code, resp, _ = post(t, ts, "/compile", Request{
+		Source: "(defun sq (x) (* x x))\n(sq 7)",
+	})
+	if code != http.StatusOK || !resp.OK || resp.Value != "49" {
+		t.Errorf("compile: status %d, resp %+v", code, resp)
+	}
+}
+
+// TestCompileErrorIsStructured: a broken unit yields 422 with positioned
+// diagnostics, not a dead daemon.
+func TestCompileErrorIsStructured(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	code, resp, _ := post(t, ts, "/compile", Request{Source: `(defun bad (x) (car . x))`})
+	if code != http.StatusUnprocessableEntity || resp.OK {
+		t.Fatalf("status %d, resp %+v", code, resp)
+	}
+	if len(resp.Diagnostics) == 0 {
+		t.Fatal("no diagnostics for a compile error")
+	}
+	d := resp.Diagnostics[0]
+	if d.Severity != "error" || d.Unit != "bad" {
+		t.Errorf("diagnostic = %+v", d)
+	}
+
+	// The daemon still serves after the failure.
+	code, resp, _ = post(t, ts, "/run", Request{Source: "(defun ok (x) x)", Fn: "ok", Args: []string{"5"}})
+	if code != http.StatusOK || resp.Value != "5" {
+		t.Errorf("daemon unhealthy after compile error: %d %+v", code, resp)
+	}
+}
+
+// TestDeadlineReturns504: a spinning request is interrupted at its
+// deadline and surfaces as a 504 with a deadline diagnostic; the worker
+// slot is reclaimed and the daemon keeps serving.
+func TestDeadlineReturns504(t *testing.T) {
+	s := New(Config{Workers: 1, ReqTimeout: 150 * time.Millisecond})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	code, resp, _ := post(t, ts, "/run", Request{Source: spinSrc, Fn: "spin", Args: []string{"1"}})
+	if code != http.StatusGatewayTimeout || !resp.TimedOut {
+		t.Fatalf("status %d, resp %+v", code, resp)
+	}
+	found := false
+	for _, d := range resp.Diagnostics {
+		if d.Phase == "deadline" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no deadline diagnostic: %+v", resp.Diagnostics)
+	}
+
+	code, resp, _ = post(t, ts, "/run", Request{Source: "(defun ok (x) x)", Fn: "ok", Args: []string{"3"}})
+	if code != http.StatusOK || resp.Value != "3" {
+		t.Errorf("daemon unhealthy after timeout: %d %+v", code, resp)
+	}
+	if st := s.Stats(); st.TimedOut != 1 {
+		t.Errorf("timeout counter = %d", st.TimedOut)
+	}
+}
+
+// TestInjectedDeadlineFault: the deadline fault kind makes a matching
+// request behave as already expired, without waiting out a real timeout.
+func TestInjectedDeadlineFault(t *testing.T) {
+	plan, err := diag.ParsePlan("request:unit=spin:deadline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 1, ReqTimeout: time.Hour, Fault: plan})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	start := time.Now()
+	code, resp, _ := post(t, ts, "/run", Request{Source: spinSrc, Fn: "spin", Args: []string{"1"}})
+	if code != http.StatusGatewayTimeout || !resp.TimedOut {
+		t.Fatalf("status %d, resp %+v", code, resp)
+	}
+	if time.Since(start) > 30*time.Second {
+		t.Error("injected deadline waited for a real timeout")
+	}
+
+	// A non-matching unit is untouched by the plan.
+	code, resp, _ = post(t, ts, "/run", Request{Source: "(defun ok (x) x)", Fn: "ok", Args: []string{"1"}})
+	if code != http.StatusOK {
+		t.Errorf("non-matching unit faulted: %d %+v", code, resp)
+	}
+}
+
+// TestLoadSheddingUnderSaturation: with one worker and a queue of one,
+// a burst of slow requests sheds the overflow with 429 + Retry-After
+// while admitted requests still complete (here: by deadline).
+func TestLoadSheddingUnderSaturation(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1, ReqTimeout: 400 * time.Millisecond})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	const burst = 6
+	type result struct {
+		code  int
+		retry string
+	}
+	results := make(chan result, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, _, hdr := post(t, ts, "/run", Request{Source: spinSrc, Fn: "spin", Args: []string{"1"}})
+			results <- result{code, hdr.Get("Retry-After")}
+		}()
+	}
+	wg.Wait()
+	close(results)
+
+	shed, timedOut := 0, 0
+	for r := range results {
+		switch r.code {
+		case http.StatusTooManyRequests:
+			shed++
+			if r.retry == "" {
+				t.Error("shed response missing Retry-After")
+			}
+		case http.StatusGatewayTimeout:
+			timedOut++
+		default:
+			t.Errorf("unexpected status %d in burst", r.code)
+		}
+	}
+	// Capacity is Workers+QueueDepth = 2: at least burst-2 must shed.
+	if shed < burst-2 {
+		t.Errorf("only %d of %d requests shed", shed, burst)
+	}
+	if timedOut == 0 {
+		t.Error("no admitted request ran to its deadline")
+	}
+	if st := s.Stats(); st.Shed != int64(shed) {
+		t.Errorf("shed counter %d != observed %d", st.Shed, shed)
+	}
+}
+
+// TestDrainRejectsAndCompletes: Drain flips readiness, rejects new work
+// with 503, and returns once in-flight requests are done.
+func TestDrainRejectsAndCompletes(t *testing.T) {
+	s := New(Config{Workers: 1, ReqTimeout: 300 * time.Millisecond})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	mux := http.NewServeMux()
+	s.RegisterDebug(mux)
+	dbg := httptest.NewServer(mux)
+	defer dbg.Close()
+
+	// Park one slow request in flight.
+	done := make(chan int, 1)
+	go func() {
+		code, _, _ := post(t, ts, "/run", Request{Source: spinSrc, Fn: "spin", Args: []string{"1"}})
+		done <- code
+	}()
+	// Wait until it is actually executing.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && len(s.workers) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	// Draining state is observable immediately.
+	for time.Now().Before(deadline) && !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	if code, _, _ := post(t, ts, "/compile", Request{Source: "(defun x (a) a)"}); code != http.StatusServiceUnavailable {
+		t.Errorf("request during drain got %d, want 503", code)
+	}
+	if r, err := http.Get(dbg.URL + "/readyz"); err != nil || r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain: %v %v", r.StatusCode, err)
+	} else {
+		r.Body.Close()
+	}
+	if r, err := http.Get(dbg.URL + "/healthz"); err != nil || r.StatusCode != http.StatusOK {
+		t.Errorf("healthz during drain: %v %v", r.StatusCode, err)
+	} else {
+		r.Body.Close()
+	}
+
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// The in-flight request completed (by deadline) rather than being cut.
+	select {
+	case code := <-done:
+		if code != http.StatusGatewayTimeout {
+			t.Errorf("in-flight request finished with %d", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+}
+
+// TestRequestSpansExported: finished requests appear in the /requests
+// ring with status and timing.
+func TestRequestSpansExported(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	mux := obs.NewDebugMux(s.Metrics, s.RegisterDebug)
+	dbg := httptest.NewServer(mux)
+	defer dbg.Close()
+
+	post(t, ts, "/compile", Request{Source: "(defun a (x) x)"})
+	post(t, ts, "/compile", Request{Source: "(defun broken (x) (car . x))"})
+
+	r, err := http.Get(dbg.URL + "/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var out struct {
+		Stats  Stats `json:"stats"`
+		Recent []struct {
+			Path   string `json:"path"`
+			Status int    `json:"status"`
+		} `json:"recent"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Recent) != 2 {
+		t.Fatalf("span ring has %d entries", len(out.Recent))
+	}
+	if out.Recent[0].Status != http.StatusOK || out.Recent[1].Status != http.StatusUnprocessableEntity {
+		t.Errorf("span statuses = %+v", out.Recent)
+	}
+	if out.Stats.Succeeded != 1 || out.Stats.Failed != 1 {
+		t.Errorf("stats = %+v", out.Stats)
+	}
+
+	// Metrics snapshot carries the same counters.
+	m := s.Metrics()
+	if m["slcd_requests_ok"] != 1 || m["slcd_requests_failed"] != 1 {
+		t.Errorf("metrics = %v", m)
+	}
+}
+
+// TestSharedDiskCacheAcrossRequests: two requests compiling the same
+// unit share the durable cache — the second replays instead of
+// recompiling, and both produce working code.
+func TestSharedDiskCacheAcrossRequests(t *testing.T) {
+	d, err := compilecache.OpenDisk(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	s := New(Config{Workers: 1, Disk: d})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	src := `(defun cached-fn (n) (* n (+ n 1)))`
+	for i := 0; i < 2; i++ {
+		code, resp, _ := post(t, ts, "/run", Request{Source: src, Fn: "cached-fn", Args: []string{"6"}})
+		if code != http.StatusOK || resp.Value != "42" {
+			t.Fatalf("request %d: %d %+v", i, code, resp)
+		}
+	}
+	st := d.Stats()
+	if st.Stores == 0 {
+		t.Error("first request stored nothing durable")
+	}
+	if st.Hits == 0 {
+		t.Error("second request did not replay from the shared cache")
+	}
+}
+
+// TestBadBodyRejected: malformed JSON is a 400, not a panic or a hang.
+func TestBadBodyRejected(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	r, err := http.Post(ts.URL+"/compile", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d", r.StatusCode)
+	}
+}

@@ -111,6 +111,36 @@ func TestParsePlan(t *testing.T) {
 	}
 }
 
+func TestPlanDecisionKinds(t *testing.T) {
+	p, err := ParsePlan("disk:*:cache-write;request:unit=slow:deadline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Should(KindCacheWrite, "disk", "anything") {
+		t.Error("wildcard cache-write fault should match")
+	}
+	if p.Should(KindCacheWrite, "cache", "anything") {
+		t.Error("cache-write fault is disk-phase only in this plan")
+	}
+	if !p.Should(KindDeadline, "request", "slow") {
+		t.Error("deadline fault should match its unit")
+	}
+	if p.Should(KindDeadline, "request", "fast") {
+		t.Error("deadline fault must not match other units")
+	}
+	// Decision kinds never fire as panics or errors.
+	if err := p.Fire("disk", "anything"); err != nil {
+		t.Errorf("cache-write fault fired from Fire: %v", err)
+	}
+	if err := p.Fire("request", "slow"); err != nil {
+		t.Errorf("deadline fault fired from Fire: %v", err)
+	}
+	var nilPlan *Plan
+	if nilPlan.Should(KindCacheWrite, "x", "y") {
+		t.Error("nil plan must be inert for Should")
+	}
+}
+
 func TestPlanFromEnv(t *testing.T) {
 	t.Setenv("SLC_FAULT", "optimize:defun=exptl:panic;cache:*:corrupt")
 	p, err := PlanFromEnv()

@@ -18,19 +18,28 @@ import (
 //	entry    := phase ':' selector ':' kind
 //	phase    := pipeline stage name ("optimize", "emit", "cache", ...) | '*'
 //	selector := "defun=" name | "unit=" name | '*'
-//	kind     := "panic" | "error" | "corrupt"
+//	kind     := "panic" | "error" | "corrupt" | "cache-write" | "deadline"
 //
 // Examples:
 //
 //	SLC_FAULT=optimize:defun=exptl:panic      # panic while optimizing exptl
 //	SLC_FAULT=cache:*:corrupt                 # corrupt every cache hit
 //	SLC_FAULT=rep:defun=f:error;emit:defun=g:panic
+//	SLC_FAULT=disk:*:cache-write              # tear every durable cache write
+//	SLC_FAULT=request:*:deadline              # expire every slcd request deadline
 
 // Fault kinds.
 const (
 	KindPanic   = "panic"
 	KindError   = "error"
 	KindCorrupt = "corrupt"
+	// KindCacheWrite makes the durable cache write a torn entry file —
+	// checksum-valid header, truncated payload — exercising the startup
+	// recovery and quarantine path without a real crash.
+	KindCacheWrite = "cache-write"
+	// KindDeadline makes the daemon treat the matching request's context
+	// as already expired, exercising the timeout-diagnostic path.
+	KindDeadline = "deadline"
 )
 
 // Fault is one injection rule.
@@ -93,9 +102,9 @@ func ParsePlan(s string) (*Plan, error) {
 			return nil, fmt.Errorf("diag: fault selector %q: want defun=NAME, unit=NAME or *", sel)
 		}
 		switch f.Kind {
-		case KindPanic, KindError, KindCorrupt:
+		case KindPanic, KindError, KindCorrupt, KindCacheWrite, KindDeadline:
 		default:
-			return nil, fmt.Errorf("diag: fault kind %q: want panic, error or corrupt", f.Kind)
+			return nil, fmt.Errorf("diag: fault kind %q: want panic, error, corrupt, cache-write or deadline", f.Kind)
 		}
 		if f.Phase == "" || f.Unit == "" {
 			return nil, fmt.Errorf("diag: fault entry %q: empty phase or unit", ent)
@@ -139,11 +148,19 @@ func (p *Plan) Fire(phase, unit string) error {
 // ShouldCorrupt reports whether a corrupt fault matches (the cache
 // layer then mangles the looked-up entry so validation must catch it).
 func (p *Plan) ShouldCorrupt(phase, unit string) bool {
+	return p.Should(KindCorrupt, phase, unit)
+}
+
+// Should reports whether a fault of the given kind matches. It is the
+// generic form behind ShouldCorrupt, used for the kinds that are
+// consulted at a decision point rather than fired as a panic/error:
+// cache-write (durable cache layer) and deadline (daemon request entry).
+func (p *Plan) Should(kind, phase, unit string) bool {
 	if p == nil {
 		return false
 	}
 	for _, f := range p.faults {
-		if f.Kind == KindCorrupt && f.matches(phase, unit) {
+		if f.Kind == kind && f.matches(phase, unit) {
 			return true
 		}
 	}

@@ -8,9 +8,11 @@ import (
 
 // NewDebugMux builds the debug HTTP handler: /metrics serves the
 // snapshot function's metrics in Prometheus text format, and
-// /debug/pprof/* serves the standard Go profiling endpoints. The mux is
+// /debug/pprof/* serves the standard Go profiling endpoints. Callers may
+// pass register functions to hang extra endpoints off the same mux (the
+// daemon's health/readiness/request-span handlers do). The mux is
 // private — nothing is registered on http.DefaultServeMux.
-func NewDebugMux(metrics func() map[string]float64) *http.ServeMux {
+func NewDebugMux(metrics func() map[string]float64, register ...func(*http.ServeMux)) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -21,6 +23,9 @@ func NewDebugMux(metrics func() map[string]float64) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, r := range register {
+		r(mux)
+	}
 	return mux
 }
 
@@ -33,12 +38,12 @@ type DebugServer struct {
 // StartDebugServer begins serving the debug mux on addr (e.g.
 // "localhost:6060"; ":0" picks a free port). The server runs until
 // Close.
-func StartDebugServer(addr string, metrics func() map[string]float64) (*DebugServer, error) {
+func StartDebugServer(addr string, metrics func() map[string]float64, register ...func(*http.ServeMux)) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: NewDebugMux(metrics)}
+	srv := &http.Server{Handler: NewDebugMux(metrics, register...)}
 	go srv.Serve(ln)
 	return &DebugServer{ln: ln, srv: srv}, nil
 }

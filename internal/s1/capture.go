@@ -1,0 +1,256 @@
+package s1
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/sexp"
+)
+
+// Compile capture and replay: the durable compile cache persists not the
+// bytes of a compiled function but the *machine mutations* its emission
+// performed — the symbols it interned, the constants it built on the
+// heap, and the function bodies it installed (its own, plus any closure
+// bodies and primitive stubs). Replaying those mutations against a
+// machine in the same allocator context reproduces the emission exactly,
+// word for word, which is what makes a disk hit byte-identical to a
+// recompile (DESIGN.md §11).
+//
+// The context guard is AllocContext: a fingerprint of everything that
+// determines the addresses and indices an emission hands out — symbol
+// table contents, function/code/box counts, heap extent, free-list
+// state, and the GC knobs that can fire a collection mid-emission. An
+// entry recorded under one context is only replayed into an identical
+// one; anything else falls back to recompilation.
+
+// CapturedItem is one assembly item in value (gob-friendly) form: either
+// a label or an instruction, never both.
+type CapturedItem struct {
+	Label   string
+	IsInstr bool
+	Instr   Instr
+}
+
+// CapturedFunc is one AddFunction call made during a capture.
+type CapturedFunc struct {
+	Name             string
+	MinArgs, MaxArgs int
+	Items            []CapturedItem
+}
+
+// Capture records the machine mutations of one function's emission.
+type Capture struct {
+	// Syms are the names newly interned, in intern order.
+	Syms []string
+	// Consts are the printed forms of every top-level FromValue call, in
+	// call order; replaying them re-creates the same heap structure at
+	// the same addresses (given an equal AllocContext).
+	Consts []string
+	// Funcs are the function bodies installed, in install order; the last
+	// one is the unit's own body.
+	Funcs []CapturedFunc
+}
+
+// ToItems converts captured items back to assembler items.
+func ToItems(cs []CapturedItem) []Item {
+	items := make([]Item, len(cs))
+	for i, c := range cs {
+		if c.IsInstr {
+			ins := c.Instr
+			items[i] = Item{Instr: &ins}
+		} else {
+			items[i] = Item{Label: c.Label}
+		}
+	}
+	return items
+}
+
+// FromItems converts assembler items to the captured value form.
+func FromItems(items []Item) []CapturedItem {
+	cs := make([]CapturedItem, len(items))
+	for i, it := range items {
+		if it.Instr != nil {
+			cs[i] = CapturedItem{IsInstr: true, Instr: *it.Instr}
+		} else {
+			cs[i] = CapturedItem{Label: it.Label}
+		}
+	}
+	return cs
+}
+
+// BeginCapture starts recording machine mutations. Captures do not nest.
+func (m *Machine) BeginCapture() error {
+	if m.cap != nil {
+		return fmt.Errorf("s1: capture already in progress")
+	}
+	m.cap = &Capture{}
+	return nil
+}
+
+// EndCapture stops recording and returns the capture (nil if none was in
+// progress).
+func (m *Machine) EndCapture() *Capture {
+	c := m.cap
+	m.cap = nil
+	m.capDepth = 0
+	return c
+}
+
+// AllocContext fingerprints the machine state that determines the
+// addresses and indices the next emission will hand out: the symbol
+// table (names, incrementally hashed), the function/code/box extents,
+// the heap extent and allocator free lists, and the GC configuration
+// that can trigger collections mid-emission. Two machines with equal
+// contexts hand out identical addresses for identical request sequences.
+func (m *Machine) AllocContext() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "syms=%d:%x|funcs=%d|code=%d|boxes=%d|heap=%d|live=%d|since=%d|thr=%d|lim=%d|stress=%t|",
+		len(m.Syms), m.symHash, len(m.Funcs), len(m.Code), len(m.Boxes),
+		len(m.heap), m.liveWords, m.liveSinceGC, m.gcThreshold, m.HeapLimit,
+		m.gcStress)
+	// Free lists: a replayed allocation must pop the same block a fresh
+	// compile would. Sizes in sorted order for determinism.
+	for n := 0; n <= gcSmallMax; n++ {
+		if lst := m.freeSmall[n]; len(lst) > 0 {
+			fmt.Fprintf(h, "f%d=%v|", n, lst)
+		}
+	}
+	if len(m.freeBig) > 0 {
+		sizes := make([]int, 0, len(m.freeBig))
+		for n := range m.freeBig {
+			sizes = append(sizes, n)
+		}
+		sort.Ints(sizes)
+		for _, n := range sizes {
+			fmt.Fprintf(h, "F%d=%v|", n, m.freeBig[n])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// foldSymHash extends the incremental symbol-name hash with one newly
+// interned name (order-sensitive by construction).
+func (m *Machine) foldSymHash(name string) {
+	h := m.symHash
+	if h == 0 {
+		h = 0xcbf29ce484222325 // FNV-1a offset basis
+	}
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 0x100000001b3
+	}
+	h = (h ^ 0x1f) * 0x100000001b3 // name separator
+	m.symHash = h
+}
+
+// ImageFingerprint hashes the externally visible machine image — code
+// (as listed, including comments), function descriptors, the symbol
+// table with its value and function cells, the heap contents, and the
+// boxed objects. Two machines with equal fingerprints would produce
+// byte-identical listings and behave identically; the multi-process
+// cache tests compare it across independently built images.
+func (m *Machine) ImageFingerprint() string {
+	h := sha256.New()
+	for i := range m.Code {
+		fmt.Fprintf(h, "%d %s\n", i, m.Code[i].String())
+	}
+	for _, f := range m.Funcs {
+		fmt.Fprintf(h, "fn %s %d %d %d %d\n", f.Name, f.Entry, f.End, f.MinArgs, f.MaxArgs)
+	}
+	for i := range m.Syms {
+		c := &m.Syms[i]
+		fmt.Fprintf(h, "sym %s %t %v %v\n", c.Name, c.HasValue, c.Value, c.Function)
+	}
+	for i := range m.heap {
+		fmt.Fprintf(h, "h %v\n", m.heap[i])
+	}
+	for _, b := range m.Boxes {
+		fmt.Fprintf(h, "box %s\n", sexp.Print(b))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CheckHeapInvariants validates the allocator's block records against
+// the heap: every registered block has a positive size inside the heap
+// extent, blocks never overlap, interior record slots stay zero, free
+// blocks are exactly the ones on the free lists, and liveWords equals
+// the sum of non-free block sizes. The -gc-stress differential suite
+// runs it after every kernel.
+func (m *Machine) CheckHeapInvariants() error {
+	if len(m.gcRecs) != len(m.heap) {
+		return fmt.Errorf("s1 gc: record slice length %d != heap length %d", len(m.gcRecs), len(m.heap))
+	}
+	seen := make(map[uint64]bool, len(m.gcBlocks))
+	offs := make([]uint64, 0, len(m.gcBlocks))
+	var live int64
+	for _, off := range m.gcBlocks {
+		if seen[off] {
+			return fmt.Errorf("s1 gc: block %d registered twice", off)
+		}
+		seen[off] = true
+		if off >= uint64(len(m.gcRecs)) {
+			return fmt.Errorf("s1 gc: block %d outside record slice (%d)", off, len(m.gcRecs))
+		}
+		rec := &m.gcRecs[off]
+		if rec.size <= 0 {
+			return fmt.Errorf("s1 gc: block %d has non-positive size %d", off, rec.size)
+		}
+		if off+uint64(rec.size) > uint64(len(m.heap)) {
+			return fmt.Errorf("s1 gc: block %d size %d overruns heap (%d)", off, rec.size, len(m.heap))
+		}
+		if !rec.free {
+			live += int64(rec.size)
+		}
+		offs = append(offs, off)
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	for i := 1; i < len(offs); i++ {
+		prev := offs[i-1]
+		if prev+uint64(m.gcRecs[prev].size) > offs[i] {
+			return fmt.Errorf("s1 gc: blocks %d (size %d) and %d overlap",
+				prev, m.gcRecs[prev].size, offs[i])
+		}
+	}
+	// Interior record slots must be zero, or a stale record would make
+	// the mark phase treat a block interior as a block start.
+	for _, off := range offs {
+		for i := uint64(1); i < uint64(m.gcRecs[off].size); i++ {
+			if r := m.gcRecs[off+i]; r.size != 0 {
+				return fmt.Errorf("s1 gc: interior slot %d of block %d holds a record (size %d)",
+					off+i, off, r.size)
+			}
+		}
+	}
+	if live != m.liveWords {
+		return fmt.Errorf("s1 gc: liveWords meter %d != summed non-free block words %d", m.liveWords, live)
+	}
+	// Every free-list member must be a registered free block of that size.
+	checkList := func(size int, lst []uint64) error {
+		for _, off := range lst {
+			if !seen[off] {
+				return fmt.Errorf("s1 gc: free list %d holds unregistered block %d", size, off)
+			}
+			rec := &m.gcRecs[off]
+			if !rec.free {
+				return fmt.Errorf("s1 gc: free list %d holds live block %d", size, off)
+			}
+			if int(rec.size) != size {
+				return fmt.Errorf("s1 gc: free list %d holds block %d of size %d", size, off, rec.size)
+			}
+		}
+		return nil
+	}
+	for n := 0; n <= gcSmallMax; n++ {
+		if err := checkList(n, m.freeSmall[n]); err != nil {
+			return err
+		}
+	}
+	for n, lst := range m.freeBig {
+		if err := checkList(n, lst); err != nil {
+			return err
+		}
+	}
+	return nil
+}

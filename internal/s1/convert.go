@@ -9,7 +9,20 @@ import (
 // FromValue converts a host S-expression into a machine word, allocating
 // heap structure as needed. Used for literals at load time and for the
 // results of fallback primitives.
+//
+// Multi-allocation builds (conses, vectors, arrays) register their
+// partial structure on the temp-root stack: a collection can fire
+// between any two allocations (always, under -gc-stress), and words held
+// only in Go locals are invisible to the mark phase. Element values are
+// also computed into locals before being stored — the recursive call can
+// grow the heap, and Go evaluates the indexed destination before the
+// right-hand side.
 func (m *Machine) FromValue(v sexp.Value) Word {
+	if m.cap != nil && m.capDepth == 0 {
+		m.cap.Consts = append(m.cap.Consts, sexp.Print(v))
+	}
+	m.capDepth++
+	defer func() { m.capDepth-- }()
 	switch x := v.(type) {
 	case *sexp.Symbol:
 		if x == sexp.Nil {
@@ -25,26 +38,38 @@ func (m *Machine) FromValue(v sexp.Value) Word {
 		return m.ConsFlonum(float64(x))
 	case *sexp.Cons:
 		car := m.FromValue(x.Car)
+		depth := m.protect(car)
 		cdr := m.FromValue(x.Cdr)
-		return m.Cons(car, cdr)
+		m.protect(cdr)
+		w := m.Cons(car, cdr)
+		m.release(depth)
+		return w
 	case *sexp.Vector:
 		a := m.Alloc(1 + len(x.Items))
+		w := Ptr(TagVector, a)
+		depth := m.protect(w)
 		m.heap[a-HeapBase] = RawInt(int64(len(x.Items)))
 		for i, it := range x.Items {
-			m.heap[a-HeapBase+1+uint64(i)] = m.FromValue(it)
+			ew := m.FromValue(it)
+			m.heap[a-HeapBase+1+uint64(i)] = ew
 		}
-		return Ptr(TagVector, a)
+		m.release(depth)
+		return w
 	case *sexp.Array:
 		a := m.Alloc(1 + len(x.Dims) + len(x.Items))
+		w := Ptr(TagArray, a)
+		depth := m.protect(w)
 		m.heap[a-HeapBase] = RawInt(int64(len(x.Dims)))
 		for i, d := range x.Dims {
 			m.heap[a-HeapBase+1+uint64(i)] = RawInt(int64(d))
 		}
 		base := a - HeapBase + 1 + uint64(len(x.Dims))
 		for i, it := range x.Items {
-			m.heap[base+uint64(i)] = m.FromValue(it)
+			ew := m.FromValue(it)
+			m.heap[base+uint64(i)] = ew
 		}
-		return Ptr(TagArray, a)
+		m.release(depth)
+		return w
 	case *sexp.FloatArray:
 		a := m.Alloc(1 + len(x.Dims) + len(x.Data))
 		m.heap[a-HeapBase] = RawInt(int64(len(x.Dims)))

@@ -61,6 +61,34 @@ func TestLispDifferentialFusedVsUnfused(t *testing.T) {
 	}
 }
 
+// TestLispDifferentialGCStress re-runs each kernel with a collection
+// forced before every allocation. Results must match the unstressed run
+// — any divergence or crash means some mid-construction structure was
+// reachable only from host locals — and the allocator's block records
+// must stay consistent at every step's end.
+func TestLispDifferentialGCStress(t *testing.T) {
+	for _, k := range runtimeKernels() {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			plain := lispDiffSystem(t, k, false, false)
+			stressed := lispDiffSystem(t, k, false, false)
+			stressed.Machine.SetGCStress(true)
+			pv, perr := plain.Call(k.fn, k.args...)
+			sv, serr := stressed.Call(k.fn, k.args...)
+			if perr != nil || serr != nil {
+				t.Fatalf("plain err=%v stressed err=%v", perr, serr)
+			}
+			if sexp.Print(pv) != sexp.Print(sv) {
+				t.Errorf("result divergence under gc-stress: plain=%s stressed=%s",
+					sexp.Print(pv), sexp.Print(sv))
+			}
+			if err := stressed.Machine.CheckHeapInvariants(); err != nil {
+				t.Errorf("heap invariants after stressed run: %v", err)
+			}
+		})
+	}
+}
+
 // TestProfileStableAcrossFusion runs each kernel under -profile with and
 // without fusion and requires identical profile tables: opcode execs and
 // cycles, function attribution, and high-water marks. Only the GC-pause

@@ -109,6 +109,13 @@ func (m *Machine) GC() int64 {
 	for _, b := range m.bindStack {
 		mark(b.val)
 	}
+	// Mid-construction structure held only in host locals (FromValue,
+	// the SQ list builders) is registered on the temp-root stack; without
+	// it, a collection between the allocations of a multi-word build
+	// would reclaim the partially built object (surfaced by -gc-stress).
+	for _, w := range m.tempRoots {
+		mark(w)
+	}
 	for _, f := range m.catchStack {
 		mark(f.tag)
 	}
@@ -185,9 +192,29 @@ func (m *Machine) gcReuse(n int) (uint64, bool) {
 	return 0, false
 }
 
+// protect pushes a word onto the temp-root stack, shielding structure
+// reachable only from host locals across allocations; the caller must
+// balance it with release. Returns the depth to restore.
+func (m *Machine) protect(w Word) int {
+	m.tempRoots = append(m.tempRoots, w)
+	return len(m.tempRoots) - 1
+}
+
+// release pops temp roots down to depth (a value previously returned by
+// protect).
+func (m *Machine) release(depth int) {
+	m.tempRoots = m.tempRoots[:depth]
+}
+
 // gcAlloc is Alloc with free-list reuse and the auto-collect trigger.
 func (m *Machine) gcAlloc(n int) uint64 {
-	if m.gcThreshold > 0 && m.liveSinceGC >= m.gcThreshold {
+	if m.gcStress {
+		// Stress mode: collect before every allocation, making every
+		// allocation point a GC safepoint. Any structure not reachable
+		// from the roots dies immediately — construction-order bugs
+		// surface deterministically instead of under rare heap pressure.
+		m.GC()
+	} else if m.gcThreshold > 0 && m.liveSinceGC >= m.gcThreshold {
 		m.GC()
 	}
 	// The heap guard: collect when the limit would be crossed, and if

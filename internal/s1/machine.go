@@ -3,6 +3,7 @@ package s1
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/sexp"
 )
@@ -139,7 +140,49 @@ type Machine struct {
 	// fuseGroups counts statically formed superinstruction groups by
 	// opcode signature.
 	fuseGroups map[string]int64
+
+	// cap, when non-nil, records emission-time machine mutations for the
+	// durable compile cache (capture.go); capDepth guards FromValue
+	// recursion so only top-level constant builds are recorded.
+	cap      *Capture
+	capDepth int
+	// symHash incrementally fingerprints the symbol table contents for
+	// AllocContext (capture.go).
+	symHash uint64
+	// gcStress forces a full collection before every allocation
+	// (-gc-stress): construction-order bugs that normally need precise
+	// heap pressure to surface become deterministic.
+	gcStress bool
+	// tempRoots protects words held only in host locals (mid-construction
+	// structure in FromValue, SQ list builders) across allocations; the
+	// collector treats the stack as roots.
+	tempRoots []Word
+	// interrupt, when set, makes Run return a RuntimeError at the next
+	// safepoint — the cooperative cancellation the compile daemon's
+	// request deadlines use. Checked every interruptEvery dispatches.
+	interrupt atomic.Bool
 }
+
+// interruptEvery is the dispatch interval between interrupt-flag checks:
+// rare enough to stay off the hot path, frequent enough that a deadline
+// lands within microseconds.
+const interruptEvery = 256
+
+// InterruptMsg is the RuntimeError message of an interrupted run.
+const InterruptMsg = "execution interrupted"
+
+// Interrupt requests that the current (or next) Run stop at its next
+// safepoint with a RuntimeError. Safe to call from another goroutine.
+func (m *Machine) Interrupt() { m.interrupt.Store(true) }
+
+// ClearInterrupt resets the interrupt flag.
+func (m *Machine) ClearInterrupt() { m.interrupt.Store(false) }
+
+// Interrupted reports whether an interrupt is pending.
+func (m *Machine) Interrupted() bool { return m.interrupt.Load() }
+
+// SetGCStress toggles forced collection before every allocation.
+func (m *Machine) SetGCStress(v bool) { m.gcStress = v }
 
 // SetNoFuse enables or disables the peephole superinstruction fuser.
 // Observable behavior (results, Stats, profiles, GC activity) is
@@ -189,6 +232,11 @@ func (m *Machine) AddFunction(name string, minArgs, maxArgs int, items []Item) (
 	})
 	m.funcIdx[name] = idx
 	m.ensureDecoded()
+	if m.cap != nil {
+		m.cap.Funcs = append(m.cap.Funcs, CapturedFunc{
+			Name: name, MinArgs: minArgs, MaxArgs: maxArgs, Items: FromItems(items),
+		})
+	}
 	return idx, nil
 }
 
@@ -216,6 +264,10 @@ func (m *Machine) InternSym(name string) int {
 	i := len(m.Syms)
 	m.Syms = append(m.Syms, SymCell{Name: name, Function: NilWord})
 	m.symIdx[name] = i
+	m.foldSymHash(name)
+	if m.cap != nil {
+		m.cap.Syms = append(m.cap.Syms, name)
+	}
 	return i
 }
 
@@ -484,9 +536,17 @@ func (m *Machine) Run() (err error) {
 	}()
 	m.ensureDecoded()
 	dec, limit := m.decFused, m.StepLimit
+	intrCtr := 0
 	for !m.halted {
 		if m.Stats.Instrs >= limit {
 			return &RuntimeError{PC: m.pc, Msg: "step limit exceeded"}
+		}
+		if intrCtr++; intrCtr >= interruptEvery {
+			intrCtr = 0
+			if m.interrupt.Load() {
+				m.halted = true
+				return &RuntimeError{PC: m.pc, Msg: InterruptMsg}
+			}
 		}
 		pc := m.pc
 		if pc < 0 || pc >= len(dec) {

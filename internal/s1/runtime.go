@@ -201,14 +201,23 @@ func (m *Machine) callSQ(idx int, ins *Instr) (bool, error) {
 		if err != nil {
 			return false, err
 		}
+		// Popped words sit above SP and the growing chain lives only in a
+		// host local; both are invisible to the collector, so shield them
+		// in temp-root slots across each Cons allocation.
 		out := NilWord
+		depth := m.protect(NilWord)
+		wSlot := m.protect(NilWord)
 		for i := int64(0); i < n.Int(); i++ {
 			w, err := m.pop()
 			if err != nil {
+				m.release(depth)
 				return false, err
 			}
+			m.tempRoots[depth] = out
+			m.tempRoots[wSlot] = w
 			out = m.Cons(w, out)
 		}
+		m.release(depth)
 		setA(out)
 
 	case SQFlonumCons:
@@ -663,15 +672,22 @@ func (m *Machine) restify(k int) error {
 		return &RuntimeError{PC: m.pc, Msg: "wrong number of arguments"}
 	}
 	base := fp - 4 - uint64(n)
-	// Collect args k..n-1 into a list (backwards for order).
+	// Collect args k..n-1 into a list (backwards for order). The args
+	// themselves live below SP and are marked; the growing chain exists
+	// only in this local, so keep it in a temp-root slot across the
+	// allocations.
 	rest := NilWord
+	depth := m.protect(NilWord)
 	for i := n - 1; i >= k; i-- {
 		w, err := m.load(base + uint64(i))
 		if err != nil {
+			m.release(depth)
 			return err
 		}
+		m.tempRoots[depth] = rest
 		rest = m.Cons(w, rest)
 	}
+	m.release(depth)
 	saved := make([]Word, 4)
 	for i := 0; i < 4; i++ {
 		w, err := m.load(fp - 4 + uint64(i))
