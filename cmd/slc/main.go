@@ -13,6 +13,8 @@
 //	slc -listing -transcript examples/testfn.lisp
 //	slc -run main -stats prog.lisp 10 20
 //	slc -no-tnbind -no-rep -listing prog.lisp
+//	slc -run main -nofuse -notier prog.lisp      # plain decoded dispatch
+//	slc -run main -hot-threshold 0 prog.lisp     # promote every function at load
 //
 // Observability flags (see DESIGN.md §8):
 //
@@ -47,8 +49,20 @@ import (
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/obs"
+	"repro/internal/s1"
 	"repro/internal/sexp"
 )
+
+// tierThreshold maps the -hot-threshold flag onto core.Options
+// semantics: the flag's 0 means "promote everything at load", which
+// core expresses as a negative threshold (0 there keeps the machine
+// default).
+func tierThreshold(flagVal int64) int64 {
+	if flagVal <= 0 {
+		return -1
+	}
+	return flagVal
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -65,6 +79,8 @@ func run() error {
 		noPdl      = flag.Bool("no-pdl", false, "disable pdl-number stack allocation")
 		noCache    = flag.Bool("no-spec-cache", false, "disable special-variable lookup caching")
 		noFuse     = flag.Bool("nofuse", false, "disable peephole superinstruction fusion in the simulator")
+		noTier     = flag.Bool("notier", false, "disable tiered execution (hot-function re-fusion and block lowering)")
+		hotThresh  = flag.Int64("hot-threshold", s1.DefaultHotThreshold, "invocations before a function is re-optimized (0 = promote everything at load)")
 		listing    = flag.Bool("listing", false, "print assembly listings for every function")
 		transcript = flag.Bool("transcript", false, "print the source-to-source transformation transcript")
 		stats      = flag.Bool("stats", false, "print machine meters after execution")
@@ -125,6 +141,7 @@ func run() error {
 		MaxErrors: *maxErrors, Fault: faultPlan,
 		MaxSteps: *maxSteps, MaxHeapWords: *maxHeap,
 		OptWatchdog: *optWatch, NoFuse: *noFuse,
+		NoTier: *noTier, HotThreshold: tierThreshold(*hotThresh),
 		GCStress: *gcStress}
 	if *cacheDir != "" {
 		d, err := compilecache.OpenDisk(*cacheDir, faultPlan)

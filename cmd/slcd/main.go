@@ -45,6 +45,7 @@ import (
 	"repro/internal/daemon"
 	"repro/internal/diag"
 	"repro/internal/obs"
+	"repro/internal/s1"
 )
 
 func main() {
@@ -52,6 +53,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "slcd:", err)
 		os.Exit(1)
 	}
+}
+
+// tierThreshold maps the -hot-threshold flag onto daemon.Config
+// semantics: the flag's 0 means "promote everything at load", which the
+// config expresses as a negative threshold (0 there keeps the machine
+// default).
+func tierThreshold(flagVal int64) int64 {
+	if flagVal <= 0 {
+		return -1
+	}
+	return flagVal
 }
 
 func run() error {
@@ -66,6 +78,8 @@ func run() error {
 		cacheDir   = flag.String("cache-dir", "", "durable on-disk compile cache directory shared across requests and processes")
 		faultSpec  = flag.String("fault", "", "fault-injection plan, e.g. 'disk:*:cache-write;request:unit=slow:deadline' (default $SLC_FAULT)")
 		optWatch   = flag.Duration("opt-watchdog", 5*time.Second, "wall-clock budget for each unit's optimizer fixpoint (0 = none)")
+		noTier     = flag.Bool("notier", false, "disable tiered execution in per-request machines")
+		hotThresh  = flag.Int64("hot-threshold", s1.DefaultHotThreshold, "invocations before a function is re-optimized (0 = promote everything at load)")
 		debugAddr  = flag.String("debug-addr", "", "serve /healthz, /readyz, /requests, /metrics and /debug/pprof on this address")
 	)
 	flag.Parse()
@@ -91,6 +105,8 @@ func run() error {
 		MaxHeapWords: *maxHeap,
 		OptWatchdog:  *optWatch,
 		Fault:        faultPlan,
+		NoTier:       *noTier,
+		HotThreshold: tierThreshold(*hotThresh),
 	}
 	if *cacheDir != "" {
 		d, err := compilecache.OpenDisk(*cacheDir, faultPlan)

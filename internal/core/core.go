@@ -104,6 +104,18 @@ type Options struct {
 	// Observable behavior is identical either way (see DESIGN.md §10);
 	// the switch exists for differential testing and benchmarking.
 	NoFuse bool
+	// NoTier disables the simulator's tiered execution engine (the
+	// -notier flag): functions never promote to trace-refused,
+	// block-lowered code and only the static fuser applies. Observable
+	// behavior is identical either way (see DESIGN.md §12); the switch
+	// exists for differential testing and benchmarking.
+	NoTier bool
+	// HotThreshold overrides the tier promotion threshold (the
+	// -hot-threshold flag): a function is re-optimized once its
+	// invocation count reaches the threshold. 0 keeps the machine
+	// default (s1.DefaultHotThreshold); negative promotes every function
+	// at install time ("forced hot"). Ignored when NoTier is set.
+	HotThreshold int64
 }
 
 // DefaultMaxErrors is the stored-diagnostic cap when Options.MaxErrors
@@ -171,6 +183,11 @@ func NewSystem(opts Options) *System {
 	}
 	if opts.NoFuse {
 		m.SetNoFuse(true)
+	}
+	if opts.NoTier {
+		m.SetNoTier()
+	} else if opts.HotThreshold != 0 {
+		m.SetHotThreshold(opts.HotThreshold)
 	}
 	if opts.GCStress {
 		m.SetGCStress(true)

@@ -60,6 +60,12 @@ type Config struct {
 	MaxHeapWords int64
 	// OptWatchdog bounds each unit's optimizer fixpoint.
 	OptWatchdog time.Duration
+	// NoTier disables tiered execution in the per-request machines;
+	// HotThreshold overrides the promotion threshold (0 = machine
+	// default, negative = promote everything at load). See
+	// core.Options.
+	NoTier       bool
+	HotThreshold int64
 	// Disk is the shared durable compile cache (nil = none).
 	Disk *compilecache.Disk
 	// Fault is the injection plan; a matching deadline fault makes a
@@ -111,6 +117,12 @@ type Stats struct {
 	TimedOut  int64 `json:"timed_out"`
 	Panics    int64 `json:"panics"` // requests that hit the last-resort barrier
 	Drained   int64 `json:"drained"`
+	// Tier counters aggregate the per-request machines' tiered-execution
+	// activity (promotions to hot code, trace re-fusions, call inline
+	// cache fills) over the daemon's lifetime.
+	TierPromotions int64 `json:"tier_promotions"`
+	TierRefusions  int64 `json:"tier_refusions"`
+	TierCacheFills int64 `json:"tier_cache_fills"`
 }
 
 // span is one request's record in the export ring.
@@ -194,6 +206,9 @@ func (s *Server) Metrics() map[string]float64 {
 		"slcd_requests_panic":    float64(st.Panics),
 		"slcd_inflight":          float64(len(s.workers)),
 		"slcd_queued":            float64(len(s.admission) - len(s.workers)),
+		"slcd_tier_promotions_total":       float64(st.TierPromotions),
+		"slcd_tier_refusions_total":        float64(st.TierRefusions),
+		"slcd_tier_call_cache_fills_total": float64(st.TierCacheFills),
 	}
 }
 
@@ -384,11 +399,26 @@ func (s *Server) execute(ctx context.Context, req *Request, call bool) (resp *Re
 		OptWatchdog:  s.cfg.OptWatchdog,
 		DiskCache:    s.cfg.Disk,
 		Fault:        s.cfg.Fault,
+		NoTier:       s.cfg.NoTier,
+		HotThreshold: s.cfg.HotThreshold,
 	})
 	// The deadline interrupts the machine cooperatively: Run checks the
 	// flag every few hundred dispatches and unwinds with a RuntimeError.
 	stop := context.AfterFunc(ctx, func() { sys.Machine.Interrupt() })
 	defer stop()
+	// Fold this request machine's tier activity into the lifetime
+	// counters on every exit path, including the panic barrier.
+	defer func() {
+		ts := sys.Machine.TierStats()
+		if ts.Promotions == 0 && ts.CacheFills == 0 {
+			return
+		}
+		s.mu.Lock()
+		s.stats.TierPromotions += ts.Promotions
+		s.stats.TierRefusions += ts.Refusions
+		s.stats.TierCacheFills += ts.CacheFills
+		s.mu.Unlock()
+	}()
 
 	v, list := sys.EvalStringDiag(req.Source)
 	for _, d := range list.All() {

@@ -1,11 +1,15 @@
 // Runtime benchmark suite for the S-1 simulator (the execution-side
 // companion of the compile benchmarks in the repo root): the paper's four
 // kernels — tail-recursive exptl, quadratic, the §7 testfn, and the
-// Table-4 matrix-subscript kernel — plus a cons-heavy GC workload. Each
-// kernel runs compiled on the simulator under the pre-decoded fused
-// dispatch (default) and under -nofuse, reporting simulated steps/sec
-// (instructions retired per wall-clock second — the interpreter-overhead
-// metric BENCH_runtime.json tracks) and cycles/op.
+// Table-4 matrix-subscript kernel — plus a cons-heavy GC workload and a
+// polymorphic-call kernel. Each kernel runs compiled on the simulator in
+// three engine configurations — tiered (default: static fusion plus
+// hot-function block lowering), -notier (static fusion only), and
+// -nofuse -notier (plain pre-decoded dispatch) — reporting simulated
+// steps/sec (instructions retired per wall-clock second — the
+// interpreter-overhead metric BENCH_runtime.json tracks) and cycles/op.
+// Every configuration gets the same warm-up past the default promotion
+// threshold, so the timed region measures each engine's steady state.
 //
 // The external test package lets the suite drive the full compiler
 // (core imports s1, so an in-package benchmark could not).
@@ -17,6 +21,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/s1"
 	"repro/internal/sexp"
 )
 
@@ -120,6 +125,37 @@ const gcConsSrc = `
     (setq i (+& i 1))
     (go loop)))`
 
+// poly-call stresses the tier's call inline caches: mono-step's call to
+// step1 is compiled before step1 exists, so it late-binds through the
+// symbol's function cell (a symbol-keyed cache site that rebinding must
+// invalidate — see polyRebindSrc); poly-step's funcall dispatches
+// whatever function value arrives in a register, and the driver
+// alternates inc and dbl there, so the register-keyed cache site sees a
+// genuinely polymorphic callee.
+const polyCallSrc = `
+(defun inc (x) (+& x 1))
+(defun dbl (x) (+& x x))
+(defun poly-step (f x) (funcall f x))
+(defun mono-step (x) (step1 x))
+(defun poly-driver (k)
+  (prog (i acc)
+    (setq i 0)
+    (setq acc 1)
+   loop
+    (if (>=& i k) (return acc) nil)
+    (setq acc (mono-step acc))
+    (setq acc (poly-step (if (oddp i) (function inc) (function dbl)) acc))
+    (setq i (+& i 1))
+    (go loop)))
+(defun step1 (x) (if (>=& x 4097) 1 (inc x)))`
+
+// polyRebindSrc redefines step1 (same body, new function index) after
+// warm-up: the symbol's function cell moves, so mono-step's warmed
+// symbol-keyed inline cache goes stale and the timed region pays the
+// invalidate-and-refill path.
+const polyRebindSrc = `
+(defun step1 (x) (if (>=& x 4097) 1 (inc x)))`
+
 func matrixSubscriptConsts(n int) map[string]sexp.Value {
 	mk := func() *sexp.FloatArray {
 		fa := sexp.NewFloatArray([]int{n, n})
@@ -144,6 +180,9 @@ type runtimeKernel struct {
 	args   []sexp.Value
 	consts map[string]sexp.Value
 	gcAt   int64
+	// rebind, when non-empty, is loaded after benchmark warm-up to move
+	// a function's symbol cell under warmed call inline caches.
+	rebind string
 }
 
 // runtimeKernels returns the suite. Allocation-heavy kernels get a GC
@@ -162,17 +201,35 @@ func runtimeKernels() []runtimeKernel {
 			consts: matrixSubscriptConsts(16), gcAt: 16384},
 		{name: "gc-cons", src: gcConsSrc, fn: "churn",
 			args: []sexp.Value{sexp.Fixnum(20), sexp.Fixnum(200)}, gcAt: 4096},
+		{name: "poly-call", src: polyCallSrc, fn: "poly-driver",
+			args: []sexp.Value{sexp.Fixnum(400)}, gcAt: 8192,
+			rebind: polyRebindSrc},
 	}
 }
 
-func benchKernel(b *testing.B, k runtimeKernel, nofuse bool) {
+func benchKernel(b *testing.B, k runtimeKernel, opts core.Options) {
 	b.Helper()
-	sys := core.NewSystem(core.Options{Constants: k.consts, NoFuse: nofuse})
+	opts.Constants = k.consts
+	sys := core.NewSystem(opts)
 	if k.gcAt > 0 {
 		sys.Machine.SetGCThreshold(k.gcAt)
 	}
 	if err := sys.LoadString(k.src); err != nil {
 		b.Fatal(err)
+	}
+	// Identical warm-up in every configuration: past the default
+	// promotion threshold, so a tiered machine enters the timed region
+	// with its hot functions already re-optimized, and the other
+	// configurations have done the same work.
+	for i := 0; i < s1.DefaultHotThreshold+1; i++ {
+		if _, err := sys.Call(k.fn, k.args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if k.rebind != "" {
+		if err := sys.LoadString(k.rebind); err != nil {
+			b.Fatal(err)
+		}
 	}
 	sys.ResetStats()
 	b.ResetTimer()
@@ -193,11 +250,19 @@ func benchKernel(b *testing.B, k runtimeKernel, nofuse bool) {
 }
 
 // BenchmarkRuntime is the suite behind BENCH_runtime.json: the four paper
-// kernels plus the GC workload, fused and unfused.
+// kernels plus the GC and polymorphic-call workloads, in the tiered,
+// -notier, and plain-dispatch configurations.
 func BenchmarkRuntime(b *testing.B) {
 	for _, k := range runtimeKernels() {
 		k := k
-		b.Run(k.name+"/fused", func(b *testing.B) { benchKernel(b, k, false) })
-		b.Run(k.name+"/nofuse", func(b *testing.B) { benchKernel(b, k, true) })
+		b.Run(k.name+"/tiered", func(b *testing.B) {
+			benchKernel(b, k, core.Options{})
+		})
+		b.Run(k.name+"/notier", func(b *testing.B) {
+			benchKernel(b, k, core.Options{NoTier: true})
+		})
+		b.Run(k.name+"/nofuse", func(b *testing.B) {
+			benchKernel(b, k, core.Options{NoFuse: true, NoTier: true})
+		})
 	}
 }

@@ -926,7 +926,7 @@ func decCATCH(pc int, ins *Instr) dexec {
 		m.catchStack = append(m.catchStack, catchFrame{
 			tag: tag, sp: m.regs[RegSP], fp: m.regs[RegFP], ep: m.regs[RegEP],
 			handler: target, bindDepth: len(m.bindStack),
-			fnDepth: m.prof.depth(),
+			fnDepth: m.prof.depth(), tierDepth: m.tier.tdepth(),
 		})
 		if p := m.prof; p != nil && len(m.catchStack) > p.CatchHighWater {
 			p.CatchHighWater = len(m.catchStack)

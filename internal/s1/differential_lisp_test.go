@@ -7,6 +7,7 @@
 package s1_test
 
 import (
+	"os"
 	"strings"
 	"testing"
 
@@ -14,10 +15,24 @@ import (
 	"repro/internal/sexp"
 )
 
-// lispDiffSystem compiles k's source into a fresh system.
+// lispDiffSystem compiles k's source into a fresh system. CI runs this
+// whole file in several tiered-execution configurations (DESIGN.md §12):
+// S1_TIER_MODE=notier disables the tier entirely, S1_TIER_MODE=forcehot
+// promotes every function to lowered blocks at load time. Either way all
+// the equalities below must keep holding.
 func lispDiffSystem(t *testing.T, k runtimeKernel, nofuse, profile bool) *core.System {
 	t.Helper()
-	sys := core.NewSystem(core.Options{Constants: k.consts, NoFuse: nofuse})
+	opts := core.Options{Constants: k.consts, NoFuse: nofuse}
+	switch mode := os.Getenv("S1_TIER_MODE"); mode {
+	case "":
+	case "notier":
+		opts.NoTier = true
+	case "forcehot":
+		opts.HotThreshold = -1
+	default:
+		t.Fatalf("unknown S1_TIER_MODE %q", mode)
+	}
+	sys := core.NewSystem(opts)
 	if profile {
 		sys.EnableProfile()
 	}
@@ -56,6 +71,68 @@ func TestLispDifferentialFusedVsUnfused(t *testing.T) {
 			}
 			if fused.Machine.FusedGroupCount() == 0 {
 				t.Errorf("%s compiled to no superinstruction groups", k.name)
+			}
+		})
+	}
+}
+
+// TestLispDifferentialTierModes pins tiered execution at the Lisp level:
+// each compiled kernel runs under the default tier, with every function
+// forced hot at load, and with the tier disabled — and the three runs
+// must agree on printed result, machine meters, and GC activity. The
+// forced-hot leg must actually have promoted something, or the mode
+// proves nothing.
+func TestLispDifferentialTierModes(t *testing.T) {
+	modes := []struct {
+		name string
+		opts func(o *core.Options)
+	}{
+		{"tiered", func(o *core.Options) {}},
+		{"forcehot", func(o *core.Options) { o.HotThreshold = -1 }},
+		{"notier", func(o *core.Options) { o.NoTier = true }},
+	}
+	for _, k := range runtimeKernels() {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			type outcome struct {
+				sys *core.System
+				val string
+			}
+			runs := map[string]outcome{}
+			for _, mode := range modes {
+				opts := core.Options{Constants: k.consts}
+				mode.opts(&opts)
+				sys := core.NewSystem(opts)
+				if k.gcAt > 0 {
+					sys.Machine.SetGCThreshold(k.gcAt)
+				}
+				if err := sys.LoadString(k.src); err != nil {
+					t.Fatal(err)
+				}
+				sys.ResetStats()
+				v, err := sys.Call(k.fn, k.args...)
+				if err != nil {
+					t.Fatalf("%s: %v", mode.name, err)
+				}
+				runs[mode.name] = outcome{sys: sys, val: sexp.Print(v)}
+			}
+			ref := runs["notier"]
+			for _, name := range []string{"tiered", "forcehot"} {
+				got := runs[name]
+				if got.val != ref.val {
+					t.Errorf("%s result divergence: %s vs %s", name, got.val, ref.val)
+				}
+				if *got.sys.Stats() != *ref.sys.Stats() {
+					t.Errorf("%s stats divergence:\n  %s: %+v\n  notier: %+v",
+						name, name, *got.sys.Stats(), *ref.sys.Stats())
+				}
+				if got.sys.Machine.GCMeters != ref.sys.Machine.GCMeters {
+					t.Errorf("%s GC divergence:\n  %s: %+v\n  notier: %+v",
+						name, name, got.sys.Machine.GCMeters, ref.sys.Machine.GCMeters)
+				}
+			}
+			if ts := runs["forcehot"].sys.Machine.TierStats(); ts.Promotions == 0 {
+				t.Error("forced-hot leg promoted nothing")
 			}
 		})
 	}

@@ -37,16 +37,12 @@ package s1
 const maxFuse = 4
 
 // fuseRange tiles decFused[lo:hi) with superinstruction groups.
+// Function entries are group boundaries; the entry set is maintained
+// incrementally by AddFunction (rebuilding it here made each decode
+// O(functions), turning program loading quadratic).
 func (m *Machine) fuseRange(lo, hi int) {
-	// Function entries are group boundaries.
-	bounds := map[int]bool{}
-	for _, f := range m.Funcs {
-		if f.Entry > lo && f.Entry < hi {
-			bounds[f.Entry] = true
-		}
-	}
 	for pc := lo; pc < hi; {
-		pc += m.tryFuse(pc, hi, bounds)
+		pc += m.tryFuse(pc, hi, m.entrySet)
 	}
 }
 

@@ -38,6 +38,9 @@ type catchFrame struct {
 	// fnDepth is the profiler's shadow-stack depth at CATCH time, so a
 	// THROW unwind can truncate attribution to the handler's frame.
 	fnDepth int
+	// tierDepth is the tier engine's shadow-stack depth at CATCH time
+	// (tier.go), kept the same way for hot-function attribution.
+	tierDepth int
 }
 
 // Stats are the simulator's meters; every experiment in EXPERIMENTS.md is
@@ -140,6 +143,18 @@ type Machine struct {
 	// fuseGroups counts statically formed superinstruction groups by
 	// opcode signature.
 	fuseGroups map[string]int64
+	// entrySet holds every function entry PC; fuseRange consults it so
+	// groups never straddle a function boundary, and AddFunction extends
+	// it incrementally (rebuilding it per decode was quadratic).
+	entrySet map[int]bool
+	// tier, when non-nil, is the tiered-execution engine (tier.go):
+	// per-function hot counters, trace re-fusion and block lowering.
+	// tierHeads marks PCs that are block leaders (or not covered by a
+	// lowered block at all); a false entry means the PC is a lowered
+	// block's interior, so ret/throw landing there report it to the
+	// engine as a re-fusion boundary.
+	tier      *tierEngine
+	tierHeads []bool
 
 	// cap, when non-nil, records emission-time machine mutations for the
 	// durable compile cache (capture.go); capDepth guards FromValue
@@ -194,12 +209,22 @@ func (m *Machine) SetNoFuse(v bool) {
 	}
 	m.noFuse = v
 	if v {
+		// decFused aliases decBase: no overlay exists, so no lowered
+		// blocks either — clear the leader map so landing checks idle.
 		m.decFused = m.decBase
 		m.fuseGroups = nil
+		m.tierHeads = nil
 		return
 	}
 	m.decFused = append([]dinstr(nil), m.decBase...)
 	m.fuseRange(0, len(m.decBase))
+	if t := m.tier; t != nil {
+		for i := range t.fns {
+			if t.fns[i].hot {
+				t.install(m, i)
+			}
+		}
+	}
 }
 
 // New creates an empty machine. Code index 0 is a HALT used as the
@@ -211,7 +236,9 @@ func New() *Machine {
 		StepLimit: 2_000_000_000,
 		funcIdx:   map[string]int{},
 		symIdx:    map[string]int{},
+		entrySet:  map[int]bool{},
 		stack:     make([]Word, StackLimit-StackBase),
+		tier:      &tierEngine{threshold: DefaultHotThreshold},
 	}
 	return m
 }
@@ -231,7 +258,14 @@ func (m *Machine) AddFunction(name string, minArgs, maxArgs int, items []Item) (
 		MinArgs: minArgs, MaxArgs: maxArgs,
 	})
 	m.funcIdx[name] = idx
+	m.entrySet[entry] = true
 	m.ensureDecoded()
+	if t := m.tier; t != nil {
+		t.ensure(len(m.Funcs))
+		if t.threshold <= 0 {
+			t.promote(m, idx)
+		}
+	}
 	if m.cap != nil {
 		m.cap.Funcs = append(m.cap.Funcs, CapturedFunc{
 			Name: name, MinArgs: minArgs, MaxArgs: maxArgs, Items: FromItems(items),
@@ -467,6 +501,9 @@ func (m *Machine) CallIndex(idx int, args ...Word) (w Word, err error) {
 	if p := m.prof; p != nil {
 		p.restart(m)
 	}
+	if t := m.tier; t != nil {
+		t.restart()
+	}
 	m.regs[RegSP] = RawInt(StackBase)
 	m.regs[RegFP] = RawInt(StackBase)
 	m.regs[RegEP] = NilWord
@@ -511,6 +548,9 @@ func (m *Machine) enterFrame(nargs, retPC int, fn Word, fast bool) error {
 	m.Stats.Calls++
 	if p := m.prof; p != nil {
 		p.call(m, idx)
+	}
+	if t := m.tier; t != nil {
+		t.onCall(m, idx)
 	}
 	return nil
 }
@@ -594,6 +634,12 @@ func (m *Machine) ret() error {
 		p.ret(m)
 	}
 	m.pc = int(retw.Int())
+	if th := m.tierHeads; th != nil && m.pc >= 0 && m.pc < len(th) && !th[m.pc] {
+		m.tier.noteLanding(m, m.pc)
+	}
+	if t := m.tier; t != nil {
+		t.onRet(m)
+	}
 	if m.pc == 0 {
 		m.halted = true
 	}
@@ -655,6 +701,9 @@ func (m *Machine) tailCall(k int, fn Word) error {
 	m.pc = m.Funcs[idx].Entry
 	if p := m.prof; p != nil {
 		p.tail(m, idx)
+	}
+	if t := m.tier; t != nil {
+		t.onTail(m, idx)
 	}
 	return nil
 }

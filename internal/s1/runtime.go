@@ -635,6 +635,12 @@ func (m *Machine) throw(tag, val Word) (bool, error) {
 			if p := m.prof; p != nil {
 				p.truncate(m, f.fnDepth)
 			}
+			if th := m.tierHeads; th != nil && m.pc >= 0 && m.pc < len(th) && !th[m.pc] {
+				m.tier.noteLanding(m, m.pc)
+			}
+			if t := m.tier; t != nil {
+				t.truncate(m, f.tierDepth)
+			}
 			return true, nil
 		}
 	}
