@@ -632,6 +632,47 @@ func BenchmarkCompileCached(b *testing.B) {
 	})
 }
 
+// --- Observability: flight-recorder overhead (DESIGN.md §13) ---
+
+// BenchmarkObsOverhead measures the cost of the always-on flight
+// recorder on a GC- and tier-active kernel: each run conses garbage
+// under a small heap budget so every collection and promotion lands an
+// event in the ring. The acceptance budget is ≤3% over the recorder-off
+// baseline; in practice the cost is a nil-check plus an atomic store on
+// events that are orders of magnitude rarer than instructions.
+func BenchmarkObsOverhead(b *testing.B) {
+	const churnSrc = `
+(defun churn (n)
+  (prog (i)
+    (setq i 0)
+   loop
+    (cons i i)
+    (setq i (+ i 1))
+    (if (< i n) (go loop))
+    (return i)))`
+	run := func(b *testing.B, flight *obs.Flight) {
+		sys := core.NewSystem(core.Options{
+			MaxHeapWords: 4096, HotThreshold: -1, Flight: flight,
+		})
+		if err := sys.LoadString(churnSrc); err != nil {
+			b.Fatal(err)
+		}
+		sys.ResetStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mustCall(b, sys, "churn", sexp.Fixnum(10000))
+		}
+		b.ReportMetric(float64(sys.Stats().Cycles)/float64(b.N), "cycles/op")
+		if flight != nil {
+			b.ReportMetric(float64(flight.Len())/float64(b.N), "events/op")
+		}
+	}
+	b.Run("recorder-off", func(b *testing.B) { run(b, nil) })
+	b.Run("recorder-on", func(b *testing.B) {
+		run(b, obs.NewFlight(obs.DefaultFlightSize))
+	})
+}
+
 // mustRead parses one form, panicking on error — a test-table
 // convenience; the production reader paths all return errors.
 func mustRead(src string) sexp.Value {

@@ -41,6 +41,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 
@@ -103,8 +104,17 @@ func run() error {
 		maxHeap    = flag.Int64("max-heap", 0, "bound live simulator heap words; exhaustion after GC is a runtime error (0 = unlimited)")
 		faultSpec  = flag.String("fault", "", "fault-injection plan, e.g. 'optimize:defun=exptl:panic;cache:*:corrupt' (default $SLC_FAULT)")
 		optWatch   = flag.Duration("opt-watchdog", 0, "wall-clock budget for each unit's optimizer fixpoint (0 = none)")
+		logJSON    = flag.Bool("log-json", false, "emit informational stderr messages as structured JSON (slog)")
 	)
 	flag.Parse()
+
+	var handler slog.Handler
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	}
+	log := slog.New(handler)
 
 	var faultPlan *diag.Plan
 	{
@@ -157,17 +167,24 @@ func run() error {
 	if *traceOut != "" || *phaseStats || *ruleStats > 0 {
 		sysOpts.Obs = obs.NewRecorder()
 	}
+	// The flight recorder is always on (bounded, lock-cheap): GC pauses,
+	// tier promotions and cache traffic from this process land in it and
+	// serve at /debug/events when -debug-addr is up.
+	flight := obs.NewFlight(obs.DefaultFlightSize)
+	sysOpts.Flight = flight
 	sys := core.NewSystem(sysOpts)
 	if *profile || *folded != "" {
 		sys.EnableProfile()
 	}
 	if *debugAddr != "" {
-		srv, err := obs.StartDebugServer(*debugAddr, sys.MetricsSnapshot)
+		reg := obs.NewRegistry().AddMetrics(sys.MetricsSnapshot).SetFlight(flight)
+		srv, err := obs.StartDebugServer(*debugAddr, reg)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, ";; debug server on http://%s (/metrics, /debug/pprof)\n", srv.Addr())
+		log.Info("debug server up", "addr", "http://"+srv.Addr(),
+			"endpoints", "/metrics /debug/events /debug/pprof")
 	}
 	// Load with error accumulation: every good unit compiles, every bad
 	// one is reported with its source position, and failure of the load

@@ -16,6 +16,13 @@
 // quarantines torn entries; a circuit breaker shunts it after repeated
 // corruption). See DESIGN.md §11.
 //
+// Observability (DESIGN.md §13): every request gets a W3C traceparent
+// (accepted or generated) that links its daemon span, compile phases,
+// tier promotions and GC pauses; an always-on flight recorder of the
+// last -events runtime events serves at /debug/events and dumps as
+// JSON on SIGQUIT or panic; request/phase/GC latency histograms export
+// on /metrics; logs are structured JSON on stderr (trace-correlated).
+//
 // Usage:
 //
 //	slcd -addr localhost:7171 -cache-dir /tmp/slc-cache -debug-addr localhost:6060
@@ -26,14 +33,16 @@
 //	}'
 //
 // Health, readiness and the request-span ring are served off
-// -debug-addr: /healthz, /readyz, /requests, plus the usual /metrics
-// and /debug/pprof.
+// -debug-addr: /healthz, /readyz, /requests, plus /metrics,
+// /debug/events and /debug/pprof. Append ?trace=1 to /run or /compile
+// for a per-request Chrome trace in the response.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -80,9 +89,31 @@ func run() error {
 		optWatch   = flag.Duration("opt-watchdog", 5*time.Second, "wall-clock budget for each unit's optimizer fixpoint (0 = none)")
 		noTier     = flag.Bool("notier", false, "disable tiered execution in per-request machines")
 		hotThresh  = flag.Int64("hot-threshold", s1.DefaultHotThreshold, "invocations before a function is re-optimized (0 = promote everything at load)")
-		debugAddr  = flag.String("debug-addr", "", "serve /healthz, /readyz, /requests, /metrics and /debug/pprof on this address")
+		debugAddr  = flag.String("debug-addr", "", "serve /healthz, /readyz, /requests, /metrics, /debug/events and /debug/pprof on this address")
+		events     = flag.Int("events", obs.DefaultFlightSize, "flight recorder capacity (most recent events kept)")
+		logText    = flag.Bool("log-text", false, "log human-readable text instead of JSON")
 	)
 	flag.Parse()
+
+	var handler slog.Handler
+	if *logText {
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	} else {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	log := slog.New(handler)
+
+	flight := obs.NewFlight(*events)
+	// A daemon panic that escapes everything still leaves a post-mortem:
+	// the flight recorder's recent events go to stderr before the crash
+	// propagates.
+	defer func() {
+		if r := recover(); r != nil {
+			log.Error("panic, dumping flight recorder", "panic", fmt.Sprint(r))
+			flight.WriteJSON(os.Stderr, obs.Filter{})
+			panic(r)
+		}
+	}()
 
 	var faultPlan *diag.Plan
 	{
@@ -96,6 +127,12 @@ func run() error {
 			return err
 		}
 	}
+	if faultPlan != nil {
+		faultPlan.OnFire = func(kind, phase, unit string) {
+			flight.Record(obs.Event{Kind: obs.EvFault, Unit: unit,
+				Msg: fmt.Sprintf("%s fault at %s", kind, phase)})
+		}
+	}
 
 	cfg := daemon.Config{
 		Workers:      *workers,
@@ -107,6 +144,8 @@ func run() error {
 		Fault:        faultPlan,
 		NoTier:       *noTier,
 		HotThreshold: tierThreshold(*hotThresh),
+		Flight:       flight,
+		Logger:       log,
 	}
 	if *cacheDir != "" {
 		d, err := compilecache.OpenDisk(*cacheDir, faultPlan)
@@ -114,18 +153,24 @@ func run() error {
 			return err
 		}
 		defer d.Close()
+		d.SetEventHook(func(kind, name string) {
+			flight.Record(obs.Event{Kind: kind, Unit: name})
+		})
 		cfg.Disk = d
-		fmt.Fprintf(os.Stderr, ";; durable cache at %s\n", *cacheDir)
+		log.Info("durable cache open", "dir", *cacheDir)
 	}
 	srv := daemon.New(cfg)
 
 	if *debugAddr != "" {
-		dbg, err := obs.StartDebugServer(*debugAddr, srv.Metrics, srv.RegisterDebug)
+		reg := obs.NewRegistry()
+		srv.Register(reg)
+		dbg, err := obs.StartDebugServer(*debugAddr, reg, srv.RegisterDebug)
 		if err != nil {
 			return err
 		}
 		defer dbg.Close()
-		fmt.Fprintf(os.Stderr, ";; debug server on http://%s (/healthz, /readyz, /requests, /metrics, /debug/pprof)\n", dbg.Addr())
+		log.Info("debug server up", "addr", "http://"+dbg.Addr(),
+			"endpoints", "/healthz /readyz /requests /metrics /debug/events /debug/pprof")
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -135,13 +180,24 @@ func run() error {
 	hs := &http.Server{Handler: srv}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, ";; slcd serving on http://%s (POST /compile, POST /run)\n", ln.Addr())
+	log.Info("slcd serving", "addr", "http://"+ln.Addr().String(),
+		"endpoints", "POST /compile, POST /run")
 
 	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM, syscall.SIGQUIT)
 	select {
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, ";; %s: draining in-flight requests\n", sig)
+		if sig == syscall.SIGQUIT {
+			// Post-mortem on demand: dump the flight recorder as JSON and
+			// exit non-zero (mirroring the Go runtime's SIGQUIT convention
+			// of "crash with state", minus the goroutine dump).
+			log.Error("SIGQUIT: dumping flight recorder")
+			fmt.Fprintln(os.Stderr, ";; flight recorder dump")
+			flight.WriteJSON(os.Stderr, obs.Filter{})
+			hs.Close()
+			os.Exit(2)
+		}
+		log.Info("draining in-flight requests", "signal", sig.String())
 	case err := <-errc:
 		return err
 	}
@@ -158,6 +214,6 @@ func run() error {
 	if err := hs.Shutdown(ctx); err != nil {
 		return err
 	}
-	fmt.Fprintln(os.Stderr, ";; drained cleanly")
+	log.Info("drained cleanly")
 	return nil
 }

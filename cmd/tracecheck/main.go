@@ -1,16 +1,23 @@
-// Command tracecheck validates a Chrome trace-event JSON file produced
-// by `slc -trace`: the file must parse, every worker timeline must have
-// properly nested B/E pairs with monotonic timestamps, and no span may
-// be left open. It prints a one-line summary and exits non-zero on any
-// violation — the CI smoke job runs it against a trace of the example
-// corpus.
+// Command tracecheck validates Chrome trace-event JSON: the file must
+// parse, every worker timeline must have properly nested B/E pairs with
+// monotonic timestamps, and no span may be left open. It prints a
+// one-line summary and exits non-zero on any violation — the CI smoke
+// job runs it against a trace of the example corpus.
 //
 // Usage:
 //
-//	tracecheck trace.json
+//	tracecheck trace.json            # a file from `slc -trace`
+//	tracecheck -response resp.json   # an slcd ?trace=1 response body
+//
+// With -response the argument is an slcd API response: the embedded
+// per-request trace is extracted and validated, and the trace id is
+// required (it is what links the trace to /debug/events and the span
+// ring).
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
@@ -18,19 +25,47 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck trace.json")
+	response := flag.Bool("response", false, "treat the file as an slcd response body with an embedded ?trace=1 trace")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-response] trace.json")
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(os.Args[1])
+	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracecheck:", err)
 		os.Exit(1)
+	}
+	traceID := ""
+	if *response {
+		var resp struct {
+			TraceID string          `json:"trace_id"`
+			Trace   json.RawMessage `json:"trace"`
+		}
+		if err := json.Unmarshal(data, &resp); err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck: response body:", err)
+			os.Exit(1)
+		}
+		if resp.TraceID == "" {
+			fmt.Fprintln(os.Stderr, "tracecheck: response has no trace_id")
+			os.Exit(1)
+		}
+		if len(resp.Trace) == 0 {
+			fmt.Fprintln(os.Stderr, "tracecheck: response has no trace (was ?trace=1 set?)")
+			os.Exit(1)
+		}
+		traceID = resp.TraceID
+		data = resp.Trace
 	}
 	sum, err := obs.ValidateTrace(data)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracecheck:", err)
 		os.Exit(1)
+	}
+	if traceID != "" {
+		fmt.Printf("tracecheck: ok — trace %s: %d events, %d spans, %d instants, %d workers\n",
+			traceID, sum.Events, sum.Spans, sum.Instants, sum.Workers)
+		return
 	}
 	fmt.Printf("tracecheck: ok — %d events, %d spans, %d instants, %d workers\n",
 		sum.Events, sum.Spans, sum.Instants, sum.Workers)

@@ -139,6 +139,18 @@ type Disk struct {
 	fault   *diag.Plan
 	breaker *Breaker
 	stats   DiskStats
+	// onEvent, when non-nil, receives ("cache-quarantine", filename) each
+	// time an entry or temp file is moved to quarantine — the flight
+	// recorder's window into on-disk corruption handling.
+	onEvent func(kind, name string)
+}
+
+// SetEventHook installs the event callback (see onEvent). Safe to call
+// on a live handle; the hook must itself be safe for concurrent use.
+func (d *Disk) SetEventHook(fn func(kind, name string)) {
+	d.mu.Lock()
+	d.onEvent = fn
+	d.mu.Unlock()
 }
 
 // OpenDisk opens (creating if needed) a durable cache directory, runs
@@ -246,6 +258,9 @@ func (d *Disk) quarantineLocked(name string) {
 	dst := filepath.Join(d.dir, quarantineDir, name)
 	if err := os.Rename(src, dst); err != nil {
 		os.Remove(src)
+	}
+	if d.onEvent != nil {
+		d.onEvent("cache-quarantine", name)
 	}
 }
 

@@ -116,6 +116,13 @@ type Options struct {
 	// default (s1.DefaultHotThreshold); negative promotes every function
 	// at install time ("forced hot"). Ignored when NoTier is set.
 	HotThreshold int64
+	// Flight, if non-nil, receives runtime and cache events (GC pauses,
+	// tier promotions, disk-cache hit/miss) for the always-on flight
+	// recorder. Shared across Systems; events carry TraceID.
+	Flight *obs.Flight
+	// TraceID is the W3C trace id stamped on this system's flight events
+	// (the daemon sets it per request).
+	TraceID string
 }
 
 // DefaultMaxErrors is the stored-diagnostic cap when Options.MaxErrors
@@ -152,7 +159,15 @@ type System struct {
 	// resolved stored-diagnostic cap (0 = unlimited).
 	fault     *diag.Plan
 	maxErrors int
+
+	// flight is the event recorder (nil = none); traceID stamps its
+	// events with the owning request's trace.
+	flight  *obs.Flight
+	traceID string
 }
+
+// TraceID returns the trace id this system stamps on flight events.
+func (s *System) TraceID() string { return s.traceID }
 
 // NewSystem builds a system.
 func NewSystem(opts Options) *System {
@@ -225,17 +240,25 @@ func NewSystem(opts Options) *System {
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	sys := &System{
-		Machine:  m,
-		Interp:   in,
-		Conv:     conv,
-		Compiler: codegen.New(m, co),
-		Defs:     map[string]int{},
-		Obs:      opts.Obs,
+		Machine:   m,
+		Interp:    in,
+		Conv:      conv,
+		Compiler:  codegen.New(m, co),
+		Defs:      map[string]int{},
+		Obs:       opts.Obs,
 		macros:    map[*sexp.Symbol]*interp.Closure{},
 		jobs:      jobs,
 		constsFP:  constsFP,
 		fault:     opts.Fault,
 		maxErrors: maxErrors,
+		flight:    opts.Flight,
+		traceID:   opts.TraceID,
+	}
+	if fl := opts.Flight; fl != nil {
+		tid := opts.TraceID
+		m.OnEvent = func(kind, unit string, d time.Duration) {
+			fl.Record(obs.Event{Kind: kind, Trace: tid, Unit: unit, DurNs: int64(d)})
+		}
 	}
 	if opts.Cache || opts.DiskCache != nil {
 		sys.cache = compilecache.New()
@@ -601,6 +624,7 @@ func (s *System) compileDefs(defs []*convert.Def, lines, cols []int, list *diag.
 			// The body is already resident in this machine: rebind the
 			// name to the cached function index and skip the entire
 			// middle and back end.
+			s.flight.Record(obs.Event{Kind: "cache-hit", Trace: s.traceID, Unit: d.Name.Name, Msg: "memory"})
 			s.Machine.Stats.CompileCacheHits++
 			s.Machine.RebindFunction(d.Name.Name, u.hitIdx)
 			s.Machine.SetSymbolFunction(d.Name.Name, s1.Ptr(s1.TagFunc, uint64(u.hitIdx)))
@@ -620,6 +644,7 @@ func (s *System) compileDefs(defs []*convert.Def, lines, cols []int, list *diag.
 				idx, ierr := u.disk.Install(s.Machine)
 				sp.End()
 				if ierr == nil {
+					s.flight.Record(obs.Event{Kind: "cache-hit", Trace: s.traceID, Unit: d.Name.Name, Msg: "disk"})
 					s.Compiler.SetGenCount(genBefore + u.disk.GenDelta)
 					s.Machine.Stats.CompileCacheHits++
 					s.Machine.RebindFunction(d.Name.Name, idx)
@@ -635,6 +660,10 @@ func (s *System) compileDefs(defs []*convert.Def, lines, cols []int, list *diag.
 				}
 				// A mid-replay failure may have left partial mutations;
 				// recompiling is still correct, but flag it loudly.
+				s.flight.Record(obs.Event{
+					Kind: "cache-miss", Sev: obs.SevWarn, Trace: s.traceID,
+					Unit: d.Name.Name, Msg: "replay failed: " + ierr.Error(),
+				})
 				line, col := pos(i)
 				list.Add(&diag.Diagnostic{
 					Severity: diag.Warning, Unit: d.Name.Name,
@@ -668,6 +697,7 @@ func (s *System) compileDefs(defs []*convert.Def, lines, cols []int, list *diag.
 		t := s.Obs.Task(d.Name.Name, 0)
 		sp := t.Start("emit")
 		if s.cache != nil && u.key != "" {
+			s.flight.Record(obs.Event{Kind: "cache-miss", Trace: s.traceID, Unit: d.Name.Name})
 			s.Machine.Stats.CompileCacheMisses++
 			var items []s1.Item
 			var ctxBefore string

@@ -28,11 +28,17 @@
 package daemon
 
 import (
+	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +46,7 @@ import (
 	"repro/internal/compilecache"
 	"repro/internal/core"
 	"repro/internal/diag"
+	"repro/internal/obs"
 	"repro/internal/sexp"
 )
 
@@ -71,6 +78,12 @@ type Config struct {
 	// Fault is the injection plan; a matching deadline fault makes a
 	// request behave as if its deadline had already expired.
 	Fault *diag.Plan
+	// Flight is the always-on event recorder shared with the rest of the
+	// process (nil = the server builds its own; the recorder is never
+	// off).
+	Flight *obs.Flight
+	// Logger receives structured per-request log records (nil = discard).
+	Logger *slog.Logger
 }
 
 // DiagJSON is one diagnostic in the response body.
@@ -92,6 +105,10 @@ type Request struct {
 	Fn string `json:"fn,omitempty"`
 	// Args are the call arguments as printed S-expressions.
 	Args []string `json:"args,omitempty"`
+	// Tenant and Session are optional routing labels, carried through
+	// logs, spans and flight events (the M:N scheduler's future keys).
+	Tenant  string `json:"tenant,omitempty"`
+	Session string `json:"session,omitempty"`
 }
 
 // Response is the body of every API reply (including sheds and
@@ -106,6 +123,16 @@ type Response struct {
 	Diagnostics []DiagJSON `json:"diagnostics,omitempty"`
 	TimedOut    bool       `json:"timed_out,omitempty"`
 	DurationMs  float64    `json:"duration_ms"`
+	// TraceID is the request's W3C trace id (accepted from the incoming
+	// traceparent header or generated); the same id is echoed in the
+	// response traceparent header and stamped on the daemon span, the
+	// flight events and the Chrome trace.
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace, present when the request asked for ?trace=1, is the
+	// request's Chrome trace-event JSON: compile phase spans plus the
+	// runtime events (GC pauses, tier promotions, cache traffic) that
+	// carried this trace id.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // Stats are the daemon's lifetime counters, exported as metrics.
@@ -125,7 +152,9 @@ type Stats struct {
 	TierCacheFills int64 `json:"tier_cache_fills"`
 }
 
-// span is one request's record in the export ring.
+// span is one request's record in the export ring. New fields are
+// omitempty/additive so the JSON shape stays backward-compatible with
+// the PR 5 consumers that read id/path/status/start/duration_ms.
 type span struct {
 	ID         int64   `json:"id"`
 	Path       string  `json:"path"`
@@ -135,6 +164,15 @@ type span struct {
 	Start      string  `json:"start"`
 	DurationMs float64 `json:"duration_ms"`
 	Note       string  `json:"note,omitempty"`
+	// StartMonoNs is the request start on the server's monotonic clock
+	// (nanoseconds since the server was built) — unlike Start it orders
+	// and spaces spans exactly across wall-clock adjustments.
+	StartMonoNs int64 `json:"start_mono_ns"`
+	// TraceID links the span to the request's flight events and Chrome
+	// trace.
+	TraceID string `json:"trace_id,omitempty"`
+	Tenant  string `json:"tenant,omitempty"`
+	Session string `json:"session,omitempty"`
 }
 
 // spanRingSize bounds the request-span export.
@@ -155,6 +193,18 @@ type Server struct {
 	draining atomic.Bool
 	inflight sync.WaitGroup
 
+	// flight is the always-on event recorder; log the structured logger.
+	// epoch anchors StartMonoNs.
+	flight *obs.Flight
+	log    *slog.Logger
+	epoch  time.Time
+
+	// Latency histograms (Prometheus histogram series on /metrics).
+	reqHist    *obs.Histogram
+	phaseHist  *obs.Histogram
+	gcHist     *obs.Histogram
+	cyclesHist *obs.Histogram
+
 	mu     sync.Mutex
 	stats  Stats
 	nextID int64
@@ -172,15 +222,46 @@ func New(cfg Config) *Server {
 	if cfg.ReqTimeout <= 0 {
 		cfg.ReqTimeout = 10 * time.Second
 	}
+	if cfg.Flight == nil {
+		cfg.Flight = obs.NewFlight(obs.DefaultFlightSize)
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
 	s := &Server{
 		cfg:       cfg,
 		admission: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		workers:   make(chan struct{}, cfg.Workers),
+		flight:    cfg.Flight,
+		log:       cfg.Logger,
+		epoch:     time.Now(),
+		reqHist: obs.NewHistogram("slcd_request_seconds",
+			"Request wall time in seconds.", obs.DurationBuckets()),
+		phaseHist: obs.NewHistogram("slcd_compile_phase_seconds",
+			"Compile pipeline phase durations in seconds.", obs.DurationBuckets()),
+		gcHist: obs.NewHistogram("slcd_gc_pause_seconds",
+			"Simulator GC pause durations in seconds.", obs.ExpBuckets(1e-6, 2, 20)),
+		cyclesHist: obs.NewHistogram("slcd_eval_cycles",
+			"Simulated S-1 cycles per request.", obs.CycleBuckets()),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /compile", func(w http.ResponseWriter, r *http.Request) { s.handle(w, r, false) })
 	s.mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) { s.handle(w, r, true) })
 	return s
+}
+
+// Flight returns the server's event recorder (never nil after New).
+func (s *Server) Flight() *obs.Flight { return s.flight }
+
+// Register wires the server's metrics, histograms and flight recorder
+// into an obs.Registry (the /metrics + /debug/events provider).
+func (s *Server) Register(reg *obs.Registry) {
+	reg.AddMetrics(s.Metrics).
+		AddHistogram(s.reqHist).
+		AddHistogram(s.phaseHist).
+		AddHistogram(s.gcHist).
+		AddHistogram(s.cyclesHist).
+		SetFlight(s.flight)
 }
 
 // ServeHTTP makes the Server mountable directly (tests use
@@ -198,14 +279,14 @@ func (s *Server) Stats() Stats {
 func (s *Server) Metrics() map[string]float64 {
 	st := s.Stats()
 	return map[string]float64{
-		"slcd_requests_accepted": float64(st.Accepted),
-		"slcd_requests_ok":       float64(st.Succeeded),
-		"slcd_requests_failed":   float64(st.Failed),
-		"slcd_requests_shed":     float64(st.Shed),
-		"slcd_requests_timeout":  float64(st.TimedOut),
-		"slcd_requests_panic":    float64(st.Panics),
-		"slcd_inflight":          float64(len(s.workers)),
-		"slcd_queued":            float64(len(s.admission) - len(s.workers)),
+		"slcd_requests_accepted":           float64(st.Accepted),
+		"slcd_requests_ok":                 float64(st.Succeeded),
+		"slcd_requests_failed":             float64(st.Failed),
+		"slcd_requests_shed":               float64(st.Shed),
+		"slcd_requests_timeout":            float64(st.TimedOut),
+		"slcd_requests_panic":              float64(st.Panics),
+		"slcd_inflight":                    float64(len(s.workers)),
+		"slcd_queued":                      float64(len(s.admission) - len(s.workers)),
 		"slcd_tier_promotions_total":       float64(st.TierPromotions),
 		"slcd_tier_refusions_total":        float64(st.TierRefusions),
 		"slcd_tier_call_cache_fills_total": float64(st.TierCacheFills),
@@ -280,15 +361,58 @@ func writeJSON(w http.ResponseWriter, status int, resp *Response) {
 	json.NewEncoder(w).Encode(resp)
 }
 
-// handle is the request lifecycle: admission, deadline, execution with
-// the panic barrier, span recording.
+// ParseTraceparent extracts the trace id from a W3C traceparent header
+// value ("00-<32 hex>-<16 hex>-<2 hex>"). Returns "" when the header is
+// absent or malformed (the caller then generates a fresh id).
+func ParseTraceparent(h string) string {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return ""
+	}
+	tid := strings.ToLower(parts[1])
+	if !isHex(tid) || !isHex(strings.ToLower(parts[2])) || tid == strings.Repeat("0", 32) {
+		return ""
+	}
+	return tid
+}
+
+func isHex(s string) bool {
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// randHex returns n random bytes hex-encoded (2n characters).
+func randHex(n int) string {
+	b := make([]byte, n)
+	rand.Read(b)
+	return hex.EncodeToString(b)
+}
+
+// handle is the request lifecycle: admission, trace-context setup,
+// deadline, execution with the panic barrier, span recording, flight
+// events, structured log line.
 func (s *Server) handle(w http.ResponseWriter, r *http.Request, call bool) {
 	start := time.Now()
+	startMono := time.Since(s.epoch).Nanoseconds()
+	// Trace context: accept the caller's traceparent or start a new
+	// trace; either way the daemon is one new span within it, and the
+	// response header carries trace id + our span id back.
+	traceID := ParseTraceparent(r.Header.Get("traceparent"))
+	if traceID == "" {
+		traceID = randHex(16)
+	}
+	spanID := randHex(8)
+	w.Header().Set("traceparent", "00-"+traceID+"-"+spanID+"-01")
+
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, &Response{
 			Diagnostics: []DiagJSON{{Severity: "error", Phase: "admission",
 				Msg: "server is draining"}},
-			DurationMs: msSince(start),
+			DurationMs: msSince(start), TraceID: traceID,
 		})
 		return
 	}
@@ -299,14 +423,18 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request, call bool) {
 		s.mu.Lock()
 		s.stats.Shed++
 		s.mu.Unlock()
+		s.flight.Record(obs.Event{Kind: obs.EvLoadShed, Trace: traceID, Unit: r.URL.Path})
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "request shed",
+			slog.String("trace_id", traceID), slog.String("path", r.URL.Path))
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, &Response{
 			Diagnostics: []DiagJSON{{Severity: "error", Phase: "admission",
 				Msg: "server saturated, retry later"}},
-			DurationMs: msSince(start),
+			DurationMs: msSince(start), TraceID: traceID,
 		})
 		s.record(span{Path: r.URL.Path, Status: http.StatusTooManyRequests,
-			Start: start.UTC().Format(time.RFC3339Nano), DurationMs: msSince(start), Note: "shed"})
+			Start: start.UTC().Format(time.RFC3339Nano), StartMonoNs: startMono,
+			DurationMs: msSince(start), Note: "shed", TraceID: traceID})
 		return
 	}
 	defer func() { <-s.admission }()
@@ -318,7 +446,7 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request, call bool) {
 		writeJSON(w, http.StatusBadRequest, &Response{
 			Diagnostics: []DiagJSON{{Severity: "error", Phase: "request",
 				Msg: "bad request body: " + err.Error()}},
-			DurationMs: msSince(start),
+			DurationMs: msSince(start), TraceID: traceID,
 		})
 		return
 	}
@@ -330,6 +458,8 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request, call bool) {
 	s.mu.Lock()
 	s.stats.Accepted++
 	s.mu.Unlock()
+	s.flight.Record(obs.Event{Kind: obs.EvReqStart, Trace: traceID,
+		Unit: r.URL.Path, Tenant: req.Tenant, Session: req.Session})
 
 	timeout := s.cfg.ReqTimeout
 	if s.cfg.Fault.Should(diag.KindDeadline, "request", req.Fn) {
@@ -339,8 +469,10 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request, call bool) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	resp := s.execute(ctx, &req, call)
+	resp := s.execute(ctx, &req, call, traceID, r.URL.Query().Get("trace") == "1")
 	resp.DurationMs = msSince(start)
+	resp.TraceID = traceID
+	s.reqHist.ObserveDuration(time.Since(start))
 	status := http.StatusOK
 	switch {
 	case resp.TimedOut:
@@ -348,6 +480,8 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request, call bool) {
 		s.mu.Lock()
 		s.stats.TimedOut++
 		s.mu.Unlock()
+		s.flight.Record(obs.Event{Kind: obs.EvDeadline, Trace: traceID,
+			Unit: req.Fn, Tenant: req.Tenant, Session: req.Session})
 	case !resp.OK:
 		status = http.StatusUnprocessableEntity
 		s.mu.Lock()
@@ -359,9 +493,28 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request, call bool) {
 		s.mu.Unlock()
 	}
 	writeJSON(w, status, resp)
+	dur := time.Since(start)
+	s.flight.Record(obs.Event{Kind: obs.EvReqFinish, Trace: traceID,
+		Unit: r.URL.Path, DurNs: dur.Nanoseconds(), Msg: fmt.Sprintf("status=%d", status),
+		Tenant: req.Tenant, Session: req.Session})
 	s.record(span{Path: r.URL.Path, Status: status, OK: resp.OK, TimedOut: resp.TimedOut,
-		Start: start.UTC().Format(time.RFC3339Nano), DurationMs: msSince(start),
-		Note: firstDiag(resp)})
+		Start: start.UTC().Format(time.RFC3339Nano), StartMonoNs: startMono,
+		DurationMs: msSince(start), Note: firstDiag(resp),
+		TraceID: traceID, Tenant: req.Tenant, Session: req.Session})
+	level := slog.LevelInfo
+	if !resp.OK {
+		level = slog.LevelWarn
+	}
+	s.log.LogAttrs(r.Context(), level, "request served",
+		slog.String("trace_id", traceID),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Bool("ok", resp.OK),
+		slog.Bool("timed_out", resp.TimedOut),
+		slog.Duration("duration", dur),
+		slog.String("fn", req.Fn),
+		slog.String("tenant", req.Tenant),
+		slog.String("session", req.Session))
 }
 
 func msSince(t time.Time) float64 { return float64(time.Since(t)) / float64(time.Millisecond) }
@@ -373,17 +526,25 @@ func firstDiag(r *Response) string {
 	return r.Diagnostics[0].Msg
 }
 
+// runtimeTid is the trace thread id carrying runtime instants (GC
+// pauses, tier transitions, cache traffic) in per-request exports, kept
+// clear of the compile workers' small ids.
+const runtimeTid = 99
+
 // execute compiles (and optionally calls) in a fresh per-request system
 // under the last-resort panic barrier. The compile pipeline has its own
 // per-unit barriers; this one catches anything that escapes them, so a
 // wholly unexpected panic still degrades to a structured response.
-func (s *Server) execute(ctx context.Context, req *Request, call bool) (resp *Response) {
+func (s *Server) execute(ctx context.Context, req *Request, call bool, traceID string, wantTrace bool) (resp *Response) {
 	resp = &Response{}
 	defer func() {
 		if r := recover(); r != nil {
 			s.mu.Lock()
 			s.stats.Panics++
 			s.mu.Unlock()
+			s.flight.Record(obs.Event{Kind: obs.EvPanic, Trace: traceID,
+				Unit: req.Fn, Msg: fmt.Sprintf("%v", r),
+				Tenant: req.Tenant, Session: req.Session})
 			resp.OK = false
 			resp.Diagnostics = append(resp.Diagnostics, DiagJSON{
 				Severity: "error", Phase: "request",
@@ -392,6 +553,10 @@ func (s *Server) execute(ctx context.Context, req *Request, call bool) (resp *Re
 		}
 	}()
 
+	// Every request gets its own phase-span recorder: the spans feed the
+	// phase-latency histogram, and when the caller asked for ?trace=1
+	// they become its Chrome trace.
+	rec := obs.NewRecorder()
 	sys := core.NewSystem(core.Options{
 		Jobs:         1, // concurrency lives at the request level
 		MaxSteps:     s.cfg.MaxSteps,
@@ -401,11 +566,39 @@ func (s *Server) execute(ctx context.Context, req *Request, call bool) (resp *Re
 		Fault:        s.cfg.Fault,
 		NoTier:       s.cfg.NoTier,
 		HotThreshold: s.cfg.HotThreshold,
+		Obs:          rec,
+		Flight:       s.flight,
+		TraceID:      traceID,
 	})
+	// Tee the machine's runtime events into the GC-pause histogram on
+	// top of the flight recording core already wired up.
+	if prev := sys.Machine.OnEvent; prev != nil {
+		sys.Machine.OnEvent = func(kind, unit string, d time.Duration) {
+			if kind == obs.EvGCPause {
+				s.gcHist.ObserveDuration(d)
+			}
+			prev(kind, unit, d)
+		}
+	}
 	// The deadline interrupts the machine cooperatively: Run checks the
 	// flag every few hundred dispatches and unwinds with a RuntimeError.
 	stop := context.AfterFunc(ctx, func() { sys.Machine.Interrupt() })
 	defer stop()
+	// Feed the phase and cycle histograms (and the optional per-request
+	// trace) on every exit path, including the panic barrier.
+	defer func() {
+		for _, sp := range rec.Spans() {
+			s.phaseHist.ObserveDuration(sp.End - sp.Start)
+		}
+		if c := sys.Machine.Stats.Cycles; c > 0 {
+			s.cyclesHist.Observe(float64(c))
+		}
+		if wantTrace {
+			if tr := s.buildRequestTrace(rec, traceID); tr != nil {
+				resp.Trace = tr
+			}
+		}
+	}()
 	// Fold this request machine's tier activity into the lifetime
 	// counters on every exit path, including the panic barrier.
 	defer func() {
@@ -477,4 +670,43 @@ func (s *Server) execute(ctx context.Context, req *Request, call bool) (resp *Re
 	}
 	resp.OK = true
 	return resp
+}
+
+// buildRequestTrace renders one request's Chrome trace: the compile
+// phase spans recorded by rec plus every flight event stamped with the
+// request's trace id, merged as instants on a dedicated "runtime"
+// thread. Returns nil if the trace cannot be rendered.
+func (s *Server) buildRequestTrace(rec *obs.Recorder, traceID string) json.RawMessage {
+	epoch := rec.Epoch().UnixNano()
+	evs := s.flight.Snapshot(obs.Filter{Trace: traceID})
+	if len(evs) > 0 {
+		rec.SetThreadName(runtimeTid, "runtime")
+	}
+	for _, ev := range evs {
+		// Flight events carry wall-clock stamps; the recorder wants
+		// offsets from its epoch. Events recorded before the system was
+		// built (admission, req-start) clamp to the trace origin.
+		ts := time.Duration(ev.WallNs - epoch)
+		if ts < 0 {
+			ts = 0
+		}
+		args := map[string]any{"sev": ev.Sev}
+		if ev.Unit != "" {
+			args["unit"] = ev.Unit
+		}
+		if ev.Msg != "" {
+			args["msg"] = ev.Msg
+		}
+		if ev.DurNs > 0 {
+			args["dur_ns"] = ev.DurNs
+		}
+		rec.AddInstant(obs.Instant{
+			Name: ev.Kind, Cat: "flight", Ts: ts, Worker: runtimeTid, Args: args,
+		})
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		return nil
+	}
+	return json.RawMessage(buf.Bytes())
 }

@@ -277,7 +277,9 @@ func TestRequestSpansExported(t *testing.T) {
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
-	mux := obs.NewDebugMux(s.Metrics, s.RegisterDebug)
+	reg := obs.NewRegistry()
+	s.Register(reg)
+	mux := obs.NewDebugMux(reg, s.RegisterDebug)
 	dbg := httptest.NewServer(mux)
 	defer dbg.Close()
 

@@ -71,6 +71,17 @@ func (f *InjectedFault) Error() string {
 // the hot path pays one nil check.
 type Plan struct {
 	faults []Fault
+	// OnFire, when non-nil, is called with (kind, phase, unit) every time
+	// a fault actually fires or a Should query matches — the flight
+	// recorder uses it to log injected failures alongside their effects.
+	// Set it once after ParsePlan, before the plan is shared.
+	OnFire func(kind, phase, unit string)
+}
+
+func (p *Plan) fired(kind, phase, unit string) {
+	if p.OnFire != nil {
+		p.OnFire(kind, phase, unit)
+	}
 }
 
 // ParsePlan parses the SLC_FAULT grammar. An empty string yields a nil
@@ -137,8 +148,10 @@ func (p *Plan) Fire(phase, unit string) error {
 		}
 		switch f.Kind {
 		case KindPanic:
+			p.fired(KindPanic, phase, unit)
 			panic(&InjectedFault{Phase: phase, Unit: unit, Kind: KindPanic})
 		case KindError:
+			p.fired(KindError, phase, unit)
 			return &InjectedFault{Phase: phase, Unit: unit, Kind: KindError}
 		}
 	}
@@ -161,6 +174,7 @@ func (p *Plan) Should(kind, phase, unit string) bool {
 	}
 	for _, f := range p.faults {
 		if f.Kind == kind && f.matches(phase, unit) {
+			p.fired(kind, phase, unit)
 			return true
 		}
 	}

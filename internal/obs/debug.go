@@ -1,22 +1,115 @@
 package obs
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 )
 
+// Registry aggregates everything the debug endpoint exposes: gauge/
+// counter snapshot functions, histograms, and the flight recorder. It
+// replaces the single metrics-func parameter the mux used to take, so
+// several subsystems (daemon stats, system meters, latency histograms)
+// can feed one /metrics page without re-registering handlers.
+type Registry struct {
+	mu     sync.Mutex
+	funcs  []func() map[string]float64
+	hists  []*Histogram
+	flight *Flight
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// AddMetrics registers a snapshot function whose map is merged into
+// /metrics output.
+func (r *Registry) AddMetrics(fn func() map[string]float64) *Registry {
+	if r == nil || fn == nil {
+		return r
+	}
+	r.mu.Lock()
+	r.funcs = append(r.funcs, fn)
+	r.mu.Unlock()
+	return r
+}
+
+// AddHistogram registers a histogram for /metrics output.
+func (r *Registry) AddHistogram(h *Histogram) *Registry {
+	if r == nil || h == nil {
+		return r
+	}
+	r.mu.Lock()
+	r.hists = append(r.hists, h)
+	r.mu.Unlock()
+	return r
+}
+
+// SetFlight attaches the flight recorder served at /debug/events.
+func (r *Registry) SetFlight(f *Flight) *Registry {
+	if r == nil {
+		return r
+	}
+	r.mu.Lock()
+	r.flight = f
+	r.mu.Unlock()
+	return r
+}
+
+// Flight returns the attached flight recorder (nil if none).
+func (r *Registry) Flight() *Flight {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flight
+}
+
+// WriteProm renders the merged metric snapshot: all snapshot-function
+// maps (later functions win on name collisions) followed by all
+// histograms.
+func (r *Registry) WriteProm(w http.ResponseWriter) {
+	r.mu.Lock()
+	funcs := append([]func() map[string]float64(nil), r.funcs...)
+	hists := append([]*Histogram(nil), r.hists...)
+	r.mu.Unlock()
+	merged := map[string]float64{}
+	for _, fn := range funcs {
+		for k, v := range fn() {
+			merged[k] = v
+		}
+	}
+	WriteProm(w, merged)
+	for _, h := range hists {
+		h.WriteProm(w)
+	}
+}
+
 // NewDebugMux builds the debug HTTP handler: /metrics serves the
-// snapshot function's metrics in Prometheus text format, and
+// registry's merged metrics in Prometheus text format, /debug/events
+// serves the flight recorder (empty event list if none attached), and
 // /debug/pprof/* serves the standard Go profiling endpoints. Callers may
 // pass register functions to hang extra endpoints off the same mux (the
 // daemon's health/readiness/request-span handlers do). The mux is
 // private — nothing is registered on http.DefaultServeMux.
-func NewDebugMux(metrics func() map[string]float64, register ...func(*http.ServeMux)) *http.ServeMux {
+func NewDebugMux(reg *Registry, register ...func(*http.ServeMux)) *http.ServeMux {
+	if reg == nil {
+		reg = NewRegistry()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		WriteProm(w, metrics())
+		reg.WriteProm(w)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, req *http.Request) {
+		if f := reg.Flight(); f != nil {
+			f.ServeHTTP(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(flightDump{Events: []Event{}})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -38,12 +131,12 @@ type DebugServer struct {
 // StartDebugServer begins serving the debug mux on addr (e.g.
 // "localhost:6060"; ":0" picks a free port). The server runs until
 // Close.
-func StartDebugServer(addr string, metrics func() map[string]float64, register ...func(*http.ServeMux)) (*DebugServer, error) {
+func StartDebugServer(addr string, reg *Registry, register ...func(*http.ServeMux)) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: NewDebugMux(metrics, register...)}
+	srv := &http.Server{Handler: NewDebugMux(reg, register...)}
 	go srv.Serve(ln)
 	return &DebugServer{ln: ln, srv: srv}, nil
 }

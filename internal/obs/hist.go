@@ -1,0 +1,139 @@
+package obs
+
+// Log-bucketed latency histograms with atomic counters, in the HDR
+// spirit: fixed exponential bucket bounds chosen at construction, one
+// atomic increment per observation, no locks on the hot path. Exported
+// in real Prometheus histogram exposition format (cumulative _bucket
+// series, _sum, _count, TYPE histogram metadata).
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram counts observations into fixed buckets. Observe is
+// wait-free (one atomic add, one CAS loop for the sum); snapshots read
+// the counters without stopping writers, so a snapshot racing an
+// observation may be off by that one observation but is never torn
+// beyond that. Nil-safe: all methods no-op on a nil receiver.
+type Histogram struct {
+	name   string
+	help   string
+	bounds []float64 // ascending upper bounds; +Inf implicit
+	counts []atomic.Uint64
+	// sumBits holds math.Float64bits of the running sum, updated by CAS.
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds (exclusive of the implicit +Inf bucket).
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{
+		name:   name,
+		help:   help,
+		bounds: b,
+		counts: make([]atomic.Uint64, len(b)+1),
+	}
+}
+
+// ExpBuckets returns n exponential bucket bounds starting at min and
+// multiplying by factor: min, min*factor, min*factor^2, ...
+func ExpBuckets(min, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := min
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets is the standard latency layout: 100µs to ~13s in
+// powers of two (18 bounds).
+func DurationBuckets() []float64 {
+	return ExpBuckets(100e-6, 2, 18)
+}
+
+// CycleBuckets is the standard eval-cycle layout: 1k to ~4G cycles in
+// powers of four (12 bounds).
+func CycleBuckets() []float64 {
+	return ExpBuckets(1000, 4, 12)
+}
+
+// Name reports the metric name.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the running sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// WriteProm renders the histogram in Prometheus text exposition format:
+// TYPE metadata, cumulative buckets with le labels, +Inf, _sum, _count.
+func (h *Histogram) WriteProm(w io.Writer) {
+	if h == nil {
+		return
+	}
+	if h.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", h.name, h.help)
+	}
+	fmt.Fprintf(w, "# TYPE %s histogram\n", h.name)
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", h.name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", h.name, h.count.Load())
+}
+
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram("test_seconds", "help", []float64{0.01, 0.1, 1})
+	h.Observe(0.005) // le=0.01
+	h.Observe(0.01)  // le=0.01 (bounds are inclusive upper)
+	h.Observe(0.05)  // le=0.1
+	h.Observe(5)     // +Inf
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got < 5.06 || got > 5.07 {
+		t.Fatalf("sum = %g", got)
+	}
+
+	var b strings.Builder
+	h.WriteProm(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{le="0.01"} 2`,
+		`test_seconds_bucket{le="0.1"} 3`,
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="+Inf"} 4`,
+		"test_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramNilAndDuration(t *testing.T) {
+	var h *Histogram
+	h.Observe(1) // must not panic
+	h.ObserveDuration(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram should count nothing")
+	}
+	var b strings.Builder
+	h.WriteProm(&b)
+	if b.Len() != 0 {
+		t.Error("nil histogram should write nothing")
+	}
+
+	h2 := NewHistogram("d", "", DurationBuckets())
+	h2.ObserveDuration(500 * time.Microsecond)
+	if h2.Count() != 1 || h2.Sum() != 0.0005 {
+		t.Errorf("duration observe: count=%d sum=%g", h2.Count(), h2.Sum())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("c", "", ExpBuckets(1, 2, 10))
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i % 100))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("count = %d, want %d", h.Count(), workers*per)
+	}
+	// Sum of 0..99 is 4950, observed 10 times per worker.
+	if want := float64(workers * 10 * 4950); h.Sum() != want {
+		t.Errorf("sum = %g, want %g", h.Sum(), want)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRegistryMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry().
+		AddMetrics(func() map[string]float64 {
+			return map[string]float64{"slc_requests_total": 3, "slc_heap": 10}
+		})
+	h := NewHistogram("slc_request_seconds", "Request latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	reg.AddHistogram(h)
+	fl := NewFlight(16)
+	fl.Record(Event{Kind: EvReqFinish})
+	reg.SetFlight(fl)
+
+	mux := NewDebugMux(reg)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	out := w.Body.String()
+	for _, want := range []string{
+		"# TYPE slc_requests_total counter",
+		"# TYPE slc_heap gauge",
+		"# TYPE slc_request_seconds histogram",
+		`slc_request_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in /metrics:\n%s", want, out)
+		}
+	}
+
+	w = httptest.NewRecorder()
+	mux.ServeHTTP(w, httptest.NewRequest("GET", "/debug/events", nil))
+	if !strings.Contains(w.Body.String(), `"req-finish"`) {
+		t.Errorf("/debug/events missing event: %s", w.Body.String())
+	}
+}
+
+// TestDebugMuxNoFlight: /debug/events degrades to an empty list when no
+// recorder is attached, rather than 404ing.
+func TestDebugMuxNoFlight(t *testing.T) {
+	mux := NewDebugMux(NewRegistry())
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, httptest.NewRequest("GET", "/debug/events", nil))
+	if !strings.Contains(w.Body.String(), `"events":[]`) {
+		t.Errorf("expected empty events list, got: %s", w.Body.String())
+	}
+}

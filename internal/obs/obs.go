@@ -58,17 +58,81 @@ type RuleEvent struct {
 	Worker int
 }
 
-// Recorder collects spans and rule events. All methods are safe for
-// concurrent use and safe on a nil receiver (no-ops).
+// Instant is a standalone point event on a worker timeline — runtime
+// happenings (tier promotions, GC pauses, cache traffic) merged into the
+// Chrome trace alongside the compile-phase spans.
+type Instant struct {
+	// Name is the event label shown in the trace viewer.
+	Name string
+	// Cat is the trace category (e.g. "runtime", "cache").
+	Cat string
+	// Ts is the offset from the Recorder's epoch.
+	Ts time.Duration
+	// Worker is the timeline (thread) the event renders on.
+	Worker int
+	// Args are extra key/values shown when the event is selected.
+	Args map[string]any
+}
+
+// Recorder collects spans, rule events and instants. All methods are
+// safe for concurrent use and safe on a nil receiver (no-ops).
 type Recorder struct {
-	epoch time.Time
-	mu    sync.Mutex
-	spans []Span
-	rules []RuleEvent
+	epoch       time.Time
+	mu          sync.Mutex
+	spans       []Span
+	rules       []RuleEvent
+	instants    []Instant
+	threadNames map[int]string
 }
 
 // NewRecorder returns an empty recorder with its epoch set to now.
 func NewRecorder() *Recorder { return &Recorder{epoch: time.Now()} }
+
+// Epoch returns the recorder's zero time (zero value on a nil
+// recorder). Callers converting wall-clock event times into trace
+// offsets subtract this.
+func (r *Recorder) Epoch() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.epoch
+}
+
+// SetThreadName overrides the display name of one worker timeline in
+// the trace export (the default is "driver"/"worker N").
+func (r *Recorder) SetThreadName(worker int, name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.threadNames == nil {
+		r.threadNames = map[int]string{}
+	}
+	r.threadNames[worker] = name
+	r.mu.Unlock()
+}
+
+// AddInstant records a point event for the trace export.
+func (r *Recorder) AddInstant(ev Instant) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.instants = append(r.instants, ev)
+	r.mu.Unlock()
+}
+
+// Instants returns a snapshot of the recorded instants.
+func (r *Recorder) Instants() []Instant {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Instant, len(r.instants))
+	copy(out, r.instants)
+	return out
+}
 
 // Task returns a span factory for one compilation unit on one worker.
 // Returns nil (a valid no-op task) on a nil recorder.

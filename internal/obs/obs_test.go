@@ -134,8 +134,12 @@ func TestWriteProm(t *testing.T) {
 	WriteProm(&b, map[string]float64{
 		"slc_b_total": 2,
 		"slc_a_total": 1.5,
+		"slc_heap":    7,
 	})
-	want := "# TYPE slc_a_total gauge\nslc_a_total 1.5\n# TYPE slc_b_total gauge\nslc_b_total 2\n"
+	// Monotonic *_total names are counters; the rest are gauges.
+	want := "# TYPE slc_a_total counter\nslc_a_total 1.5\n" +
+		"# TYPE slc_b_total counter\nslc_b_total 2\n" +
+		"# TYPE slc_heap gauge\nslc_heap 7\n"
 	if b.String() != want {
 		t.Fatalf("prom output:\n%q\nwant:\n%q", b.String(), want)
 	}

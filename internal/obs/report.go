@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -135,7 +136,9 @@ func (r *Recorder) WriteTopRules(w io.Writer, n int) {
 }
 
 // WriteProm renders a metric map in Prometheus text exposition format,
-// sorted by name for deterministic output.
+// sorted by name for deterministic output. Monotonic metrics (the
+// `*_total` naming convention) are declared `counter`; everything else
+// is a `gauge`. Histogram series are rendered by Histogram.WriteProm.
 func WriteProm(w io.Writer, metrics map[string]float64) {
 	names := make([]string, 0, len(metrics))
 	for k := range metrics {
@@ -143,6 +146,10 @@ func WriteProm(w io.Writer, metrics map[string]float64) {
 	}
 	sort.Strings(names)
 	for _, k := range names {
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", k, k, metrics[k])
+		typ := "gauge"
+		if strings.HasSuffix(k, "_total") {
+			typ = "counter"
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n%s %g\n", k, typ, k, metrics[k])
 	}
 }

@@ -31,23 +31,40 @@ const tracePid = 1
 
 func usec(d int64) float64 { return float64(d) / 1e3 }
 
-// WriteTrace emits the recorded spans and rule events as Chrome
-// trace-event JSON. Each worker becomes a thread (tid = worker id);
-// spans become properly nested B/E pairs with non-decreasing timestamps
-// per thread; rule fires become thread-scoped instant events.
+// WriteTrace emits the recorded spans, rule events and instants as
+// Chrome trace-event JSON. Each worker becomes a thread (tid = worker
+// id); spans become properly nested B/E pairs with non-decreasing
+// timestamps per thread; rule fires and instants become thread-scoped
+// instant events. A worker that has only instants (e.g. the runtime
+// timeline carrying GC pauses and tier promotions) still gets a thread.
 func (r *Recorder) WriteTrace(w io.Writer) error {
 	if r == nil {
 		return fmt.Errorf("obs: no recorder")
 	}
 	spans := r.Spans()
 	rules := r.Rules()
+	instants := r.Instants()
+	r.mu.Lock()
+	names := make(map[int]string, len(r.threadNames))
+	for k, v := range r.threadNames {
+		names[k] = v
+	}
+	r.mu.Unlock()
 
 	byWorker := map[int][]Span{}
+	widSet := map[int]bool{}
 	for _, s := range spans {
 		byWorker[s.Worker] = append(byWorker[s.Worker], s)
+		widSet[s.Worker] = true
 	}
-	workers := make([]int, 0, len(byWorker))
-	for wid := range byWorker {
+	for _, ev := range rules {
+		widSet[ev.Worker] = true
+	}
+	for _, ev := range instants {
+		widSet[ev.Worker] = true
+	}
+	workers := make([]int, 0, len(widSet))
+	for wid := range widSet {
 		workers = append(workers, wid)
 	}
 	sort.Ints(workers)
@@ -58,9 +75,13 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 		Args: map[string]any{"name": "slc compile pipeline"},
 	})
 	for _, wid := range workers {
-		name := "driver"
-		if wid > 0 {
-			name = fmt.Sprintf("worker %d", wid)
+		name := names[wid]
+		if name == "" {
+			if wid == 0 {
+				name = "driver"
+			} else {
+				name = fmt.Sprintf("worker %d", wid)
+			}
 		}
 		events = append(events, traceEvent{
 			Name: "thread_name", Ph: "M", Pid: tracePid, Tid: wid,
@@ -70,21 +91,36 @@ func (r *Recorder) WriteTrace(w io.Writer) error {
 
 	for _, wid := range workers {
 		tl := workerTimeline(wid, byWorker[wid])
-		// Merge this worker's rule fires into its timeline by timestamp;
-		// instants never affect B/E nesting.
-		for _, ev := range rules {
-			if ev.Worker != wid {
-				continue
-			}
-			ie := traceEvent{
-				Name: ev.Rule, Cat: "rule", Ph: "i", Ts: usec(int64(ev.Ts)),
-				Pid: tracePid, Tid: wid, S: "t",
-				Args: map[string]any{"unit": ev.Unit},
-			}
+		// Merge this worker's rule fires and instants into its timeline by
+		// timestamp; instants never affect B/E nesting.
+		insert := func(ie traceEvent) {
 			at := sort.Search(len(tl), func(i int) bool { return tl[i].Ts > ie.Ts })
 			tl = append(tl, traceEvent{})
 			copy(tl[at+1:], tl[at:])
 			tl[at] = ie
+		}
+		for _, ev := range rules {
+			if ev.Worker != wid {
+				continue
+			}
+			insert(traceEvent{
+				Name: ev.Rule, Cat: "rule", Ph: "i", Ts: usec(int64(ev.Ts)),
+				Pid: tracePid, Tid: wid, S: "t",
+				Args: map[string]any{"unit": ev.Unit},
+			})
+		}
+		for _, ev := range instants {
+			if ev.Worker != wid {
+				continue
+			}
+			cat := ev.Cat
+			if cat == "" {
+				cat = "event"
+			}
+			insert(traceEvent{
+				Name: ev.Name, Cat: cat, Ph: "i", Ts: usec(int64(ev.Ts)),
+				Pid: tracePid, Tid: wid, S: "t", Args: ev.Args,
+			})
 		}
 		events = append(events, tl...)
 	}

@@ -65,7 +65,7 @@ func (m *Machine) SetGCThreshold(words int64) { m.gcThreshold = words }
 func (m *Machine) GC() int64 {
 	m.GCMeters.Collections++
 	var gcStart time.Time
-	if m.prof != nil {
+	if m.prof != nil || m.OnEvent != nil {
 		gcStart = time.Now()
 	}
 
@@ -156,8 +156,14 @@ func (m *Machine) GC() int64 {
 	m.GCMeters.BlocksFreed += blocks
 	m.liveSinceGC = 0
 	m.liveWords -= reclaimed
-	if p := m.prof; p != nil {
-		p.gcPause(time.Since(gcStart))
+	if m.prof != nil || m.OnEvent != nil {
+		pause := time.Since(gcStart)
+		if p := m.prof; p != nil {
+			p.gcPause(pause)
+		}
+		if m.OnEvent != nil {
+			m.OnEvent("gc-pause", "", pause)
+		}
 	}
 	return reclaimed
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/sexp"
 )
@@ -176,6 +177,15 @@ type Machine struct {
 	// safepoint — the cooperative cancellation the compile daemon's
 	// request deadlines use. Checked every interruptEvery dispatches.
 	interrupt atomic.Bool
+
+	// OnEvent, when non-nil, receives rare runtime happenings (kind is an
+	// event name matching the obs flight-recorder constants by
+	// convention: "gc-pause", "tier-promote", "tier-refusion"; unit names
+	// the function where that applies; d carries a duration when the
+	// event has one). The hook fires on collection and tier-transition
+	// paths only — never per instruction — so the disabled cost is a nil
+	// check at those sites.
+	OnEvent func(kind, unit string, d time.Duration)
 }
 
 // interruptEvery is the dispatch interval between interrupt-flag checks:

@@ -256,6 +256,9 @@ func (t *tierEngine) promote(m *Machine, idx int) {
 	if !t.fns[idx].hot {
 		t.fns[idx].hot = true
 		t.promotions++
+		if m.OnEvent != nil {
+			m.OnEvent("tier-promote", m.Funcs[idx].Name, 0)
+		}
 	}
 	t.install(m, idx)
 }
@@ -276,6 +279,9 @@ func (t *tierEngine) noteLanding(m *Machine, pc int) {
 	t.landings[pc] = true
 	if idx := m.funcAtPC(pc); idx >= 0 && idx < len(t.fns) && t.fns[idx].hot {
 		t.refusions++
+		if m.OnEvent != nil {
+			m.OnEvent("tier-refusion", m.Funcs[idx].Name, 0)
+		}
 		t.install(m, idx)
 	} else if pc < len(m.tierHeads) {
 		m.tierHeads[pc] = true
@@ -462,8 +468,8 @@ const (
 	lSqCertify   // CALLSQ certify
 	lSqSpecRead  // CALLSQ special-read through a cached handle
 	lSqSpecWrite // CALLSQ special-write through a cached handle
-	lCallIC    // CALL/CALLF through an inline cache, ends the block
-	lTCallIC   // TCALL/TCALLF through an inline cache, ends the block
+	lCallIC      // CALL/CALLF through an inline cache, ends the block
+	lTCallIC     // TCALL/TCALLF through an inline cache, ends the block
 	lRet
 )
 

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for the slcd compile daemon: start it, compile
-# and call a function, induce a deadline timeout, shed under saturation,
-# then assert a clean drain on SIGTERM. Exits non-zero on any failure.
+# and call a function, validate the per-request trace and the
+# observability endpoints, induce a deadline timeout, shed under
+# saturation, assert a clean drain on SIGTERM, then assert the flight
+# recorder dumps on SIGQUIT. Exits non-zero on any failure.
 #
 # Usage: scripts/slcd-smoke.sh [path-to-slcd]   (default: go run ./cmd/slcd)
 set -euo pipefail
@@ -18,6 +20,7 @@ if [ -z "$BIN" ]; then
   go build -o "$WORK/slcd" ./cmd/slcd
   BIN=$WORK/slcd
 fi
+go build -o "$WORK/tracecheck" ./cmd/tracecheck
 
 # -max-steps 0 lifts the instruction budget so the spinning requests
 # below run into the wall-clock deadline, not the step limit.
@@ -38,6 +41,30 @@ curl -fs "http://$DBG/healthz" | grep -q ok
 RES=$(curl -fs "http://$ADDR/run" -d '{"source":"(defun exptl (b n a) (if (= n 0) a (exptl b (- n 1) (* a b))))","fn":"exptl","args":["2","10","1"]}')
 echo "$RES" | grep -q '"value":"1024"' || { echo "exptl gave: $RES"; exit 1; }
 echo "ok: compile + run exptl -> 1024"
+
+# 1b. Request tracing: ?trace=1 embeds a Chrome trace in the response
+# linked by a W3C trace id; tracecheck -response validates both.
+curl -fs "http://$ADDR/run?trace=1" \
+  -H 'traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01' \
+  -d '{"source":"(defun sq (x) (* x x))","fn":"sq","args":["9"]}' >"$WORK/traced.json"
+grep -q '"trace_id":"4bf92f3577b34da6a3ce929d0e0e4736"' "$WORK/traced.json" \
+  || { echo "traceparent not adopted:"; cat "$WORK/traced.json"; exit 1; }
+"$WORK/tracecheck" -response "$WORK/traced.json" \
+  || { echo "embedded trace invalid"; exit 1; }
+echo "ok: ?trace=1 + traceparent -> valid per-request trace"
+
+# 1c. Metrics: /metrics must expose real Prometheus histogram series for
+# request latency, and the flight recorder must serve filtered events.
+curl -fs "http://$DBG/metrics" >"$WORK/metrics.txt"
+grep -q '# TYPE slcd_request_seconds histogram' "$WORK/metrics.txt" \
+  || { echo "no request-latency histogram:"; cat "$WORK/metrics.txt"; exit 1; }
+grep -q 'slcd_request_seconds_bucket{le="+Inf"}' "$WORK/metrics.txt" \
+  || { echo "no +Inf bucket:"; cat "$WORK/metrics.txt"; exit 1; }
+grep -q '# TYPE slcd_eval_cycles histogram' "$WORK/metrics.txt" \
+  || { echo "no eval-cycles histogram:"; cat "$WORK/metrics.txt"; exit 1; }
+curl -fs "http://$DBG/debug/events?kind=req-finish" | grep -q '"req-finish"' \
+  || { echo "/debug/events has no req-finish events"; exit 1; }
+echo "ok: /metrics histograms + /debug/events filtering"
 
 SPIN='{"source":"(defun spin (n) (prog (i) (setq i 0) loop (setq i (+ i 1)) (go loop)))","fn":"spin","args":["1"]}'
 
@@ -70,5 +97,27 @@ fi
 wait_jobs
 grep -q "drained cleanly" "$WORK/slcd.log" || { echo "no clean-drain log line:"; cat "$WORK/slcd.log"; exit 1; }
 echo "ok: SIGTERM drained in-flight work and exited cleanly"
+
+# 5. Flight-recorder dump: a fresh daemon must dump its event ring as
+# JSON on SIGQUIT (after serving one request so the ring is non-empty).
+PID=
+"$BIN" -addr $ADDR -debug-addr $DBG -workers 1 2>"$WORK/slcd-quit.log" &
+PID=$!
+ready=0
+for _ in $(seq 1 100); do
+  if curl -fs "http://$DBG/readyz" >/dev/null 2>&1; then ready=1; break; fi
+  sleep 0.1
+done
+[ "$ready" = 1 ] || { echo "slcd (SIGQUIT round) never became ready"; cat "$WORK/slcd-quit.log"; exit 1; }
+curl -fs "http://$ADDR/compile" -d '{"source":"(defun a (x) x)"}' >/dev/null
+kill -QUIT "$PID"
+rc=0; wait "$PID" || rc=$?
+PID=
+[ "$rc" = 2 ] || { echo "SIGQUIT exit code $rc, want 2"; cat "$WORK/slcd-quit.log"; exit 1; }
+grep -q ";; flight recorder dump" "$WORK/slcd-quit.log" \
+  || { echo "no flight dump marker:"; cat "$WORK/slcd-quit.log"; exit 1; }
+grep -q '"req-finish"' "$WORK/slcd-quit.log" \
+  || { echo "dump has no request events:"; cat "$WORK/slcd-quit.log"; exit 1; }
+echo "ok: SIGQUIT dumped the flight recorder and exited 2"
 
 echo "slcd smoke: all checks passed"
