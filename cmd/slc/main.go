@@ -36,6 +36,16 @@
 //	slc -cache-dir /tmp/slc-cache prog.lisp   # crash-safe durable compile cache
 //	slc -gc-stress -run main prog.lisp        # GC before every allocation
 //	slc -image-hash prog.lisp                 # print the machine-image fingerprint
+//
+// Snapshot flags (see DESIGN.md §14): a snapshot is a versioned,
+// checksummed serialization of the whole compiled machine; restoring it
+// reproduces the image byte-for-byte (verified against the recorded
+// fingerprint) without recompiling. A snapshot that fails verification
+// degrades to a cold compile with a warning, never a wrong image.
+//
+//	slc -snapshot-out boot.snap prelude.lisp  # compile once, snapshot
+//	slc -snapshot-in boot.snap -run main      # warm boot, no compile
+//	slc -snapshot-in boot.snap more.lisp      # warm boot, load more on top
 package main
 
 import (
@@ -52,6 +62,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/s1"
 	"repro/internal/sexp"
+	"repro/internal/snapshot"
 )
 
 // tierThreshold maps the -hot-threshold flag onto core.Options
@@ -92,6 +103,8 @@ func run() error {
 		cacheDir   = flag.String("cache-dir", "", "durable on-disk compile cache directory (crash-safe; shareable between processes)")
 		gcStress   = flag.Bool("gc-stress", false, "force a garbage collection before every runtime allocation (invariant shakeout)")
 		imageHash  = flag.Bool("image-hash", false, "print the machine-image fingerprint after loading")
+		snapOut    = flag.String("snapshot-out", "", "after a clean load, write a versioned machine snapshot to this file")
+		snapIn     = flag.String("snapshot-in", "", "boot from this machine snapshot instead of cold compiling (verified; falls back to cold compile on damage or mismatch)")
 		jobs       = flag.Int("jobs", 0, "concurrent compile workers (0 = GOMAXPROCS, 1 = sequential)")
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file of the compile pipeline (load in Perfetto)")
 		phaseStats = flag.Bool("phase-stats", false, "print an aggregated per-phase compile-time table")
@@ -128,15 +141,24 @@ func run() error {
 			return err
 		}
 	}
+	// Positional arguments are [file.lisp] [run-args...]. The source file
+	// is optional when booting from a snapshot (or into a REPL): with
+	// -snapshot-in, a first argument that is not an existing file is
+	// taken as the first -run argument instead.
+	runArgs := flag.Args()
 	var src []byte
 	if flag.NArg() >= 1 {
-		var err error
-		if src, err = os.ReadFile(flag.Arg(0)); err != nil {
-			return err
+		first := flag.Arg(0)
+		if _, err := os.Stat(first); err == nil || *snapIn == "" {
+			var rerr error
+			if src, rerr = os.ReadFile(first); rerr != nil {
+				return rerr
+			}
+			runArgs = runArgs[1:]
 		}
-	} else if !*replMode {
+	} else if !*replMode && *snapIn == "" {
 		flag.Usage()
-		return fmt.Errorf("need a source file (or -repl)")
+		return fmt.Errorf("need a source file (or -repl / -snapshot-in)")
 	}
 
 	opts := codegen.DefaultOptions()
@@ -172,7 +194,25 @@ func run() error {
 	// serve at /debug/events when -debug-addr is up.
 	flight := obs.NewFlight(obs.DefaultFlightSize)
 	sysOpts.Flight = flight
-	sys := core.NewSystem(sysOpts)
+	// Boot: from a verified snapshot when -snapshot-in names a usable
+	// one, cold otherwise. Snapshot damage is never fatal as long as
+	// there is something to cold-compile instead.
+	var sys *core.System
+	if *snapIn != "" {
+		if snap, err := snapshot.ReadFile(*snapIn); err != nil {
+			fmt.Fprintf(os.Stderr, "slc: snapshot %s unusable (%v); cold compiling\n", *snapIn, err)
+		} else if restored, err := core.RestoreSystem(sysOpts, snap); err != nil {
+			fmt.Fprintf(os.Stderr, "slc: snapshot %s failed verification (%v); cold compiling\n", *snapIn, err)
+		} else {
+			sys = restored
+		}
+		if sys == nil && len(src) == 0 && !*replMode {
+			return fmt.Errorf("snapshot %s unusable and no source file to cold compile", *snapIn)
+		}
+	}
+	if sys == nil {
+		sys = core.NewSystem(sysOpts)
+	}
 	if *profile || *folded != "" {
 		sys.EnableProfile()
 	}
@@ -206,6 +246,21 @@ func run() error {
 		fmt.Println(sys.Machine.ImageFingerprint())
 	}
 
+	if *snapOut != "" {
+		if loadErrors > 0 {
+			fmt.Fprintf(os.Stderr, "slc: not writing %s: load had errors\n", *snapOut)
+		} else {
+			snap, err := sys.Snapshot()
+			if err != nil {
+				return err
+			}
+			if err := snapshot.WriteFile(*snapOut, snap); err != nil {
+				return err
+			}
+			log.Info("snapshot written", "file", *snapOut, "image", snap.Meta.ImageHash)
+		}
+	}
+
 	if *listing {
 		names := make([]string, 0, len(sys.Defs))
 		for n := range sys.Defs {
@@ -222,8 +277,8 @@ func run() error {
 	}
 
 	if *runFn != "" {
-		args := make([]sexp.Value, 0, flag.NArg()-1)
-		for _, a := range flag.Args()[1:] {
+		args := make([]sexp.Value, 0, len(runArgs))
+		for _, a := range runArgs {
 			v, err := sexp.ReadOne(a)
 			if err != nil {
 				return fmt.Errorf("argument %q: %w", a, err)

@@ -16,6 +16,14 @@
 // quarantines torn entries; a circuit breaker shunts it after repeated
 // corruption). See DESIGN.md §11.
 //
+// Warm boot (DESIGN.md §14): with -prelude, every request's system gets
+// that library pre-loaded; with -snapshot-dir, the compiled prelude is
+// served from a crash-safe verified snapshot — the daemon restores it
+// at startup instead of recompiling, writes a checkpoint after a cold
+// prelude compile, and re-checkpoints on SIGUSR1 or POST
+// /admin/checkpoint. A missing, stale or corrupt snapshot degrades to a
+// cold compile (corrupt files are quarantined), never a crash.
+//
 // Observability (DESIGN.md §13): every request gets a W3C traceparent
 // (accepted or generated) that links its daemon span, compile phases,
 // tier promotions and GC pauses; an always-on flight recorder of the
@@ -55,6 +63,7 @@ import (
 	"repro/internal/diag"
 	"repro/internal/obs"
 	"repro/internal/s1"
+	"repro/internal/snapshot"
 )
 
 func main() {
@@ -85,6 +94,8 @@ func run() error {
 		maxSteps   = flag.Int64("max-steps", 50_000_000, "per-request simulator instruction budget (0 = machine default)")
 		maxHeap    = flag.Int64("max-heap", 4<<20, "per-request live heap word budget (0 = unlimited)")
 		cacheDir   = flag.String("cache-dir", "", "durable on-disk compile cache directory shared across requests and processes")
+		preludeF   = flag.String("prelude", "", "Lisp source file loaded into every request's system (the daemon's standard library)")
+		snapDir    = flag.String("snapshot-dir", "", "durable machine-snapshot directory for warm boot across restarts (requires -prelude)")
 		faultSpec  = flag.String("fault", "", "fault-injection plan, e.g. 'disk:*:cache-write;request:unit=slow:deadline' (default $SLC_FAULT)")
 		optWatch   = flag.Duration("opt-watchdog", 5*time.Second, "wall-clock budget for each unit's optimizer fixpoint (0 = none)")
 		noTier     = flag.Bool("notier", false, "disable tiered execution in per-request machines")
@@ -159,7 +170,31 @@ func run() error {
 		cfg.Disk = d
 		log.Info("durable cache open", "dir", *cacheDir)
 	}
+	if *preludeF != "" {
+		b, err := os.ReadFile(*preludeF)
+		if err != nil {
+			return err
+		}
+		cfg.Prelude = string(b)
+	}
+	if *snapDir != "" {
+		if cfg.Prelude == "" {
+			return fmt.Errorf("-snapshot-dir requires -prelude")
+		}
+		st, err := snapshot.OpenStore(*snapDir, faultPlan)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		cfg.Snapshots = st
+		log.Info("snapshot store open", "dir", *snapDir)
+	}
 	srv := daemon.New(cfg)
+	// Arm warm boot: restore the pinned snapshot or cold compile the
+	// prelude and checkpoint. Only an uncompilable prelude is fatal.
+	if err := srv.Boot(); err != nil {
+		return err
+	}
 
 	if *debugAddr != "" {
 		reg := obs.NewRegistry()
@@ -184,22 +219,36 @@ func run() error {
 		"endpoints", "POST /compile, POST /run")
 
 	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM, syscall.SIGQUIT)
-	select {
-	case sig := <-sigc:
-		if sig == syscall.SIGQUIT {
-			// Post-mortem on demand: dump the flight recorder as JSON and
-			// exit non-zero (mirroring the Go runtime's SIGQUIT convention
-			// of "crash with state", minus the goroutine dump).
-			log.Error("SIGQUIT: dumping flight recorder")
-			fmt.Fprintln(os.Stderr, ";; flight recorder dump")
-			flight.WriteJSON(os.Stderr, obs.Filter{})
-			hs.Close()
-			os.Exit(2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM, syscall.SIGQUIT, syscall.SIGUSR1)
+loop:
+	for {
+		select {
+		case sig := <-sigc:
+			switch sig {
+			case syscall.SIGUSR1:
+				// Operator-requested re-checkpoint (the signal spelling of
+				// POST /admin/checkpoint); failure logs and keeps serving.
+				if err := srv.Checkpoint(); err != nil {
+					log.Warn("SIGUSR1 checkpoint failed", "err", err.Error())
+				} else {
+					log.Info("SIGUSR1 checkpoint written")
+				}
+				continue
+			case syscall.SIGQUIT:
+				// Post-mortem on demand: dump the flight recorder as JSON and
+				// exit non-zero (mirroring the Go runtime's SIGQUIT convention
+				// of "crash with state", minus the goroutine dump).
+				log.Error("SIGQUIT: dumping flight recorder")
+				fmt.Fprintln(os.Stderr, ";; flight recorder dump")
+				flight.WriteJSON(os.Stderr, obs.Filter{})
+				hs.Close()
+				os.Exit(2)
+			}
+			log.Info("draining in-flight requests", "signal", sig.String())
+			break loop
+		case err := <-errc:
+			return err
 		}
-		log.Info("draining in-flight requests", "signal", sig.String())
-	case err := <-errc:
-		return err
 	}
 
 	// Drain: stop admitting, finish in-flight work, then close the

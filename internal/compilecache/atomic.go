@@ -1,0 +1,43 @@
+package compilecache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile durably publishes data as dir/name using the
+// crash-safe protocol every durable artifact in this repo shares
+// (DESIGN.md §11): the bytes go to a unique temp file in the same
+// directory, the file is fsynced and closed, atomically renamed into
+// place, and the directory is fsynced so the rename itself is durable.
+// A crash at any point leaves either no file or the complete new file —
+// never a half-visible one. Readers are still expected to verify
+// checksums: atomicity does not protect against media corruption or
+// writers that bypass this protocol.
+func AtomicWriteFile(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return fmt.Errorf("creating temp file for %s: %w", name, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if err2 := tmp.Close(); err == nil {
+		err = err2
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("writing temp file for %s: %w", name, err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("publishing %s: %w", name, err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -357,28 +357,8 @@ func (d *Disk) Store(key string, e *DiskEntry) error {
 		torn := full.Bytes()[:full.Len()/2]
 		return os.WriteFile(d.entryPath(key), torn, 0o666)
 	}
-	tmp, err := os.CreateTemp(d.dir, key+".tmp*")
-	if err != nil {
-		return fmt.Errorf("compilecache: creating temp entry: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(full.Bytes()); err == nil {
-		err = tmp.Sync()
-	}
-	if err2 := tmp.Close(); err == nil {
-		err = err2
-	}
-	if err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("compilecache: writing temp entry: %w", err)
-	}
-	if err := os.Rename(tmpName, d.entryPath(key)); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("compilecache: publishing entry: %w", err)
-	}
-	if dir, err := os.Open(d.dir); err == nil {
-		dir.Sync()
-		dir.Close()
+	if err := AtomicWriteFile(d.dir, key+".e", full.Bytes()); err != nil {
+		return fmt.Errorf("compilecache: %w", err)
 	}
 	d.stats.Stores++
 	return nil

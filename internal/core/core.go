@@ -145,6 +145,11 @@ type System struct {
 	macros        map[*sexp.Symbol]*interp.Closure
 	toplevelCount int
 	batchCount    int
+	// sources accumulates every loaded source text, in load order — the
+	// replay script a snapshot stores so a restore can rehydrate the
+	// interpreter and macro expanders without touching the machine
+	// (snapshot.go).
+	sources []string
 
 	jobs int
 	// cache memoizes compiled bodies; constsFP and macroEpoch are the
@@ -385,6 +390,7 @@ func asDiag(err error, unit string, line, col int) *diag.Diagnostic {
 // the (never nil) diagnostic list.
 func (s *System) EvalStringDiag(src string) (sexp.Value, *diag.List) {
 	list := diag.NewList(s.maxErrors)
+	s.sources = append(s.sources, src)
 	// Reading and macro-conversion are batch-granularity stages (they see
 	// the whole text, not one defun), so their spans attach to a pseudo
 	// unit named for the batch.

@@ -1,0 +1,288 @@
+// Restore-vs-rebuild differential suite: a system restored from a
+// snapshot must be observationally identical to one that cold-compiled
+// the same sources — same -image-hash, same allocator context, same
+// heap statistics, same eval results and meters, and identical
+// evolution under *further* loads (gensym, macro epoch and unit-naming
+// counters all pinned). CI runs this file under S1_TIER_MODE=notier and
+// =forcehot as well (see .github/workflows), and the suite has its own
+// -gc-stress leg.
+package core
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/sexp"
+	"repro/internal/snapshot"
+)
+
+// snapPrelude exercises every snapshot-relevant feature: proclaimed
+// specials, defvars with heap-allocated values, macros, mutual
+// recursion, cons churn (so the GC runs and free lists populate), and
+// boxed constants (strings, bignum-producing arithmetic).
+const snapPrelude = `
+(proclaim '(special *scale*))
+(defvar *scale* 3)
+(defmacro twice (x) (list '+ x x))
+(defun exptl (b n a) (if (= n 0) a (exptl b (- n 1) (* a b))))
+(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+(defun build (n) (if (zerop n) nil (cons n (build (- n 1)))))
+(defun len (l) (if (null l) 0 (+ 1 (len (cdr l)))))
+(defun churn (n) (len (build n)))
+(defun scaled (x) (* x *scale*))
+(defun twiced (x) (twice (scaled x)))
+(defun greet () "hello snapshot")
+(defvar *tbl* (build 16))
+(churn 24)
+`
+
+// snapOpts is the per-mode system configuration, honoring the
+// S1_TIER_MODE CI legs the way the s1 differential suites do.
+func snapOpts(t testing.TB, gcStress bool) Options {
+	opts := Options{GCStress: gcStress}
+	switch mode := os.Getenv("S1_TIER_MODE"); mode {
+	case "":
+	case "notier":
+		opts.NoTier = true
+	case "forcehot":
+		opts.HotThreshold = -1
+	default:
+		t.Fatalf("unknown S1_TIER_MODE %q", mode)
+	}
+	return opts
+}
+
+// coldBoot compiles the prelude from scratch.
+func coldBoot(t testing.TB, opts Options) *System {
+	sys := NewSystem(opts)
+	if err := sys.LoadString(snapPrelude); err != nil {
+		t.Fatalf("cold load: %v", err)
+	}
+	return sys
+}
+
+// warmBoot snapshots cold, pushes the snapshot through the full wire
+// format (encode + verify + decode), and restores it under opts.
+func warmBoot(t testing.TB, cold *System, opts Options) *System {
+	snap, err := cold.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	data, err := snap.Bytes()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	decoded, err := snapshot.DecodeBytes(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	warm, err := RestoreSystem(opts, decoded)
+	if err != nil {
+		t.Fatalf("RestoreSystem: %v", err)
+	}
+	return warm
+}
+
+func testRestoreEquivalence(t *testing.T, gcStress bool) {
+	opts := snapOpts(t, gcStress)
+	cold := coldBoot(t, opts)
+	warm := warmBoot(t, cold, opts)
+
+	if c, w := cold.Machine.ImageFingerprint(), warm.Machine.ImageFingerprint(); c != w {
+		t.Fatalf("image hash diverged:\ncold %s\nwarm %s", c, w)
+	}
+	if c, w := cold.Machine.AllocContext(), warm.Machine.AllocContext(); c != w {
+		t.Fatalf("allocator context diverged: cold %s warm %s", c, w)
+	}
+	if c, w := cold.Machine.LiveHeapWords(), warm.Machine.LiveHeapWords(); c != w {
+		t.Errorf("live heap words diverged: cold %d warm %d", c, w)
+	}
+	if err := warm.Machine.CheckHeapInvariants(); err != nil {
+		t.Errorf("warm heap invariants: %v", err)
+	}
+
+	// Eval differential: same results and identical meters for the paper
+	// kernels, starting from a clean slate on both.
+	kernels := []struct {
+		fn   string
+		args []sexp.Value
+		want string
+	}{
+		{"exptl", []sexp.Value{sexp.Fixnum(2), sexp.Fixnum(10), sexp.Fixnum(1)}, "1024"},
+		{"fib", []sexp.Value{sexp.Fixnum(10)}, "55"},
+		{"churn", []sexp.Value{sexp.Fixnum(32)}, "32"},
+		{"twiced", []sexp.Value{sexp.Fixnum(5)}, "30"},
+		{"greet", nil, `"hello snapshot"`},
+	}
+	cold.ResetStats()
+	warm.ResetStats()
+	for _, k := range kernels {
+		cv, cerr := cold.Call(k.fn, k.args...)
+		wv, werr := warm.Call(k.fn, k.args...)
+		if cerr != nil || werr != nil {
+			t.Fatalf("%s: cold err %v, warm err %v", k.fn, cerr, werr)
+		}
+		if cs, ws := sexp.Print(cv), sexp.Print(wv); cs != ws || cs != k.want {
+			t.Errorf("%s: cold %s, warm %s, want %s", k.fn, cs, ws, k.want)
+		}
+	}
+	if c, w := *cold.Stats(), *warm.Stats(); c != w {
+		t.Errorf("kernel meters diverged:\ncold %+v\nwarm %+v", c, w)
+	}
+	if c, w := cold.Machine.ImageFingerprint(), warm.Machine.ImageFingerprint(); c != w {
+		t.Errorf("image hash diverged after kernels (heap evolution differs)")
+	}
+
+	// Interpreter side survived rehydration.
+	if v, err := warm.Interpret("fib", sexp.Fixnum(8)); err != nil || sexp.Print(v) != "21" {
+		t.Errorf("warm interpreter: %v %v", v, err)
+	}
+
+	// Post-boot loads must evolve both images identically: this needs the
+	// rehydrated macro expanders, the pinned gensym counter, and the
+	// pinned unit-naming counters (%toplevel-N names land in the image).
+	post := `(defun after-boot (y) (twice (+ y *scale*)))
+(after-boot 4)`
+	if err := cold.LoadString(post); err != nil {
+		t.Fatalf("cold post-load: %v", err)
+	}
+	if err := warm.LoadString(post); err != nil {
+		t.Fatalf("warm post-load: %v", err)
+	}
+	if c, w := cold.Machine.ImageFingerprint(), warm.Machine.ImageFingerprint(); c != w {
+		t.Errorf("image hash diverged after post-boot load:\ncold %s\nwarm %s", c, w)
+	}
+	cv, _ := cold.Call("after-boot", sexp.Fixnum(4))
+	wv, err := warm.Call("after-boot", sexp.Fixnum(4))
+	if err != nil || sexp.Print(cv) != sexp.Print(wv) || sexp.Print(wv) != "14" {
+		t.Errorf("after-boot: cold %v, warm %v (err %v), want 14", cv, wv, err)
+	}
+}
+
+func TestSnapshotRestoreDifferential(t *testing.T) {
+	testRestoreEquivalence(t, false)
+}
+
+func TestSnapshotRestoreDifferentialGCStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gc-stress collects before every allocation")
+	}
+	testRestoreEquivalence(t, true)
+}
+
+// A restored system must be able to snapshot again, and the second
+// snapshot must describe the same image.
+func TestSnapshotOfRestoredSystem(t *testing.T) {
+	opts := snapOpts(t, false)
+	cold := coldBoot(t, opts)
+	warm := warmBoot(t, cold, opts)
+	snap1, err := cold.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := warm.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap1.Meta != snap2.Meta {
+		t.Errorf("re-snapshot meta diverged:\n%+v\n%+v", snap1.Meta, snap2.Meta)
+	}
+	b1, _ := snap1.Bytes()
+	b2, _ := snap2.Bytes()
+	if string(b1) != string(b2) {
+		t.Error("re-snapshot bytes diverged from the original snapshot")
+	}
+}
+
+// Verified restore: a snapshot whose recorded hashes do not match the
+// machine it reproduces must fail to restore (the caller then
+// cold-compiles) — never produce a system silently claiming the wrong
+// image.
+func TestRestoreVerificationRefusesMismatch(t *testing.T) {
+	opts := snapOpts(t, false)
+	cold := coldBoot(t, opts)
+	tamper := []struct {
+		name string
+		mut  func(s *snapshot.Snapshot)
+	}{
+		{"image-hash", func(s *snapshot.Snapshot) { s.Meta.ImageHash = "0000" }},
+		{"alloc-ctx", func(s *snapshot.Snapshot) { s.Meta.AllocCtx = "ffff" }},
+		{"heap-words", func(s *snapshot.Snapshot) {
+			s.Image.Heap[0], s.Image.Heap[1] = s.Image.Heap[1], s.Image.Heap[0]
+		}},
+		{"sym-cell", func(s *snapshot.Snapshot) { s.Image.Syms[0].Name += "x" }},
+	}
+	for _, tc := range tamper {
+		t.Run(tc.name, func(t *testing.T) {
+			snap, err := cold.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.mut(snap)
+			if _, err := RestoreSystem(opts, snap); err == nil {
+				t.Errorf("restore accepted a %s mismatch", tc.name)
+			}
+		})
+	}
+}
+
+// Systems with compile-time constants are excluded from snapshots for
+// the same reason they are excluded from the durable compile cache.
+func TestSnapshotConstantsExcluded(t *testing.T) {
+	sys := NewSystem(Options{Constants: map[string]sexp.Value{"k": sexp.Fixnum(1)}})
+	if _, err := sys.Snapshot(); err == nil {
+		t.Error("Snapshot succeeded with compile-time constants")
+	}
+	plain := coldBoot(t, Options{})
+	snap, err := plain.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreSystem(Options{Constants: map[string]sexp.Value{"k": sexp.Fixnum(1)}}, snap); err == nil {
+		t.Error("RestoreSystem accepted compile-time constants")
+	}
+}
+
+// BenchmarkSnapshotBoot measures the tentpole claim: warm-start eval is
+// O(restore) — decode, verify, load, rehydrate — not O(recompile).
+func BenchmarkSnapshotBoot(b *testing.B) {
+	opts := Options{}
+	cold := coldBoot(b, opts)
+	snap, err := cold.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := snap.Bytes()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("snapshot size: %d bytes", len(data))
+	check := func(b *testing.B, sys *System) {
+		v, err := sys.Call("exptl", sexp.Fixnum(2), sexp.Fixnum(8), sexp.Fixnum(1))
+		if err != nil || sexp.Print(v) != "256" {
+			b.Fatalf("eval after boot: %v %v", v, err)
+		}
+	}
+	b.Run("cold-compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys := NewSystem(opts)
+			if err := sys.LoadString(snapPrelude); err != nil {
+				b.Fatal(err)
+			}
+			check(b, sys)
+		}
+	})
+	b.Run("warm-restore", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			decoded, err := snapshot.DecodeBytes(data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys, err := RestoreSystem(opts, decoded)
+			if err != nil {
+				b.Fatal(err)
+			}
+			check(b, sys)
+		}
+	})
+}

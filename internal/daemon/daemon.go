@@ -44,10 +44,10 @@ import (
 	"time"
 
 	"repro/internal/compilecache"
-	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/obs"
 	"repro/internal/sexp"
+	"repro/internal/snapshot"
 )
 
 // Config sizes and arms a Server. Zero values take the documented
@@ -75,6 +75,16 @@ type Config struct {
 	HotThreshold int64
 	// Disk is the shared durable compile cache (nil = none).
 	Disk *compilecache.Disk
+	// Prelude is Lisp source loaded into every request's system before
+	// the request's own source (the daemon's standard library). With
+	// Snapshots set, the prelude is compiled once and each request
+	// restores the verified snapshot — warm boot — instead of
+	// recompiling; without it, each request cold-loads the prelude.
+	Prelude string
+	// Snapshots is the durable snapshot store backing warm boot across
+	// process restarts (nil = in-memory warm boot only). See Boot and
+	// Checkpoint.
+	Snapshots *snapshot.Store
 	// Fault is the injection plan; a matching deadline fault makes a
 	// request behave as if its deadline had already expired.
 	Fault *diag.Plan
@@ -150,6 +160,12 @@ type Stats struct {
 	TierPromotions int64 `json:"tier_promotions"`
 	TierRefusions  int64 `json:"tier_refusions"`
 	TierCacheFills int64 `json:"tier_cache_fills"`
+	// Snapshot counters: per-request systems served from the boot
+	// snapshot, restores that failed verification and fell back to a
+	// cold compile, and checkpoints written.
+	SnapshotRestores        int64 `json:"snapshot_restores"`
+	SnapshotRestoreFailures int64 `json:"snapshot_restore_failures"`
+	SnapshotCheckpoints     int64 `json:"snapshot_checkpoints"`
 }
 
 // span is one request's record in the export ring. New fields are
@@ -205,6 +221,10 @@ type Server struct {
 	gcHist     *obs.Histogram
 	cyclesHist *obs.Histogram
 
+	// bootSnap is the current verified prelude snapshot; per-request
+	// systems restore from it instead of recompiling the prelude.
+	bootSnap atomic.Pointer[snapshot.Snapshot]
+
 	mu     sync.Mutex
 	stats  Stats
 	nextID int64
@@ -247,6 +267,13 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /compile", func(w http.ResponseWriter, r *http.Request) { s.handle(w, r, false) })
 	s.mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) { s.handle(w, r, true) })
+	s.mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
+	if cfg.Snapshots != nil {
+		// Quarantines and other store events land in the flight recorder.
+		cfg.Snapshots.SetEventHook(func(kind, name string) {
+			s.flight.Record(obs.Event{Kind: kind, Unit: name})
+		})
+	}
 	return s
 }
 
@@ -278,7 +305,7 @@ func (s *Server) Stats() Stats {
 // Metrics exposes the counters in the obs metrics-snapshot shape.
 func (s *Server) Metrics() map[string]float64 {
 	st := s.Stats()
-	return map[string]float64{
+	m := map[string]float64{
 		"slcd_requests_accepted":           float64(st.Accepted),
 		"slcd_requests_ok":                 float64(st.Succeeded),
 		"slcd_requests_failed":             float64(st.Failed),
@@ -290,7 +317,33 @@ func (s *Server) Metrics() map[string]float64 {
 		"slcd_tier_promotions_total":       float64(st.TierPromotions),
 		"slcd_tier_refusions_total":        float64(st.TierRefusions),
 		"slcd_tier_call_cache_fills_total": float64(st.TierCacheFills),
+		// 0 = closed, 1 = open, 2 = half-open (compilecache.BreakerState
+		// order); 0 when no disk cache is configured.
+		"slcd_cache_breaker_state":             0,
+		"slcd_snapshot_restores_total":         float64(st.SnapshotRestores),
+		"slcd_snapshot_restore_failures_total": float64(st.SnapshotRestoreFailures),
+		"slcd_snapshot_checkpoints_total":      float64(st.SnapshotCheckpoints),
 	}
+	if s.cfg.Disk != nil {
+		m["slcd_cache_breaker_state"] = float64(s.cfg.Disk.Breaker().State())
+	}
+	return m
+}
+
+// Degraded lists the subsystems currently operating in a reduced mode:
+// the daemon still serves (readiness stays true) but an operator should
+// look. Surfaced as the "degraded" array on /readyz.
+func (s *Server) Degraded() []string {
+	var out []string
+	if d := s.cfg.Disk; d != nil && d.Breaker().State() != compilecache.BreakerClosed {
+		out = append(out, "cache-breaker-open")
+	}
+	if s.cfg.Prelude != "" && s.cfg.Snapshots != nil && s.bootSnap.Load() == nil {
+		// Warm boot is configured but no verified snapshot is live:
+		// every request is paying a cold prelude compile.
+		out = append(out, "snapshot-cold")
+	}
+	return out
 }
 
 // Draining reports whether Drain has begun.
@@ -324,11 +377,20 @@ func (s *Server) RegisterDebug(mux *http.ServeMux) {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
 		if s.draining.Load() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]any{"ok": false, "reason": "draining"})
 			return
 		}
-		fmt.Fprintln(w, "ready")
+		// Degraded subsystems (open cache breaker, cold snapshot) are
+		// reported but keep readiness true: the daemon serves correct
+		// results either way, just slower.
+		out := map[string]any{"ok": true}
+		if deg := s.Degraded(); len(deg) > 0 {
+			out["degraded"] = deg
+		}
+		json.NewEncoder(w).Encode(out)
 	})
 	mux.HandleFunc("/requests", func(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
@@ -557,19 +619,10 @@ func (s *Server) execute(ctx context.Context, req *Request, call bool, traceID s
 	// phase-latency histogram, and when the caller asked for ?trace=1
 	// they become its Chrome trace.
 	rec := obs.NewRecorder()
-	sys := core.NewSystem(core.Options{
-		Jobs:         1, // concurrency lives at the request level
-		MaxSteps:     s.cfg.MaxSteps,
-		MaxHeapWords: s.cfg.MaxHeapWords,
-		OptWatchdog:  s.cfg.OptWatchdog,
-		DiskCache:    s.cfg.Disk,
-		Fault:        s.cfg.Fault,
-		NoTier:       s.cfg.NoTier,
-		HotThreshold: s.cfg.HotThreshold,
-		Obs:          rec,
-		Flight:       s.flight,
-		TraceID:      traceID,
-	})
+	opts := s.sysOptions()
+	opts.Obs = rec
+	opts.TraceID = traceID
+	sys := s.bootSystem(opts, traceID)
 	// Tee the machine's runtime events into the GC-pause histogram on
 	// top of the flight recording core already wired up.
 	if prev := sys.Machine.OnEvent; prev != nil {

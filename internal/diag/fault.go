@@ -27,6 +27,8 @@ import (
 //	SLC_FAULT=rep:defun=f:error;emit:defun=g:panic
 //	SLC_FAULT=disk:*:cache-write              # tear every durable cache write
 //	SLC_FAULT=request:*:deadline              # expire every slcd request deadline
+//	SLC_FAULT=snapshot:*:snapshot-write       # tear every snapshot checkpoint write
+//	SLC_FAULT=snapshot:unit=boot:snapshot-read # treat the boot snapshot as corrupt
 
 // Fault kinds.
 const (
@@ -40,6 +42,14 @@ const (
 	// KindDeadline makes the daemon treat the matching request's context
 	// as already expired, exercising the timeout-diagnostic path.
 	KindDeadline = "deadline"
+	// KindSnapshotWrite makes the snapshot store write a torn snapshot
+	// file — valid header, truncated sections — with the atomicity
+	// protocol bypassed, exercising open-time quarantine (DESIGN.md §14).
+	KindSnapshotWrite = "snapshot-write"
+	// KindSnapshotRead makes the snapshot store treat the matching read
+	// as corrupt, exercising the quarantine-and-cold-compile fallback
+	// without damaging the file on disk first.
+	KindSnapshotRead = "snapshot-read"
 )
 
 // Fault is one injection rule.
@@ -113,9 +123,10 @@ func ParsePlan(s string) (*Plan, error) {
 			return nil, fmt.Errorf("diag: fault selector %q: want defun=NAME, unit=NAME or *", sel)
 		}
 		switch f.Kind {
-		case KindPanic, KindError, KindCorrupt, KindCacheWrite, KindDeadline:
+		case KindPanic, KindError, KindCorrupt, KindCacheWrite, KindDeadline,
+			KindSnapshotWrite, KindSnapshotRead:
 		default:
-			return nil, fmt.Errorf("diag: fault kind %q: want panic, error, corrupt, cache-write or deadline", f.Kind)
+			return nil, fmt.Errorf("diag: fault kind %q: want panic, error, corrupt, cache-write, deadline, snapshot-write or snapshot-read", f.Kind)
 		}
 		if f.Phase == "" || f.Unit == "" {
 			return nil, fmt.Errorf("diag: fault entry %q: empty phase or unit", ent)

@@ -40,6 +40,13 @@ const (
 	EvCacheQuarantine = "cache-quarantine"
 	EvFault           = "fault"
 	EvPanic           = "panic"
+	// Snapshot lifecycle (DESIGN.md §14): a checkpoint written, a warm
+	// boot restored, a file quarantined, and a restore that degraded to a
+	// cold compile.
+	EvSnapshotCheckpoint = "snapshot-checkpoint"
+	EvSnapshotRestore    = "snapshot-restore"
+	EvSnapshotQuarantine = "snapshot-quarantine"
+	EvSnapshotFallback   = "snapshot-fallback"
 )
 
 // Severities, ordered.
@@ -68,7 +75,8 @@ func sevRank(s string) int {
 // it in when the caller leaves Sev empty.
 func kindSeverity(kind string) string {
 	switch kind {
-	case EvLoadShed, EvDeadline, EvCacheQuarantine, EvFault:
+	case EvLoadShed, EvDeadline, EvCacheQuarantine, EvFault,
+		EvSnapshotQuarantine, EvSnapshotFallback:
 		return SevWarn
 	case EvPanic:
 		return SevError

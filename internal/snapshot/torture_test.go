@@ -1,0 +1,127 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/snapshot"
+)
+
+// spawnWriters builds the child commands for the multi-process tests.
+func spawnWriters(t *testing.T, dir string, n int) []*exec.Cmd {
+	t.Helper()
+	cmds := make([]*exec.Cmd, 0, n)
+	for w := 0; w < n; w++ {
+		cmd := exec.Command(os.Args[0], "-test.run=TestHelperStoreWriter$", "-test.v=false")
+		cmd.Env = append(os.Environ(),
+			"SLC_SNAP_WRITER_DIR="+dir,
+			fmt.Sprintf("SLC_SNAP_WRITER_ID=w%d", w))
+		var out bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &out, &out
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	return cmds
+}
+
+// TestHelperCheckpointLoop is the child body for TestKill9SnapshotTorture:
+// it re-checkpoints a bulky snapshot under one name as fast as it can
+// until killed — every kill lands before, inside, or after a write.
+func TestHelperCheckpointLoop(t *testing.T) {
+	dir := os.Getenv("SLC_SNAP_TORTURE_DIR")
+	if dir == "" {
+		t.Skip("helper process for TestKill9SnapshotTorture")
+	}
+	st, err := snapshot.OpenStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// A wide heap makes the write window (encode + temp write + fsync +
+	// rename) wide enough for SIGKILL to land inside it.
+	snap := testSnapshot(t, 20000)
+	for {
+		if err := st.Save("boot", snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestKill9SnapshotTorture hammers the checkpoint protocol: SIGKILL a
+// tight checkpoint loop repeatedly, then require that the directory is
+// either restorable or cleanly quarantined — a boot after any crash
+// either loads a fully verified snapshot or gets a clean not-found,
+// never corrupt bytes.
+func TestKill9SnapshotTorture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes")
+	}
+	dir := t.TempDir()
+	served := 0
+	for round := 0; round < 10; round++ {
+		cmd := exec.Command(os.Args[0], "-test.run=TestHelperCheckpointLoop$", "-test.v=false")
+		cmd.Env = append(os.Environ(), "SLC_SNAP_TORTURE_DIR="+dir)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		// Let the child reach the checkpoint loop (startup varies wildly,
+		// e.g. under -race) before aiming the kill at it.
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if ents, _ := os.ReadDir(dir); len(ents) > 2 { // .lock + quarantine + files
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		time.Sleep(time.Duration(2+round*3) * time.Millisecond)
+		cmd.Process.Kill()
+		cmd.Wait()
+
+		// Simulated next boot: open (running recovery) and try the warm
+		// path. Every outcome but "verified snapshot" or "clean miss" is
+		// a failure.
+		st, err := snapshot.OpenStore(dir, nil)
+		if err != nil {
+			t.Fatalf("round %d: store unopenable after kill: %v", round, err)
+		}
+		snap, lerr := st.Load("boot")
+		switch {
+		case lerr == nil:
+			if snap.Meta.ImageHash == "" || len(snap.Image.Code) == 0 {
+				t.Errorf("round %d: verified snapshot is hollow", round)
+			}
+			served++
+		case errors.Is(lerr, snapshot.ErrNotFound):
+			// The kill landed before any complete checkpoint: cold boot.
+		default:
+			t.Errorf("round %d: load failed with %v (should have been quarantined by recovery)", round, lerr)
+		}
+		if st.Stats().Corrupt != 0 {
+			t.Errorf("round %d: corruption reached the load path past recovery", round)
+		}
+		st.Close()
+	}
+	if served == 0 {
+		t.Error("no round ever served a snapshot; the writer never completed a checkpoint")
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range names {
+		if strings.Contains(de.Name(), ".tmp") {
+			t.Errorf("temp file %s survived recovery in the store root", de.Name())
+		}
+	}
+	q, _ := os.ReadDir(filepath.Join(dir, "quarantine"))
+	t.Logf("snapshot torture: %d/%d rounds warm-bootable, %d files quarantined", served, 10, len(q))
+}

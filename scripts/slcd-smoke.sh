@@ -120,4 +120,59 @@ grep -q '"req-finish"' "$WORK/slcd-quit.log" \
   || { echo "dump has no request events:"; cat "$WORK/slcd-quit.log"; exit 1; }
 echo "ok: SIGQUIT dumped the flight recorder and exited 2"
 
+# 6. Snapshot warm boot + kill -9 torture: boot with a prelude and a
+# snapshot directory (a checkpoint is written), then repeatedly SIGKILL
+# the daemon while it re-checkpoints. Every restart must come back
+# ready and serving the prelude — warm from the snapshot or, if the
+# kill tore the write, from a clean quarantine + cold compile. Never a
+# crash, never a corrupt image served.
+cat >"$WORK/prelude.lisp" <<'EOF'
+(defun exptl (b n a) (if (= n 0) a (exptl b (- n 1) (* a b))))
+(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+EOF
+SNAPDIR=$WORK/snapshots
+start_snapd() {
+  "$BIN" -addr $ADDR -debug-addr $DBG -workers 1 \
+    -prelude "$WORK/prelude.lisp" -snapshot-dir "$SNAPDIR" 2>>"$WORK/slcd-snap.log" &
+  PID=$!
+  ready=0
+  for _ in $(seq 1 100); do
+    if curl -fs "http://$DBG/readyz" >/dev/null 2>&1; then ready=1; break; fi
+    sleep 0.1
+  done
+  [ "$ready" = 1 ] || { echo "snapshot daemon never became ready"; cat "$WORK/slcd-snap.log"; exit 1; }
+}
+start_snapd
+[ -f "$SNAPDIR/boot.snap" ] || { echo "no checkpoint after first boot"; exit 1; }
+RES=$(curl -fs "http://$ADDR/run" -d '{"fn":"fib","args":["10"]}')
+echo "$RES" | grep -q '"value":"55"' || { echo "prelude call gave: $RES"; exit 1; }
+echo "ok: warm-boot daemon up, checkpoint on disk, prelude served"
+
+for round in 1 2 3; do
+  # Hammer checkpoints so the SIGKILL can land mid-write.
+  (while :; do curl -s -X POST "http://$ADDR/admin/checkpoint" -o /dev/null; done) &
+  CKPID=$!
+  sleep 0.4
+  kill -9 "$PID" 2>/dev/null || true
+  wait "$PID" 2>/dev/null || true
+  kill "$CKPID" 2>/dev/null || true
+  wait "$CKPID" 2>/dev/null || true
+  PID=
+
+  start_snapd
+  curl -fs "http://$DBG/readyz" | grep -q '"ok":true' \
+    || { echo "round $round: not ready after kill -9"; cat "$WORK/slcd-snap.log"; exit 1; }
+  RES=$(curl -fs "http://$ADDR/run" -d '{"fn":"exptl","args":["2","10","1"]}')
+  echo "$RES" | grep -q '"value":"1024"' \
+    || { echo "round $round: prelude lost after kill -9: $RES"; exit 1; }
+done
+# Each post-kill boot either restored the snapshot or cold-compiled and
+# re-checkpointed; both paths log, a crash logs neither.
+grep -Eq "warm boot from snapshot|snapshot checkpoint written" "$WORK/slcd-snap.log" \
+  || { echo "no warm-boot/checkpoint evidence:"; cat "$WORK/slcd-snap.log"; exit 1; }
+kill -TERM "$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+PID=
+echo "ok: kill -9 checkpoint torture -> ready + serving after every crash"
+
 echo "slcd smoke: all checks passed"
