@@ -99,6 +99,8 @@ func run() error {
 		faultSpec  = flag.String("fault", "", "fault-injection plan, e.g. 'disk:*:cache-write;request:unit=slow:deadline' (default $SLC_FAULT)")
 		optWatch   = flag.Duration("opt-watchdog", 5*time.Second, "wall-clock budget for each unit's optimizer fixpoint (0 = none)")
 		noTier     = flag.Bool("notier", false, "disable tiered execution in per-request machines")
+		gcNoGen    = flag.Bool("gc-nogen", false, "disable generational GC in per-request machines (every collection full)")
+		gcMinorBud = flag.Duration("gc-minor-budget", 0, "escalate to a full collection after a minor GC pause exceeds this budget (0 = none)")
 		hotThresh  = flag.Int64("hot-threshold", s1.DefaultHotThreshold, "invocations before a function is re-optimized (0 = promote everything at load)")
 		debugAddr  = flag.String("debug-addr", "", "serve /healthz, /readyz, /requests, /metrics, /debug/events and /debug/pprof on this address")
 		events     = flag.Int("events", obs.DefaultFlightSize, "flight recorder capacity (most recent events kept)")
@@ -146,17 +148,19 @@ func run() error {
 	}
 
 	cfg := daemon.Config{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		ReqTimeout:   *reqTimeout,
-		MaxSteps:     *maxSteps,
-		MaxHeapWords: *maxHeap,
-		OptWatchdog:  *optWatch,
-		Fault:        faultPlan,
-		NoTier:       *noTier,
-		HotThreshold: tierThreshold(*hotThresh),
-		Flight:       flight,
-		Logger:       log,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		ReqTimeout:    *reqTimeout,
+		MaxSteps:      *maxSteps,
+		MaxHeapWords:  *maxHeap,
+		OptWatchdog:   *optWatch,
+		Fault:         faultPlan,
+		NoTier:        *noTier,
+		HotThreshold:  tierThreshold(*hotThresh),
+		GCNoGen:       *gcNoGen,
+		GCMinorBudget: *gcMinorBud,
+		Flight:        flight,
+		Logger:        log,
 	}
 	if *cacheDir != "" {
 		d, err := compilecache.OpenDisk(*cacheDir, faultPlan)

@@ -77,6 +77,26 @@ type Options struct {
 	// allocation (the -gc-stress flag), surfacing construction-order GC
 	// bugs deterministically. Orders of magnitude slower; testing only.
 	GCStress bool
+	// GCStressMinor forces a *minor* collection before every allocation
+	// (the -gc-stress-minor flag): the generational counterpart of
+	// GCStress, turning any missing write barrier into a deterministic
+	// poisoned read. Testing only.
+	GCStressMinor bool
+	// GCNoGen makes every automatic collection a full mark-sweep (the
+	// -gc-nogen flag), disabling minor collections. The differential
+	// suites compare this mode against the generational default;
+	// observable behavior (results, stats, profiles) is identical.
+	GCNoGen bool
+	// GCMinorBudget bounds minor-collection pauses (the -gc-minor-budget
+	// flag): a minor that overruns it escalates the next automatic
+	// collection to a full one. 0 disables. Wall-clock dependent, so it
+	// trades the collector's cross-run determinism for bounded pauses.
+	GCMinorBudget time.Duration
+	// Arena, if non-nil, recycles a previous machine's heap, GC-record,
+	// stack and card storage into this system's machine (the slcd
+	// per-request pool; see s1.NewFromArena). The machine takes ownership
+	// until s1.Machine.ReleaseArena hands the storage back.
+	Arena *s1.Arena
 	// MaxErrors bounds the error diagnostics *stored* per load (the
 	// -max-errors flag): 0 means the default of 20, negative means
 	// unlimited. Failures past the cap are still counted (and still fail
@@ -176,7 +196,7 @@ func (s *System) TraceID() string { return s.traceID }
 
 // NewSystem builds a system.
 func NewSystem(opts Options) *System {
-	m := s1.New()
+	m := s1.NewFromArena(opts.Arena)
 	in := interp.New()
 	if opts.Out != nil {
 		m.Out = opts.Out
@@ -211,6 +231,15 @@ func NewSystem(opts Options) *System {
 	}
 	if opts.GCStress {
 		m.SetGCStress(true)
+	}
+	if opts.GCStressMinor {
+		m.SetGCStressMinor(true)
+	}
+	if opts.GCNoGen {
+		m.SetGCNoGen(true)
+	}
+	if opts.GCMinorBudget > 0 {
+		m.SetGCMinorBudget(opts.GCMinorBudget)
 	}
 	maxErrors := opts.MaxErrors
 	switch {

@@ -46,6 +46,7 @@ import (
 	"repro/internal/compilecache"
 	"repro/internal/diag"
 	"repro/internal/obs"
+	"repro/internal/s1"
 	"repro/internal/sexp"
 	"repro/internal/snapshot"
 )
@@ -73,6 +74,11 @@ type Config struct {
 	// core.Options.
 	NoTier       bool
 	HotThreshold int64
+	// GCNoGen disables generational collection in the per-request
+	// machines (-gc-nogen); GCMinorBudget bounds minor-GC pauses
+	// (-gc-minor-budget, 0 = no budget). See core.Options.
+	GCNoGen       bool
+	GCMinorBudget time.Duration
 	// Disk is the shared durable compile cache (nil = none).
 	Disk *compilecache.Disk
 	// Prelude is Lisp source loaded into every request's system before
@@ -166,6 +172,14 @@ type Stats struct {
 	SnapshotRestores        int64 `json:"snapshot_restores"`
 	SnapshotRestoreFailures int64 `json:"snapshot_restore_failures"`
 	SnapshotCheckpoints     int64 `json:"snapshot_checkpoints"`
+	// GC counters aggregate the per-request machines' collector activity
+	// (full and minor collections, words promoted out of the nursery).
+	GCFullCollections  int64 `json:"gc_full_collections"`
+	GCMinorCollections int64 `json:"gc_minor_collections"`
+	GCWordsPromoted    int64 `json:"gc_words_promoted"`
+	// ArenaRecycles counts request machines built on a recycled storage
+	// arena (heap/stack/record slices reused from an earlier request).
+	ArenaRecycles int64 `json:"arena_recycles"`
 }
 
 // span is one request's record in the export ring. New fields are
@@ -216,10 +230,17 @@ type Server struct {
 	epoch  time.Time
 
 	// Latency histograms (Prometheus histogram series on /metrics).
-	reqHist    *obs.Histogram
-	phaseHist  *obs.Histogram
-	gcHist     *obs.Histogram
-	cyclesHist *obs.Histogram
+	reqHist     *obs.Histogram
+	phaseHist   *obs.Histogram
+	gcHist      *obs.Histogram
+	gcMinorHist *obs.Histogram
+	cyclesHist  *obs.Histogram
+
+	// arenas recycles request machines' large slices (s1.Arena): a
+	// finished request releases its heap/stack/record storage here and
+	// the next request resets it to the high-water mark instead of
+	// reallocating.
+	arenas sync.Pool
 
 	// bootSnap is the current verified prelude snapshot; per-request
 	// systems restore from it instead of recompiling the prelude.
@@ -260,7 +281,9 @@ func New(cfg Config) *Server {
 		phaseHist: obs.NewHistogram("slcd_compile_phase_seconds",
 			"Compile pipeline phase durations in seconds.", obs.DurationBuckets()),
 		gcHist: obs.NewHistogram("slcd_gc_pause_seconds",
-			"Simulator GC pause durations in seconds.", obs.ExpBuckets(1e-6, 2, 20)),
+			"Simulator full-GC pause durations in seconds.", obs.ExpBuckets(1e-6, 2, 20)),
+		gcMinorHist: obs.NewHistogram("slcd_gc_minor_pause_seconds",
+			"Simulator minor-GC pause durations in seconds.", obs.ExpBuckets(1e-6, 2, 20)),
 		cyclesHist: obs.NewHistogram("slcd_eval_cycles",
 			"Simulated S-1 cycles per request.", obs.CycleBuckets()),
 	}
@@ -287,6 +310,7 @@ func (s *Server) Register(reg *obs.Registry) {
 		AddHistogram(s.reqHist).
 		AddHistogram(s.phaseHist).
 		AddHistogram(s.gcHist).
+		AddHistogram(s.gcMinorHist).
 		AddHistogram(s.cyclesHist).
 		SetFlight(s.flight)
 }
@@ -323,6 +347,10 @@ func (s *Server) Metrics() map[string]float64 {
 		"slcd_snapshot_restores_total":         float64(st.SnapshotRestores),
 		"slcd_snapshot_restore_failures_total": float64(st.SnapshotRestoreFailures),
 		"slcd_snapshot_checkpoints_total":      float64(st.SnapshotCheckpoints),
+		"slcd_gc_full_total":                   float64(st.GCFullCollections),
+		"slcd_gc_minor_total":                  float64(st.GCMinorCollections),
+		"slcd_gc_promoted_words_total":         float64(st.GCWordsPromoted),
+		"slcd_arena_recycles_total":            float64(st.ArenaRecycles),
 	}
 	if s.cfg.Disk != nil {
 		m["slcd_cache_breaker_state"] = float64(s.cfg.Disk.Breaker().State())
@@ -622,13 +650,43 @@ func (s *Server) execute(ctx context.Context, req *Request, call bool, traceID s
 	opts := s.sysOptions()
 	opts.Obs = rec
 	opts.TraceID = traceID
+	// Build the request machine on a recycled storage arena when the pool
+	// has one: the heap/stack/record slices reset to the previous
+	// request's high-water mark instead of reallocating.
+	ar, _ := s.arenas.Get().(*s1.Arena)
+	if ar == nil {
+		ar = &s1.Arena{}
+	}
+	recycled := ar.Uses() > 0
+	opts.Arena = ar
 	sys := s.bootSystem(opts, traceID)
-	// Tee the machine's runtime events into the GC-pause histogram on
+	// Fold the machine's collector activity into the lifetime counters
+	// and hand its storage back to the arena pool on every exit path.
+	// Registered first so it runs after the other defers are done
+	// reading the machine.
+	defer func() {
+		gm := sys.Machine.GCMeters
+		s.mu.Lock()
+		s.stats.GCFullCollections += gm.Collections
+		s.stats.GCMinorCollections += gm.MinorCollections
+		s.stats.GCWordsPromoted += gm.WordsPromoted
+		if recycled {
+			s.stats.ArenaRecycles++
+		}
+		s.mu.Unlock()
+		if sys.Machine.ReleaseArena() {
+			s.arenas.Put(ar)
+		}
+	}()
+	// Tee the machine's runtime events into the GC-pause histograms on
 	// top of the flight recording core already wired up.
 	if prev := sys.Machine.OnEvent; prev != nil {
 		sys.Machine.OnEvent = func(kind, unit string, d time.Duration) {
-			if kind == obs.EvGCPause {
+			switch kind {
+			case obs.EvGCPause:
 				s.gcHist.ObserveDuration(d)
+			case obs.EvGCMinorPause:
+				s.gcMinorHist.ObserveDuration(d)
 			}
 			prev(kind, unit, d)
 		}

@@ -362,3 +362,28 @@ func TestBadBodyRejected(t *testing.T) {
 		t.Errorf("status = %d", r.StatusCode)
 	}
 }
+
+// TestArenaReuseAcrossRequests: sequential requests on one worker must
+// recycle machine storage through the arena pool — the second request's
+// machine is built on the first one's released slices — and the per-run
+// results stay correct on recycled storage.
+func TestArenaReuseAcrossRequests(t *testing.T) {
+	s := New(Config{Workers: 1, ReqTimeout: 10 * time.Second})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	src := `(defun grow (n) (if (= n 0) nil (cons n (grow (- n 1)))))
+(defun len2 (l) (if (null l) 0 (+ 1 (len2 (cdr l)))))
+(defun work (n) (len2 (grow n)))`
+	for i := 0; i < 3; i++ {
+		code, resp, _ := post(t, ts, "/run", Request{
+			Source: src, Fn: "work", Args: []string{"100"},
+		})
+		if code != http.StatusOK || resp.Value != "100" {
+			t.Fatalf("request %d on recycled arena: %d %+v", i, code, resp)
+		}
+	}
+	if got := s.Stats().ArenaRecycles; got < 1 {
+		t.Errorf("arena recycles = %d after 3 sequential requests, want >= 1", got)
+	}
+}

@@ -43,7 +43,12 @@ func (s *Server) sysOptions() core.Options {
 		Fault:        s.cfg.Fault,
 		NoTier:       s.cfg.NoTier,
 		HotThreshold: s.cfg.HotThreshold,
-		Flight:       s.flight,
+		// Generational knobs. These never affect compiled output (no
+		// compile configuration sets a GC threshold), so restored machines
+		// verify against snapshots regardless of the settings.
+		GCNoGen:       s.cfg.GCNoGen,
+		GCMinorBudget: s.cfg.GCMinorBudget,
+		Flight:        s.flight,
 	}
 }
 

@@ -35,6 +35,7 @@ const (
 	EvTierPromote     = "tier-promote"
 	EvTierRefusion    = "tier-refusion"
 	EvGCPause         = "gc-pause"
+	EvGCMinorPause    = "gc-minor-pause"
 	EvCacheHit        = "cache-hit"
 	EvCacheMiss       = "cache-miss"
 	EvCacheQuarantine = "cache-quarantine"

@@ -1,0 +1,113 @@
+package s1
+
+import (
+	"testing"
+
+	"repro/internal/sexp"
+)
+
+// TestArenaRecyclesStorage: release-then-adopt hands the next machine
+// the previous one's backing arrays, cleared of everything the previous
+// tenant wrote.
+func TestArenaRecyclesStorage(t *testing.T) {
+	ar := &Arena{}
+	m1 := NewFromArena(ar)
+	lst := NilWord
+	for i := 0; i < 100; i++ {
+		lst = m1.Cons(FixnumWord(int64(i)), lst)
+	}
+	m1.regs[RegA] = lst
+	m1.GC()
+	heapCap := cap(m1.heap)
+	if heapCap == 0 {
+		t.Fatal("first tenant never grew the heap")
+	}
+	if !m1.ReleaseArena() {
+		t.Fatal("ReleaseArena refused an arena-built machine")
+	}
+
+	m2 := NewFromArena(ar)
+	if got := ar.Uses(); got != 2 {
+		t.Errorf("arena uses = %d, want 2", got)
+	}
+	if cap(m2.heap) != heapCap {
+		t.Errorf("second tenant heap cap = %d, want recycled %d", cap(m2.heap), heapCap)
+	}
+	if len(m2.heap) != 0 || m2.LiveHeapWords() != 0 {
+		t.Errorf("recycled machine not empty: len=%d live=%d", len(m2.heap), m2.LiveHeapWords())
+	}
+	// The recycled storage must behave exactly like fresh storage:
+	// allocate into it, collect, and read structure back.
+	m2.regs[RegA] = m2.Cons(FixnumWord(1), m2.Cons(FixnumWord(2), NilWord))
+	m2.GC()
+	v, err := m2.ToValue(m2.regs[RegA])
+	if err != nil || sexp.Print(v) != "(1 2)" {
+		t.Errorf("recycled machine structure: %v %v", v, err)
+	}
+	if err := m2.CheckHeapInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestArenaImageRoundTrip: an image exported from a fresh machine loads
+// into a recycled-arena machine with an identical fingerprint — leftover
+// dirt from the previous tenant must be invisible.
+func TestArenaImageRoundTrip(t *testing.T) {
+	src := New()
+	src.SetGlobal("*keep*", src.FromValue(mustRead("(1 (2 3) 4)")))
+	img, err := src.ExportImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ar := &Arena{}
+	m1 := NewFromArena(ar)
+	for i := 0; i < 500; i++ {
+		m1.Cons(FixnumWord(int64(i)), NilWord)
+	}
+	if !m1.ReleaseArena() {
+		t.Fatal("release failed")
+	}
+
+	m2 := NewFromArena(ar)
+	if err := m2.LoadImage(img); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m2.ImageFingerprint(), src.ImageFingerprint(); got != want {
+		t.Errorf("fingerprint diverges after arena round trip:\n  got  %s\n  want %s", got, want)
+	}
+	if err := m2.CheckHeapInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestArenaDropsOversizedHeap: a machine whose heap outgrew
+// arenaKeepWords is not harvested — the pool must not pin huge request
+// heaps — and the emptied arena still serves later machines.
+func TestArenaDropsOversizedHeap(t *testing.T) {
+	ar := &Arena{}
+	m := NewFromArena(ar)
+	m.gcAlloc(arenaKeepWords + 1)
+	if m.ReleaseArena() {
+		t.Fatal("ReleaseArena kept a heap beyond arenaKeepWords")
+	}
+	// The arena is empty but must still be adoptable.
+	m2 := NewFromArena(ar)
+	m2.regs[RegA] = m2.Cons(FixnumWord(5), NilWord)
+	v, err := m2.ToValue(m2.regs[RegA])
+	if err != nil || sexp.Print(v) != "(5)" {
+		t.Errorf("post-drop arena machine: %v %v", v, err)
+	}
+	if !m2.ReleaseArena() {
+		t.Error("release failed for the post-drop tenant")
+	}
+}
+
+// TestArenaReleaseNotArenaBuilt: ReleaseArena on a plain New machine is
+// a no-op returning false.
+func TestArenaReleaseNotArenaBuilt(t *testing.T) {
+	m := New()
+	if m.ReleaseArena() {
+		t.Error("ReleaseArena returned true for a machine that owns its memory")
+	}
+}

@@ -105,6 +105,13 @@ func (m *Machine) EndCapture() *Capture {
 // the heap extent and allocator free lists, and the GC configuration
 // that can trigger collections mid-emission. Two machines with equal
 // contexts hand out identical addresses for identical request sequences.
+// Generational state (young list, cards, old bits, promotion pressure)
+// is deliberately NOT part of the context: no compile configuration sets
+// a GC threshold, and -gc-stress pins full collections, so the
+// minor-vs-full choice can never fire during an emission and the gen
+// bits cannot influence the addresses handed out. Including them would
+// break the snapshot layer, which restores every block as old and must
+// still produce the exporting machine's context.
 func (m *Machine) AllocContext() string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "syms=%d:%x|funcs=%d|code=%d|boxes=%d|heap=%d|live=%d|since=%d|thr=%d|lim=%d|stress=%t|",
@@ -250,6 +257,40 @@ func (m *Machine) CheckHeapInvariants() error {
 	for n, lst := range m.freeBig {
 		if err := checkList(n, lst); err != nil {
 			return err
+		}
+		if len(lst) == 0 {
+			return fmt.Errorf("s1 gc: freeBig holds empty size class %d (pruning failed)", n)
+		}
+	}
+	// Generational invariants: the card table covers the heap extent, and
+	// the nursery list is exactly the live young blocks — every entry a
+	// registered, non-free, non-old block, listed once; every live block
+	// off the list tenured. (Collections clear the list wholesale, so a
+	// freed-then-unlisted young block cannot exist between collections.)
+	if cardsFor(len(m.heap)) > len(m.cards) {
+		return fmt.Errorf("s1 gc: card table (%d) does not cover heap (%d words)", len(m.cards), len(m.heap))
+	}
+	young := make(map[uint64]bool, len(m.youngBlocks))
+	for _, off := range m.youngBlocks {
+		if young[off] {
+			return fmt.Errorf("s1 gc: young block %d listed twice", off)
+		}
+		young[off] = true
+		if !seen[off] {
+			return fmt.Errorf("s1 gc: young list holds unregistered block %d", off)
+		}
+		rec := &m.gcRecs[off]
+		if rec.free {
+			return fmt.Errorf("s1 gc: young list holds free block %d", off)
+		}
+		if rec.old {
+			return fmt.Errorf("s1 gc: young list holds tenured block %d", off)
+		}
+	}
+	for _, off := range m.gcBlocks {
+		rec := &m.gcRecs[off]
+		if !rec.free && !rec.old && !young[off] {
+			return fmt.Errorf("s1 gc: live young block %d missing from young list", off)
 		}
 	}
 	return nil

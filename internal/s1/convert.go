@@ -50,8 +50,13 @@ func (m *Machine) FromValue(v sexp.Value) Word {
 		depth := m.protect(w)
 		m.heap[a-HeapBase] = RawInt(int64(len(x.Items)))
 		for i, it := range x.Items {
+			// The recursive FromValue can trigger a minor collection that
+			// promotes the temp-rooted vector to the old generation mid
+			// build; a young element stored afterwards is then an old→young
+			// edge, which must go through the write barrier (heapWrite) or
+			// the next minor would reclaim it.
 			ew := m.FromValue(it)
-			m.heap[a-HeapBase+1+uint64(i)] = ew
+			m.heapWrite(a-HeapBase+1+uint64(i), ew)
 		}
 		m.release(depth)
 		return w
@@ -65,8 +70,9 @@ func (m *Machine) FromValue(v sexp.Value) Word {
 		}
 		base := a - HeapBase + 1 + uint64(len(x.Dims))
 		for i, it := range x.Items {
+			// Same promotion hazard as the vector case above.
 			ew := m.FromValue(it)
-			m.heap[base+uint64(i)] = ew
+			m.heapWrite(base+uint64(i), ew)
 		}
 		m.release(depth)
 		return w

@@ -845,6 +845,9 @@ func decCLOSE(pc int, ins *Instr) dexec {
 		if err != nil {
 			return err
 		}
+		// Direct initialization of a block just allocated, with no
+		// intervening allocation: the block is young, so the stores need
+		// no write barrier (cf. heapWrite in gc.go).
 		a := m.Alloc(2)
 		m.heap[a-HeapBase] = RawInt(fnIdx)
 		m.heap[a-HeapBase+1] = env
@@ -866,6 +869,7 @@ func decENV(pc int, ins *Instr) dexec {
 		if err != nil {
 			return err
 		}
+		// Barrier-free fresh-block initialization, as in decCLOSE.
 		a := m.Alloc(1 + n)
 		m.heap[a-HeapBase] = parent
 		for i := 0; i < n; i++ {

@@ -32,6 +32,7 @@ func lispDiffSystem(t *testing.T, k runtimeKernel, nofuse, profile bool) *core.S
 	default:
 		t.Fatalf("unknown S1_TIER_MODE %q", mode)
 	}
+	applyGCModeEnv(t, &opts)
 	sys := core.NewSystem(opts)
 	if profile {
 		sys.EnableProfile()
@@ -102,6 +103,7 @@ func TestLispDifferentialTierModes(t *testing.T) {
 			for _, mode := range modes {
 				opts := core.Options{Constants: k.consts}
 				mode.opts(&opts)
+				applyGCModeEnv(t, &opts)
 				sys := core.NewSystem(opts)
 				if k.gcAt > 0 {
 					sys.Machine.SetGCThreshold(k.gcAt)

@@ -239,11 +239,32 @@ func (m *Machine) LoadImage(img *Image) error {
 	}
 	m.Boxes = boxes
 
-	m.heap = append([]Word(nil), img.Heap...)
-	m.gcRecs = make([]gcRec, len(m.heap))
-	m.gcBlocks = make([]uint64, 0, len(img.Blocks))
+	// Appending into the existing slices (rather than allocating fresh)
+	// reuses an adopted arena's capacity; on a plain New machine they are
+	// nil and this allocates as before. Generational state is never
+	// serialized: every restored live block is tenured (old), the nursery
+	// is empty and the card table clear. That is always safe — an all-old
+	// heap just means the first minor collection finds nothing young to
+	// sweep — and it keeps the image bytes and AllocContext identical to
+	// the exporting machine's even though that machine may have had young
+	// blocks in flight (snapshot byte-identity across re-exports depends
+	// on this).
+	m.heap = append(m.heap[:0], img.Heap...)
+	if n := len(m.heap); n <= cap(m.gcRecs) {
+		// Arena capacity: cleared at adoption, so reslicing is all-zero.
+		m.gcRecs = m.gcRecs[:n]
+	} else {
+		m.gcRecs = make([]gcRec, n)
+	}
+	if cl := cardsFor(len(m.heap)); cl <= cap(m.cards) {
+		m.cards = m.cards[:cl]
+	} else {
+		m.cards = make([]byte, cl)
+	}
+	m.youngBlocks = m.youngBlocks[:0]
+	m.gcBlocks = m.gcBlocks[:0]
 	for _, blk := range img.Blocks {
-		m.gcRecs[blk.Off] = gcRec{size: blk.Size, free: blk.Free}
+		m.gcRecs[blk.Off] = gcRec{size: blk.Size, free: blk.Free, old: !blk.Free}
 		m.gcBlocks = append(m.gcBlocks, blk.Off)
 	}
 	for n := 0; n <= gcSmallMax; n++ {
@@ -254,6 +275,9 @@ func (m *Machine) LoadImage(img *Image) error {
 	}
 	m.freeBig = nil
 	for _, fl := range img.FreeBig {
+		if len(fl.Offs) == 0 {
+			continue // keep the pruned-empty-classes invariant
+		}
 		if m.freeBig == nil {
 			m.freeBig = map[int][]uint64{}
 		}

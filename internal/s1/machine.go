@@ -119,18 +119,38 @@ type Machine struct {
 	// start offset holds its record; interior entries stay zero. Offsets
 	// into heap are dense, so slices replace the address-keyed maps the
 	// allocator used to probe on every allocation.
-	gcRecs      []gcRec
-	gcBlocks    []uint64
-	freeSmall   [gcSmallMax + 1][]uint64
-	freeBig     map[int][]uint64
+	gcRecs    []gcRec
+	gcBlocks  []uint64
+	freeSmall [gcSmallMax + 1][]uint64
+	freeBig   map[int][]uint64
+	// Generational state (gc.go). youngBlocks lists the blocks allocated
+	// since the last collection — the nursery a minor collection sweeps.
+	// cards is the remembered set: one byte per cardWords heap words,
+	// dirtied by the store write barrier, scanned as extra roots by minor
+	// collections. markStack is the reusable mark worklist.
+	youngBlocks []uint64
+	cards       []byte
+	markStack   []uint64
 	gcThreshold int64
 	liveSinceGC int64
 	liveWords   int64
-	regs        [NumRegs]Word
-	bindStack   []bindEntry
-	catchStack  []catchFrame
-	pc          int
-	halted      bool
+	// gcNoGen forces every automatic collection to be full (-gc-nogen);
+	// gcStressMinor forces a minor before every allocation. minorBudget
+	// (with its sticky overrun flag) and promotedSinceFull drive the
+	// minor→full escalation policy in collectAuto.
+	gcNoGen           bool
+	gcStressMinor     bool
+	minorBudget       time.Duration
+	minorOverBudget   bool
+	promotedSinceFull int64
+	// arena, when non-nil, is the recycled storage pool this machine's
+	// slices were drawn from (arena.go); ReleaseArena hands them back.
+	arena      *Arena
+	regs       [NumRegs]Word
+	bindStack  []bindEntry
+	catchStack []catchFrame
+	pc         int
+	halted     bool
 	// prof, when non-nil, collects the runtime profile (profile.go).
 	// The disabled fast path costs one nil check per instruction.
 	prof *Profile
@@ -239,7 +259,9 @@ func (m *Machine) SetNoFuse(v bool) {
 
 // New creates an empty machine. Code index 0 is a HALT used as the
 // top-level return address.
-func New() *Machine {
+func New() *Machine { return newMachine(nil) }
+
+func newMachine(a *Arena) *Machine {
 	m := &Machine{
 		Code:      []Instr{{Op: OpHALT, Comment: "top-level return"}},
 		Out:       io.Discard,
@@ -247,9 +269,13 @@ func New() *Machine {
 		funcIdx:   map[string]int{},
 		symIdx:    map[string]int{},
 		entrySet:  map[int]bool{},
-		stack:     make([]Word, StackLimit-StackBase),
 		tier:      &tierEngine{threshold: DefaultHotThreshold},
 	}
+	if a == nil {
+		m.stack = make([]Word, StackLimit-StackBase)
+		return m
+	}
+	a.adopt(m)
 	return m
 }
 
@@ -379,7 +405,15 @@ func (m *Machine) store(addr uint64, w Word) error {
 		m.stack[addr-StackBase] = w
 		return nil
 	case addr >= HeapBase && addr < HeapBase+uint64(len(m.heap)):
-		m.heap[addr-HeapBase] = w
+		// Write barrier: record the card so a minor collection treats this
+		// neighborhood as a root. store and storeFast (tier.go) are the
+		// only paths by which compiled code mutates an existing heap block
+		// (RPLACA/RPLACD, vector stores, closure-env writes all funnel
+		// here), so dirtying the card on every heap store is a complete
+		// remembered set.
+		off := addr - HeapBase
+		m.heap[off] = w
+		m.cards[off>>cardShift] = 1
 		return nil
 	}
 	return &RuntimeError{PC: m.pc, Msg: fmt.Sprintf("store to bad address %#x", addr)}

@@ -587,7 +587,10 @@ func (m *Machine) loadFast(addr uint64) (Word, bool) {
 	return Word{}, false
 }
 
-// storeFast is the inlinable no-error slice of Machine.store.
+// storeFast is the inlinable no-error slice of Machine.store, write
+// barrier included: lowered blocks mutate heap blocks through here, so
+// the card dirty must match Machine.store exactly or the generational
+// differential suite diverges.
 func (m *Machine) storeFast(addr uint64, w Word) bool {
 	if IsStackAddr(addr) {
 		m.stack[addr-StackBase] = w
@@ -595,6 +598,7 @@ func (m *Machine) storeFast(addr uint64, w Word) bool {
 	}
 	if h := addr - HeapBase; h < uint64(len(m.heap)) {
 		m.heap[h] = w
+		m.cards[h>>cardShift] = 1
 		return true
 	}
 	return false

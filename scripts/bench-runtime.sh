@@ -85,7 +85,7 @@ END {
   desc["quadratic"] = "flonum quadratic solver, list results, GC threshold 8192"
   desc["testfn"] = "the §7 testfn with &optional dispatch and pdl floats, GC threshold 8192"
   desc["matrix-subscript"] = "§6.1 triple loop over 16x16 float arrays, Table-4 subscript code"
-  desc["gc-cons"] = "cons-heavy list churn under GC threshold 4096 (not a paper kernel)"
+  desc["gc-cons"] = "list churn over a 20k-cons resident set, GC threshold 4096 (not a paper kernel; BENCH_gc.json isolates its collector cost)"
   desc["poly-call"] = "polymorphic + late-bound calls with a post-warm-up rebind; stresses call inline caches"
   printf "  \"kernels\": {\n"
   logsum = 0; n = 0
@@ -121,3 +121,102 @@ FOOTER
 } > "$OUT"
 
 echo ";; wrote $OUT" >&2
+
+# ---------------------------------------------------------------------
+# BENCH_gc.json: the generational-collector metrics (DESIGN.md §15).
+# BenchmarkGC runs the gc-cons kernel with generations on (gen) and off
+# (nogen) in one invocation; gen_speedup is the same-invocation
+# steps/sec ratio, and the pause percentiles compare minor collections
+# against the full collections they replace. Medians over $COUNT runs,
+# like the runtime suite above.
+
+OUT_GC=BENCH_gc.json
+RAW_GC=$(mktemp)
+trap 'rm -f "$RAW" "$RAW_GC"' EXIT
+
+echo ";; running BenchmarkGC: ${COUNT}x runs of ${ITERS} fixed iterations, gen vs nogen" >&2
+go test -run xxx -bench BenchmarkGC -benchtime="${ITERS}x" -count="$COUNT" \
+  ./internal/s1/ | tee "$RAW_GC" >&2
+
+{
+cat <<HEADER
+{
+  "date": "$DATE",
+  "benchmark": "scripts/bench-runtime.sh: go test -run xxx -bench BenchmarkGC -benchtime=${ITERS}x -count=$COUNT ./internal/s1/",
+  "metric": "gc-cons kernel (20k-cons resident set + per-call churn, GC threshold 4096); per-configuration median of $COUNT fixed-iteration runs from one invocation",
+  "environment": {
+    "cpu": "$CPU",
+    "cores": $CORES,
+    "goos": "$GOOS",
+    "goarch": "$GOARCH",
+    "note": "gen and nogen are measured in the same invocation; only the within-invocation ratio is meaningful across BENCH_gc.json entries"
+  },
+  "configurations": {
+    "gen": "generational default: threshold collections are minor (nursery + remembered set), escalating on promotion pressure",
+    "nogen": "-gc-nogen: every threshold collection is a full mark-sweep (the pre-generational collector)"
+  },
+HEADER
+
+awk '
+/^BenchmarkGC\// {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  split(name, parts, "/")
+  cfg = parts[2]
+  for (i = 3; i <= NF; i++) {
+    v = $(i-1) + 0
+    key = cfg SUBSEP $i
+    if ($i ~ /^(steps\/sec|minors|fulls|promoted-words|minor-p50-us|minor-p99-us|full-p50-us|full-p99-us)$/) {
+      cnt[key]++
+      vals[key, cnt[key]] = v
+    }
+  }
+}
+function median(cfg, met,   key, m, i, j, t, a) {
+  key = cfg SUBSEP met
+  m = cnt[key]
+  if (m == 0) return 0
+  for (i = 1; i <= m; i++) a[i] = vals[key, i]
+  for (i = 1; i < m; i++)
+    for (j = i + 1; j <= m; j++)
+      if (a[j] < a[i]) { t = a[i]; a[i] = a[j]; a[j] = t }
+  if (m % 2) return a[(m + 1) / 2]
+  return (a[m / 2] + a[m / 2 + 1]) / 2
+}
+function emit(cfg, last) {
+  printf "    \"%s\": {\n", cfg
+  printf "      \"steps_per_sec\": %d,\n", median(cfg, "steps/sec")
+  printf "      \"minor_collections\": %d,\n", median(cfg, "minors")
+  printf "      \"full_collections\": %d,\n", median(cfg, "fulls")
+  printf "      \"promoted_words\": %d,\n", median(cfg, "promoted-words")
+  printf "      \"minor_pause_p50_us\": %.2f,\n", median(cfg, "minor-p50-us")
+  printf "      \"minor_pause_p99_us\": %.2f,\n", median(cfg, "minor-p99-us")
+  printf "      \"full_pause_p50_us\": %.2f,\n", median(cfg, "full-p50-us")
+  printf "      \"full_pause_p99_us\": %.2f\n", median(cfg, "full-p99-us")
+  printf "    }%s\n", (last ? "" : ",")
+}
+END {
+  printf "  \"gc_cons\": {\n"
+  emit("gen", 0)
+  emit("nogen", 1)
+  printf "  },\n"
+  base = median("nogen", "steps/sec")
+  sp = 0; if (base > 0) sp = median("gen", "steps/sec") / base
+  printf "  \"gen_speedup\": %.2f,\n", sp
+  fp = median("nogen", "full-p50-us")
+  pr = 0; if (fp > 0) pr = median("gen", "minor-p50-us") / fp
+  printf "  \"minor_p50_over_full_p50\": %.3f,\n", pr
+}' "$RAW_GC"
+
+cat <<'FOOTER'
+  "acceptance_threshold": 1.2,
+  "what_changed": [
+    "generational GC (DESIGN.md §15): blocks are born young; threshold collections mark from roots plus the card-table remembered set, sweep only the nursery, and promote survivors in place by their sticky mark",
+    "collections escalate to full on -gc-nogen, on promotion pressure (8x threshold tenured since the last full), or after a minor overruns -gc-minor-budget",
+    "the mark phase is an explicit worklist (no Go recursion), and emptied big-block free-list size classes are pruned",
+    "machine-arena reuse in slcd: request machines recycle heap/record/stack/card storage through a sync.Pool of arenas (slcd_arena_recycles_total)"
+  ]
+}
+FOOTER
+} > "$OUT_GC"
+
+echo ";; wrote $OUT_GC" >&2
