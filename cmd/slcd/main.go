@@ -10,6 +10,20 @@
 // sheds with 429 + Retry-After. SIGINT/SIGTERM drain in-flight
 // requests (bounded by -drain-timeout) before exit.
 //
+// Scheduling (DESIGN.md §16): by default requests multiplex over an
+// M:N machine scheduler (-sched-mode, $SLCD_SCHED_MODE) — at most
+// -sched-workers machines execute at once, everyone else parks at
+// simulator safepoints, and slots are granted by deficit round-robin
+// over tenants so a flooding tenant cannot starve a polite one. With
+// -gas-rate set, each tenant gets a gas budget in simulated S-1 cycles
+// (burst -gas-burst); exhausting it is a typed 429, not a timeout.
+// POST /session creates a resident session — a machine that keeps its
+// definitions and heap between requests ({"session": id} on /run
+// resumes it) — bounded by -max-sessions and expired after
+// -session-idle-ttl idle. With -snapshot-dir, a clean drain checkpoints
+// every session and the next boot restores them; after a hard kill the
+// manifest reports them lost on /readyz (degraded, still serving).
+//
 // The durable compile cache (-cache-dir) is shared across requests and
 // across processes: it is crash-safe (temp-file + atomic rename,
 // per-entry checksums, flock) and self-healing (startup recovery
@@ -95,13 +109,19 @@ func run() error {
 		maxHeap    = flag.Int64("max-heap", 4<<20, "per-request live heap word budget (0 = unlimited)")
 		cacheDir   = flag.String("cache-dir", "", "durable on-disk compile cache directory shared across requests and processes")
 		preludeF   = flag.String("prelude", "", "Lisp source file loaded into every request's system (the daemon's standard library)")
-		snapDir    = flag.String("snapshot-dir", "", "durable machine-snapshot directory for warm boot across restarts (requires -prelude)")
+		snapDir    = flag.String("snapshot-dir", "", "durable machine-snapshot directory for warm boot and session durability across restarts")
 		faultSpec  = flag.String("fault", "", "fault-injection plan, e.g. 'disk:*:cache-write;request:unit=slow:deadline' (default $SLC_FAULT)")
 		optWatch   = flag.Duration("opt-watchdog", 5*time.Second, "wall-clock budget for each unit's optimizer fixpoint (0 = none)")
 		noTier     = flag.Bool("notier", false, "disable tiered execution in per-request machines")
 		gcNoGen    = flag.Bool("gc-nogen", false, "disable generational GC in per-request machines (every collection full)")
 		gcMinorBud = flag.Duration("gc-minor-budget", 0, "escalate to a full collection after a minor GC pause exceeds this budget (0 = none)")
 		hotThresh  = flag.Int64("hot-threshold", s1.DefaultHotThreshold, "invocations before a function is re-optimized (0 = promote everything at load)")
+		schedMode  = flag.String("sched-mode", "", "machine scheduler mode: on, off, or stress (default $SLCD_SCHED_MODE, then on)")
+		schedWork  = flag.Int("sched-workers", 0, "concurrently executing machines under the scheduler (0 = -workers)")
+		gasRate    = flag.Int64("gas-rate", 0, "per-tenant gas refill in simulated S-1 cycles per second (0 = gas metering off)")
+		gasBurst   = flag.Int64("gas-burst", 0, "per-tenant gas bucket capacity in cycles (0 = 10x -gas-rate)")
+		maxSess    = flag.Int("max-sessions", 10000, "resident sessions held at once")
+		sessTTL    = flag.Duration("session-idle-ttl", 30*time.Minute, "expire sessions idle longer than this (0 = never)")
 		debugAddr  = flag.String("debug-addr", "", "serve /healthz, /readyz, /requests, /metrics, /debug/events and /debug/pprof on this address")
 		events     = flag.Int("events", obs.DefaultFlightSize, "flight recorder capacity (most recent events kept)")
 		logText    = flag.Bool("log-text", false, "log human-readable text instead of JSON")
@@ -148,19 +168,25 @@ func run() error {
 	}
 
 	cfg := daemon.Config{
-		Workers:       *workers,
-		QueueDepth:    *queueDepth,
-		ReqTimeout:    *reqTimeout,
-		MaxSteps:      *maxSteps,
-		MaxHeapWords:  *maxHeap,
-		OptWatchdog:   *optWatch,
-		Fault:         faultPlan,
-		NoTier:        *noTier,
-		HotThreshold:  tierThreshold(*hotThresh),
-		GCNoGen:       *gcNoGen,
-		GCMinorBudget: *gcMinorBud,
-		Flight:        flight,
-		Logger:        log,
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		ReqTimeout:     *reqTimeout,
+		MaxSteps:       *maxSteps,
+		MaxHeapWords:   *maxHeap,
+		OptWatchdog:    *optWatch,
+		Fault:          faultPlan,
+		NoTier:         *noTier,
+		HotThreshold:   tierThreshold(*hotThresh),
+		GCNoGen:        *gcNoGen,
+		GCMinorBudget:  *gcMinorBud,
+		SchedMode:      *schedMode,
+		SchedWorkers:   *schedWork,
+		GasRate:        *gasRate,
+		GasBurst:       *gasBurst,
+		MaxSessions:    *maxSess,
+		SessionIdleTTL: *sessTTL,
+		Flight:         flight,
+		Logger:         log,
 	}
 	if *cacheDir != "" {
 		d, err := compilecache.OpenDisk(*cacheDir, faultPlan)
@@ -182,9 +208,9 @@ func run() error {
 		cfg.Prelude = string(b)
 	}
 	if *snapDir != "" {
-		if cfg.Prelude == "" {
-			return fmt.Errorf("-snapshot-dir requires -prelude")
-		}
+		// Without -prelude the store still backs session durability
+		// (drain-time checkpoints + the session manifest); warm boot just
+		// has nothing to restore.
 		st, err := snapshot.OpenStore(*snapDir, faultPlan)
 		if err != nil {
 			return err
@@ -220,7 +246,7 @@ func run() error {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	log.Info("slcd serving", "addr", "http://"+ln.Addr().String(),
-		"endpoints", "POST /compile, POST /run")
+		"endpoints", "POST /compile, POST /run, POST/GET/DELETE /session")
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM, syscall.SIGQUIT, syscall.SIGUSR1)

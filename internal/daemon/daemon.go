@@ -33,10 +33,12 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -47,8 +49,24 @@ import (
 	"repro/internal/diag"
 	"repro/internal/obs"
 	"repro/internal/s1"
+	"repro/internal/sched"
 	"repro/internal/sexp"
 	"repro/internal/snapshot"
+)
+
+// Scheduler modes (Config.SchedMode / SLCD_SCHED_MODE).
+const (
+	// SchedOff is the legacy direct path: a worker semaphore plus a
+	// bounded admission queue, no preemption, no gas. Responses are
+	// byte-identical to the pre-scheduler daemon.
+	SchedOff = "off"
+	// SchedOn multiplexes requests over the M:N scheduler: machines
+	// preempt at safepoints, tenants get DRR-fair slot shares and gas
+	// budgets, and thousands of requests can be resident at once.
+	SchedOn = "on"
+	// SchedStress is SchedOn with a forced yield at every safepoint —
+	// the differential torture mode for the park/resume path.
+	SchedStress = "stress"
 )
 
 // Config sizes and arms a Server. Zero values take the documented
@@ -91,6 +109,26 @@ type Config struct {
 	// process restarts (nil = in-memory warm boot only). See Boot and
 	// Checkpoint.
 	Snapshots *snapshot.Store
+	// SchedMode selects the execution path: SchedOn (the default), the
+	// legacy SchedOff path, or SchedStress. Empty falls back to the
+	// SLCD_SCHED_MODE environment variable, then to SchedOn — the env
+	// spelling is what the CI differential legs use.
+	SchedMode string
+	// SchedWorkers bounds concurrently *executing* machines under the
+	// scheduler (default: Workers). Requests beyond it park at
+	// safepoints instead of queuing at admission, so many more than
+	// SchedWorkers requests can be resident.
+	SchedWorkers int
+	// GasRate is each tenant's gas refill in simulated S-1 cycles per
+	// second (0 = gas metering off); GasBurst is the bucket capacity
+	// (default 10×GasRate). An exhausted tenant gets a typed 429, not a
+	// deadline 504.
+	GasRate  int64
+	GasBurst int64
+	// MaxSessions bounds resident sessions (default 10000);
+	// SessionIdleTTL expires sessions idle longer than it (0 = never).
+	MaxSessions    int
+	SessionIdleTTL time.Duration
 	// Fault is the injection plan; a matching deadline fault makes a
 	// request behave as if its deadline had already expired.
 	Fault *diag.Plan
@@ -135,10 +173,18 @@ type Response struct {
 	// top-level form (/compile).
 	Value string `json:"value,omitempty"`
 	// Defs lists the functions compiled by this request.
-	Defs        []string   `json:"defs,omitempty"`
+	Defs []string `json:"defs,omitempty"`
+	// Session echoes the session id a request created or ran against.
+	Session     string     `json:"session,omitempty"`
 	Diagnostics []DiagJSON `json:"diagnostics,omitempty"`
 	TimedOut    bool       `json:"timed_out,omitempty"`
-	DurationMs  float64    `json:"duration_ms"`
+	// GasExhausted marks a 429 caused by the tenant's gas budget (the
+	// program ran out of paid-for cycles) as opposed to load shedding.
+	GasExhausted bool    `json:"gas_exhausted,omitempty"`
+	DurationMs   float64 `json:"duration_ms"`
+	// status, when non-zero, overrides the HTTP status the handler would
+	// derive from OK/TimedOut (sessions' 404/409, gas's 429). Internal.
+	status int
 	// TraceID is the request's W3C trace id (accepted from the incoming
 	// traceparent header or generated); the same id is echoed in the
 	// response traceparent header and stamped on the daemon span, the
@@ -180,6 +226,16 @@ type Stats struct {
 	// ArenaRecycles counts request machines built on a recycled storage
 	// arena (heap/stack/record slices reused from an earlier request).
 	ArenaRecycles int64 `json:"arena_recycles"`
+	// GasExhausted counts requests rejected or halted by a dry tenant
+	// gas bucket (typed 429s, distinct from Shed).
+	GasExhausted int64 `json:"gas_exhausted"`
+	// Session lifecycle counters. Restored counts sessions revived from
+	// drain-time checkpoints at boot; Lost counts sessions the manifest
+	// promised but no restorable checkpoint backed (a hard kill).
+	SessionsCreated  int64 `json:"sessions_created"`
+	SessionsExpired  int64 `json:"sessions_expired"`
+	SessionsRestored int64 `json:"sessions_restored"`
+	SessionsLost     int64 `json:"sessions_lost"`
 }
 
 // span is one request's record in the export ring. New fields are
@@ -216,9 +272,19 @@ type Server struct {
 	mux *http.ServeMux
 
 	// admission counts executing + queued requests; workers is the
-	// execution semaphore.
+	// execution semaphore. Both serve only the legacy SchedOff path.
 	admission chan struct{}
 	workers   chan struct{}
+	// queuedN is the decoded-but-not-yet-executing request count on the
+	// legacy path. One atomic counter, because the old
+	// len(admission)-len(workers) gauge read two channels at different
+	// instants and could go negative under load.
+	queuedN atomic.Int64
+
+	// sched is the M:N machine scheduler (nil in SchedOff mode);
+	// sessions is the resident-session store (always present).
+	sched    *sched.Sched
+	sessions *sessionStore
 
 	draining atomic.Bool
 	inflight sync.WaitGroup
@@ -235,6 +301,7 @@ type Server struct {
 	gcHist      *obs.Histogram
 	gcMinorHist *obs.Histogram
 	cyclesHist  *obs.Histogram
+	schedHist   *obs.Histogram
 
 	// arenas recycles request machines' large slices (s1.Arena): a
 	// finished request releases its heap/stack/record storage here and
@@ -269,6 +336,20 @@ func New(cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
 	}
+	if cfg.SchedMode == "" {
+		cfg.SchedMode = os.Getenv("SLCD_SCHED_MODE")
+	}
+	switch cfg.SchedMode {
+	case SchedOff, SchedStress:
+	default:
+		cfg.SchedMode = SchedOn
+	}
+	if cfg.SchedWorkers <= 0 {
+		cfg.SchedWorkers = cfg.Workers
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 10000
+	}
 	s := &Server{
 		cfg:       cfg,
 		admission: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
@@ -286,11 +367,35 @@ func New(cfg Config) *Server {
 			"Simulator minor-GC pause durations in seconds.", obs.ExpBuckets(1e-6, 2, 20)),
 		cyclesHist: obs.NewHistogram("slcd_eval_cycles",
 			"Simulated S-1 cycles per request.", obs.CycleBuckets()),
+		schedHist: obs.NewHistogram("slcd_sched_wait_seconds",
+			"Scheduling latency: time parked tasks waited for a slot.", obs.DurationBuckets()),
+	}
+	s.sessions = newSessionStore(cfg.MaxSessions, cfg.SessionIdleTTL)
+	if cfg.SchedMode != SchedOff {
+		s.sched = sched.New(sched.Config{
+			Workers: cfg.SchedWorkers,
+			// Same backlog bound as the legacy admission queue, so the
+			// shed point is mode-independent.
+			MaxQueued: cfg.QueueDepth,
+			GasRate:   cfg.GasRate,
+			GasBurst:  cfg.GasBurst,
+			Stress:    cfg.SchedMode == SchedStress,
+			OnEvent: func(kind, tenant string, d time.Duration) {
+				if kind == sched.EvResume {
+					s.schedHist.ObserveDuration(d)
+				}
+				s.flight.Record(obs.Event{Kind: kind, Tenant: tenant, DurNs: d.Nanoseconds()})
+			},
+		})
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /compile", func(w http.ResponseWriter, r *http.Request) { s.handle(w, r, false) })
 	s.mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) { s.handle(w, r, true) })
 	s.mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("POST /session", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /session", s.handleSessionList)
+	s.mux.HandleFunc("GET /session/{id}", s.handleSessionGet)
+	s.mux.HandleFunc("DELETE /session/{id}", s.handleSessionDelete)
 	if cfg.Snapshots != nil {
 		// Quarantines and other store events land in the flight recorder.
 		cfg.Snapshots.SetEventHook(func(kind, name string) {
@@ -312,6 +417,7 @@ func (s *Server) Register(reg *obs.Registry) {
 		AddHistogram(s.gcHist).
 		AddHistogram(s.gcMinorHist).
 		AddHistogram(s.cyclesHist).
+		AddHistogram(s.schedHist).
 		SetFlight(s.flight)
 }
 
@@ -337,7 +443,7 @@ func (s *Server) Metrics() map[string]float64 {
 		"slcd_requests_timeout":            float64(st.TimedOut),
 		"slcd_requests_panic":              float64(st.Panics),
 		"slcd_inflight":                    float64(len(s.workers)),
-		"slcd_queued":                      float64(len(s.admission) - len(s.workers)),
+		"slcd_queued":                      float64(s.queuedN.Load()),
 		"slcd_tier_promotions_total":       float64(st.TierPromotions),
 		"slcd_tier_refusions_total":        float64(st.TierRefusions),
 		"slcd_tier_call_cache_fills_total": float64(st.TierCacheFills),
@@ -355,6 +461,21 @@ func (s *Server) Metrics() map[string]float64 {
 	if s.cfg.Disk != nil {
 		m["slcd_cache_breaker_state"] = float64(s.cfg.Disk.Breaker().State())
 	}
+	m["slcd_sessions_resident"] = float64(s.sessions.count())
+	m["slcd_sessions_created_total"] = float64(st.SessionsCreated)
+	m["slcd_sessions_expired_total"] = float64(st.SessionsExpired)
+	m["slcd_sessions_restored_total"] = float64(st.SessionsRestored)
+	m["slcd_sessions_lost_total"] = float64(st.SessionsLost)
+	m["slcd_gas_exhausted_total"] = float64(st.GasExhausted)
+	if s.sched != nil {
+		for k, v := range s.sched.Metrics() {
+			m[k] = v
+		}
+		// Under the scheduler the meaningful gauges are its own: running
+		// machines and the cross-tenant run queue.
+		m["slcd_inflight"] = m["slcd_sched_running"]
+		m["slcd_queued"] = m["slcd_sched_queued"]
+	}
 	return m
 }
 
@@ -370,6 +491,12 @@ func (s *Server) Degraded() []string {
 		// Warm boot is configured but no verified snapshot is live:
 		// every request is paying a cold prelude compile.
 		out = append(out, "snapshot-cold")
+	}
+	if n := s.sessions.lostCount(); n > 0 {
+		// The session manifest promised sessions no checkpoint backed —
+		// a hard kill lost them. The daemon serves (new sessions work);
+		// the operator learns the old ones are gone.
+		out = append(out, "session-store")
 	}
 	return out
 }
@@ -389,6 +516,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Every request is out; all sessions are idle. Checkpoint them so
+		// the next boot can revive them with state intact.
+		s.checkpointSessions()
 		s.mu.Lock()
 		s.stats.Drained++
 		s.mu.Unlock()
@@ -506,28 +636,27 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request, call bool) {
 		})
 		return
 	}
+	if s.sched != nil {
+		s.handleSched(w, r, call, start, startMono, traceID)
+		return
+	}
 	// Admission: a slot in the bounded queue, or an immediate shed.
 	select {
 	case s.admission <- struct{}{}:
 	default:
-		s.mu.Lock()
-		s.stats.Shed++
-		s.mu.Unlock()
-		s.flight.Record(obs.Event{Kind: obs.EvLoadShed, Trace: traceID, Unit: r.URL.Path})
-		s.log.LogAttrs(r.Context(), slog.LevelWarn, "request shed",
-			slog.String("trace_id", traceID), slog.String("path", r.URL.Path))
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, &Response{
-			Diagnostics: []DiagJSON{{Severity: "error", Phase: "admission",
-				Msg: "server saturated, retry later"}},
-			DurationMs: msSince(start), TraceID: traceID,
-		})
-		s.record(span{Path: r.URL.Path, Status: http.StatusTooManyRequests,
-			Start: start.UTC().Format(time.RFC3339Nano), StartMonoNs: startMono,
-			DurationMs: msSince(start), Note: "shed", TraceID: traceID})
+		s.shed(w, r, start, startMono, traceID)
 		return
 	}
 	defer func() { <-s.admission }()
+	s.queuedN.Add(1)
+	dequeued := false
+	dequeue := func() {
+		if !dequeued {
+			dequeued = true
+			s.queuedN.Add(-1)
+		}
+	}
+	defer dequeue()
 	s.inflight.Add(1)
 	defer s.inflight.Done()
 
@@ -543,6 +672,7 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request, call bool) {
 
 	// Wait (bounded, since admission is bounded) for a worker slot.
 	s.workers <- struct{}{}
+	dequeue()
 	defer func() { <-s.workers }()
 
 	s.mu.Lock()
@@ -559,12 +689,123 @@ func (s *Server) handle(w http.ResponseWriter, r *http.Request, call bool) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	resp := s.execute(ctx, &req, call, traceID, r.URL.Query().Get("trace") == "1")
+	resp := s.execute(ctx, &req, call, traceID, r.URL.Query().Get("trace") == "1", nil)
+	s.finish(w, r, &req, resp, start, startMono, traceID)
+}
+
+// handleSched is the request lifecycle under the M:N scheduler:
+// admission, queuing and slot grants all live in sched.Run, and the
+// machine's safepoints (wired to Task.Safepoint inside execute) are
+// where preemption and gas metering happen. The deadline covers queue
+// wait too: a parked request whose context dies leaves the queue and is
+// answered 504 without ever running.
+func (s *Server) handleSched(w http.ResponseWriter, r *http.Request, call bool, start time.Time, startMono int64, traceID string) {
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+
+	var req Request
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, &Response{
+			Diagnostics: []DiagJSON{{Severity: "error", Phase: "request",
+				Msg: "bad request body: " + err.Error()}},
+			DurationMs: msSince(start), TraceID: traceID,
+		})
+		return
+	}
+
+	timeout := s.cfg.ReqTimeout
+	if s.cfg.Fault.Should(diag.KindDeadline, "request", req.Fn) {
+		// Injected deadline: the request starts life already expired.
+		timeout = -time.Nanosecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	var resp *Response
+	runErr := s.sched.Run(ctx, req.Tenant, func(tk *sched.Task) error {
+		s.mu.Lock()
+		s.stats.Accepted++
+		s.mu.Unlock()
+		s.flight.Record(obs.Event{Kind: obs.EvReqStart, Trace: traceID,
+			Unit: r.URL.Path, Tenant: req.Tenant, Session: req.Session})
+		resp = s.execute(ctx, &req, call, traceID, r.URL.Query().Get("trace") == "1", tk)
+		return nil
+	})
+
+	var ge *sched.GasError
+	switch {
+	case errors.Is(runErr, sched.ErrSaturated):
+		s.shed(w, r, start, startMono, traceID)
+		return
+	case errors.As(runErr, &ge):
+		// The tenant's gas bucket ran dry — at admission (fail-fast,
+		// resp == nil) or mid-run at a safepoint. Either way the answer
+		// is the typed 429, not a deadline 504: the program was not slow,
+		// it was out of budget.
+		w.Header().Set("Retry-After", retryAfterSecs(ge.RetryAfter))
+		resp = &Response{
+			GasExhausted: true,
+			status:       http.StatusTooManyRequests,
+			Diagnostics: []DiagJSON{{Severity: "error", Phase: "gas",
+				Msg: ge.Error()}},
+		}
+	case resp == nil && errors.Is(runErr, context.DeadlineExceeded):
+		resp = &Response{TimedOut: true,
+			Diagnostics: []DiagJSON{{Severity: "error", Phase: "deadline",
+				Msg: "request deadline exceeded while queued"}}}
+	case resp == nil:
+		// Client went away while the request was parked in the queue.
+		resp = &Response{status: http.StatusServiceUnavailable,
+			Diagnostics: []DiagJSON{{Severity: "error", Phase: "admission",
+				Msg: "request canceled while queued"}}}
+	}
+	s.finish(w, r, &req, resp, start, startMono, traceID)
+}
+
+// retryAfterSecs renders a duration as a Retry-After header value,
+// rounded up so the client never retries early.
+func retryAfterSecs(d time.Duration) string {
+	secs := int64(d/time.Second) + 1
+	return fmt.Sprintf("%d", secs)
+}
+
+// shed answers a saturated-admission rejection (429 + Retry-After).
+func (s *Server) shed(w http.ResponseWriter, r *http.Request, start time.Time, startMono int64, traceID string) {
+	s.mu.Lock()
+	s.stats.Shed++
+	s.mu.Unlock()
+	s.flight.Record(obs.Event{Kind: obs.EvLoadShed, Trace: traceID, Unit: r.URL.Path})
+	s.log.LogAttrs(r.Context(), slog.LevelWarn, "request shed",
+		slog.String("trace_id", traceID), slog.String("path", r.URL.Path))
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusTooManyRequests, &Response{
+		Diagnostics: []DiagJSON{{Severity: "error", Phase: "admission",
+			Msg: "server saturated, retry later"}},
+		DurationMs: msSince(start), TraceID: traceID,
+	})
+	s.record(span{Path: r.URL.Path, Status: http.StatusTooManyRequests,
+		Start: start.UTC().Format(time.RFC3339Nano), StartMonoNs: startMono,
+		DurationMs: msSince(start), Note: "shed", TraceID: traceID})
+}
+
+// finish maps the response to an HTTP status, updates counters, and
+// emits the span, flight events and log line — the shared tail of both
+// execution paths.
+func (s *Server) finish(w http.ResponseWriter, r *http.Request, req *Request, resp *Response, start time.Time, startMono int64, traceID string) {
 	resp.DurationMs = msSince(start)
 	resp.TraceID = traceID
 	s.reqHist.ObserveDuration(time.Since(start))
 	status := http.StatusOK
 	switch {
+	case resp.status != 0:
+		status = resp.status
+		s.mu.Lock()
+		if resp.GasExhausted {
+			s.stats.GasExhausted++
+		} else {
+			s.stats.Failed++
+		}
+		s.mu.Unlock()
 	case resp.TimedOut:
 		status = http.StatusGatewayTimeout
 		s.mu.Lock()
@@ -625,7 +866,11 @@ const runtimeTid = 99
 // under the last-resort panic barrier. The compile pipeline has its own
 // per-unit barriers; this one catches anything that escapes them, so a
 // wholly unexpected panic still degrades to a structured response.
-func (s *Server) execute(ctx context.Context, req *Request, call bool, traceID string, wantTrace bool) (resp *Response) {
+// Under the scheduler tk is the request's task handle and the machine's
+// safepoints are wired to it; on the legacy path tk is nil. A request
+// naming a resident session runs in that session's system instead of a
+// fresh one.
+func (s *Server) execute(ctx context.Context, req *Request, call bool, traceID string, wantTrace bool, tk *sched.Task) (resp *Response) {
 	resp = &Response{}
 	defer func() {
 		if r := recover(); r != nil {
@@ -642,6 +887,10 @@ func (s *Server) execute(ctx context.Context, req *Request, call bool, traceID s
 			})
 		}
 	}()
+	if req.Session != "" {
+		s.executeSession(ctx, req, call, traceID, tk, resp)
+		return resp
+	}
 
 	// Every request gets its own phase-span recorder: the spans feed the
 	// phase-latency histogram, and when the caller asked for ?trace=1
@@ -690,6 +939,11 @@ func (s *Server) execute(ctx context.Context, req *Request, call bool, traceID s
 			}
 			prev(kind, unit, d)
 		}
+	}
+	// Under the scheduler every machine safepoint becomes a scheduling
+	// and gas-metering point.
+	if tk != nil {
+		sys.Machine.OnSafepoint = tk.Safepoint
 	}
 	// The deadline interrupts the machine cooperatively: Run checks the
 	// flag every few hundred dispatches and unwinds with a RuntimeError.

@@ -1,0 +1,273 @@
+package daemon
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// normalizeResp strips the per-request fields (timings, trace ids) so
+// responses from different scheduler modes can be compared for semantic
+// identity.
+func normalizeResp(r Response) Response {
+	r.DurationMs = 0
+	r.TraceID = ""
+	r.Trace = nil
+	return r
+}
+
+// TestSchedModeDifferential is the mode-identity guarantee: the same
+// request sequence produces semantically identical responses under the
+// legacy path (off), the scheduler (on), and forced-yield-at-every-
+// safepoint (stress). Only timings and trace ids may differ.
+func TestSchedModeDifferential(t *testing.T) {
+	reqs := []struct {
+		path string
+		req  Request
+	}{
+		{"/run", Request{
+			Source: `(defun exptl (b n a) (if (= n 0) a (exptl b (- n 1) (* a b))))`,
+			Fn:     "exptl", Args: []string{"2", "10", "1"}, Tenant: "acme"}},
+		{"/compile", Request{Source: "(defun sq (x) (* x x))\n(sq 7)"}},
+		{"/compile", Request{Source: `(defun bad (x) (car . x))`}}, // 422
+		{"/run", Request{
+			Source: `(defun fib (n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))`,
+			Fn:     "fib", Args: []string{"15"}}},
+		{"/run", Request{Source: "(defun id (x) x)", Fn: "id", Args: []string{"((a . b) 1 2)"}}},
+	}
+
+	type outcome struct {
+		code int
+		resp Response
+	}
+	results := map[string][]outcome{}
+	for _, mode := range []string{SchedOff, SchedOn, SchedStress} {
+		s := New(Config{Workers: 2, ReqTimeout: 30 * time.Second, SchedMode: mode})
+		ts := httptest.NewServer(s)
+		for _, r := range reqs {
+			code, resp, _ := post(t, ts, r.path, r.req)
+			results[mode] = append(results[mode], outcome{code, normalizeResp(resp)})
+		}
+		ts.Close()
+	}
+	for _, mode := range []string{SchedOn, SchedStress} {
+		for i := range reqs {
+			if results[SchedOff][i].code != results[mode][i].code {
+				t.Errorf("request %d: status off=%d %s=%d", i,
+					results[SchedOff][i].code, mode, results[mode][i].code)
+			}
+			if !reflect.DeepEqual(results[SchedOff][i].resp, results[mode][i].resp) {
+				t.Errorf("request %d: response diverges under %s:\noff: %+v\n%s:  %+v",
+					i, mode, results[SchedOff][i].resp, mode, results[mode][i].resp)
+			}
+		}
+	}
+}
+
+// TestStarvationFreedom is the adversarial fairness suite: a hot tenant
+// keeps the single worker slot saturated with spin loops that only die
+// at their deadline, while a second tenant submits short programs. Every
+// short program must complete (no 504, no starvation) and their tail
+// latency must stay far below the hog's slot-holding time — the DRR
+// preemption guarantee.
+func TestStarvationFreedom(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 64,
+		ReqTimeout: 3 * time.Second, SchedMode: SchedOn})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Three hog requests at a time, resubmitted forever: the slot is
+	// never voluntarily free.
+	stop := make(chan struct{})
+	var hogs sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		hogs.Add(1)
+		go func() {
+			defer hogs.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				post(t, ts, "/run", Request{
+					Source: spinSrc, Fn: "spin", Args: []string{"1"}, Tenant: "hog"})
+			}
+		}()
+	}
+	defer hogs.Wait()
+	defer close(stop)
+
+	// Wait until the hog actually owns the machine.
+	deadline := time.Now().Add(4 * time.Second)
+	for {
+		st := s.sched.Stats()
+		if st.Running+st.Queued >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("hog never saturated the scheduler")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Short, but long enough (tens of thousands of instructions) to
+	// cross safepoints and be charged real cycles.
+	const shorts = 15
+	const countSrc = `(defun count (n) (if (= n 0) 99 (count (- n 1))))`
+	lat := make([]time.Duration, 0, shorts)
+	for i := 0; i < shorts; i++ {
+		begin := time.Now()
+		code, resp, _ := post(t, ts, "/run", Request{
+			Source: countSrc, Fn: "count", Args: []string{"20000"},
+			Tenant: "mouse"})
+		lat = append(lat, time.Since(begin))
+		if code != http.StatusOK || !resp.OK || resp.Value != "99" {
+			t.Fatalf("short request %d starved or broke: %d %+v", i, code, resp)
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	// p99 (here: the max of 15 samples) must beat the request deadline
+	// with margin — without preemption every short request would sit
+	// behind a full 3 s spin-until-deadline and time out.
+	if worst := lat[len(lat)-1]; worst >= s.cfg.ReqTimeout {
+		t.Errorf("short-tenant worst latency %v reached the deadline %v", worst, s.cfg.ReqTimeout)
+	}
+	st := s.sched.Stats()
+	if st.Preempts == 0 {
+		t.Error("no preemptions recorded; the hog was never timesliced")
+	}
+	var mouse, hog *int64
+	for i := range st.ByTenant {
+		switch st.ByTenant[i].Name {
+		case "mouse":
+			mouse = &st.ByTenant[i].CyclesUsed
+		case "hog":
+			hog = &st.ByTenant[i].CyclesUsed
+		}
+	}
+	if mouse == nil || hog == nil || *mouse == 0 || *hog == 0 {
+		t.Errorf("per-tenant cycle accounting incomplete: %+v", st.ByTenant)
+	}
+}
+
+// TestGasExhausted429: a spinning program drains its tenant's gas
+// bucket mid-run and gets the typed 429 (gas_exhausted, Retry-After) —
+// not a deadline 504; the dry tenant then fails fast at admission while
+// other tenants are untouched.
+func TestGasExhausted429(t *testing.T) {
+	s := New(Config{Workers: 1, ReqTimeout: 30 * time.Second, SchedMode: SchedOn,
+		GasRate: 1000, GasBurst: 200_000})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	begin := time.Now()
+	code, resp, hdr := post(t, ts, "/run", Request{
+		Source: spinSrc, Fn: "spin", Args: []string{"1"}, Tenant: "dry"})
+	if code != http.StatusTooManyRequests || !resp.GasExhausted {
+		t.Fatalf("spin on a tiny gas budget: status %d, resp %+v", code, resp)
+	}
+	if resp.TimedOut {
+		t.Error("gas exhaustion misclassified as a deadline")
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("gas 429 missing Retry-After")
+	}
+	if time.Since(begin) > 10*time.Second {
+		t.Error("gas exhaustion waited for the request deadline")
+	}
+	found := false
+	for _, d := range resp.Diagnostics {
+		if d.Phase == "gas" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no gas-phase diagnostic: %+v", resp.Diagnostics)
+	}
+
+	// The dry tenant is refused at admission now (fail-fast, still typed).
+	code, resp, hdr = post(t, ts, "/run", Request{
+		Source: "(defun ok (x) x)", Fn: "ok", Args: []string{"1"}, Tenant: "dry"})
+	if code != http.StatusTooManyRequests || !resp.GasExhausted || hdr.Get("Retry-After") == "" {
+		t.Errorf("dry-tenant admission: status %d, resp %+v", code, resp)
+	}
+
+	// A different tenant's budget is its own.
+	if code, resp, _ := post(t, ts, "/run", Request{
+		Source: "(defun ok (x) x)", Fn: "ok", Args: []string{"5"}, Tenant: "wet"}); code != http.StatusOK || resp.Value != "5" {
+		t.Errorf("unrelated tenant affected by a dry bucket: %d %+v", code, resp)
+	}
+
+	if st := s.Stats(); st.GasExhausted != 2 {
+		t.Errorf("GasExhausted stat = %d, want 2", st.GasExhausted)
+	}
+	m := s.Metrics()
+	if m["slcd_gas_exhausted_total"] != 2 {
+		t.Errorf("slcd_gas_exhausted_total = %v", m["slcd_gas_exhausted_total"])
+	}
+	if m[`slcd_sched_tenant_gas_exhausted_total{tenant="dry"}`] != 2 {
+		t.Errorf("per-tenant gas metric missing: %v", m)
+	}
+}
+
+// TestQueuedGaugeSettlesToZero is the slcd_queued regression: the gauge
+// is one atomic counter now, and after any burst — including sheds and
+// early returns — it must settle back to exactly zero in both modes.
+func TestQueuedGaugeSettlesToZero(t *testing.T) {
+	for _, mode := range []string{SchedOff, SchedOn} {
+		s := New(Config{Workers: 2, QueueDepth: 2,
+			ReqTimeout: 5 * time.Second, SchedMode: mode})
+		ts := httptest.NewServer(s)
+
+		var wg sync.WaitGroup
+		for i := 0; i < 12; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				post(t, ts, "/run", Request{
+					Source: "(defun sq (x) (* x x))", Fn: "sq", Args: []string{"4"}})
+			}()
+		}
+		wg.Wait()
+		if got := s.Metrics()["slcd_queued"]; got != 0 {
+			t.Errorf("mode %s: slcd_queued = %v after the burst drained, want 0", mode, got)
+		}
+		if mode == SchedOff {
+			if n := s.queuedN.Load(); n != 0 {
+				t.Errorf("mode off: queuedN = %d, want 0", n)
+			}
+		}
+		ts.Close()
+	}
+}
+
+// TestSchedMetricsExposed: scheduler counters and per-tenant labeled
+// series surface through the daemon metrics snapshot, and the inflight/
+// queued gauges are aliased to the scheduler's view.
+func TestSchedMetricsExposed(t *testing.T) {
+	s := New(Config{Workers: 1, SchedMode: SchedOn})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	post(t, ts, "/run", Request{
+		Source: "(defun sq (x) (* x x))", Fn: "sq", Args: []string{"3"}, Tenant: "acme"})
+
+	m := s.Metrics()
+	if m["slcd_sched_submitted_total"] < 1 || m["slcd_sched_completed_total"] < 1 {
+		t.Errorf("sched counters missing: %v", m)
+	}
+	if m["slcd_sched_workers"] != 1 {
+		t.Errorf("slcd_sched_workers = %v", m["slcd_sched_workers"])
+	}
+	if _, ok := m[`slcd_sched_tenant_cycles_total{tenant="acme"}`]; !ok {
+		t.Errorf("per-tenant labeled series missing from metrics: %v", m)
+	}
+	if m["slcd_inflight"] != m["slcd_sched_running"] || m["slcd_queued"] != m["slcd_sched_queued"] {
+		t.Error("inflight/queued gauges not aliased to the scheduler's")
+	}
+}

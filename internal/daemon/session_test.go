@@ -1,0 +1,492 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/snapshot"
+)
+
+// sessionSetupSrc gives a session observable state: a special counter
+// and a bumper, so cross-request persistence is visible in values.
+const sessionSetupSrc = `
+(defvar *n* 0)
+(defun bump () (setq *n* (+ *n* 1)) *n*)`
+
+// getJSON decodes a GET endpoint's JSON body.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	hr, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if err := json.NewDecoder(hr.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: undecodable body: %v", url, err)
+	}
+	return hr.StatusCode
+}
+
+// TestSessionLifecycle: create with setup source, resume with state
+// intact across requests, list/get, delete, then 404.
+func TestSessionLifecycle(t *testing.T) {
+	s := New(Config{Workers: 2, ReqTimeout: 10 * time.Second})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	code, resp, _ := post(t, ts, "/session", Request{Source: sessionSetupSrc, Tenant: "acme"})
+	if code != http.StatusOK || !resp.OK || resp.Session == "" {
+		t.Fatalf("create: status %d, resp %+v", code, resp)
+	}
+	id := resp.Session
+	foundBump := false
+	for _, d := range resp.Defs {
+		if d == "bump" {
+			foundBump = true
+		}
+	}
+	if !foundBump {
+		t.Errorf("setup defs not reported: %v", resp.Defs)
+	}
+
+	// The counter advances across requests: the heap is resident.
+	for i := 1; i <= 3; i++ {
+		code, r, _ := post(t, ts, "/run", Request{Session: id, Source: "(bump)"})
+		if code != http.StatusOK || !r.OK || r.Value != strconv.Itoa(i) {
+			t.Fatalf("resume %d: status %d, resp %+v", i, code, r)
+		}
+		if r.Session != id {
+			t.Errorf("resume %d: session echo = %q", i, r.Session)
+		}
+	}
+
+	// Definitions added mid-session persist too.
+	if code, r, _ := post(t, ts, "/run", Request{Session: id,
+		Source: "(defun dbl (x) (* 2 x))"}); code != http.StatusOK || !r.OK {
+		t.Fatalf("mid-session defun: %d %+v", code, r)
+	}
+	if code, r, _ := post(t, ts, "/run", Request{Session: id,
+		Fn: "dbl", Args: []string{"21"}}); code != http.StatusOK || r.Value != "42" {
+		t.Fatalf("mid-session def lost: %d %+v", code, r)
+	}
+
+	var list struct {
+		Count    int           `json:"count"`
+		Sessions []sessionInfo `json:"sessions"`
+	}
+	if code := getJSON(t, ts.URL+"/session", &list); code != http.StatusOK || list.Count != 1 {
+		t.Fatalf("list: %d %+v", code, list)
+	}
+	if list.Sessions[0].ID != id || list.Sessions[0].Tenant != "acme" || list.Sessions[0].Requests != 5 {
+		t.Errorf("list row: %+v", list.Sessions[0])
+	}
+	var info sessionInfo
+	if code := getJSON(t, ts.URL+"/session/"+id, &info); code != http.StatusOK || info.ID != id {
+		t.Fatalf("get: %d %+v", code, info)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/session/"+id, nil)
+	hr, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d", hr.StatusCode)
+	}
+	if code, _, _ := post(t, ts, "/run", Request{Session: id, Source: "(bump)"}); code != http.StatusNotFound {
+		t.Errorf("deleted session served a request: %d", code)
+	}
+	if code, _, _ := post(t, ts, "/run", Request{Session: "nope", Source: "(bump)"}); code != http.StatusNotFound {
+		t.Errorf("unknown session id: %d", code)
+	}
+	if st := s.Stats(); st.SessionsCreated != 1 {
+		t.Errorf("SessionsCreated = %d", st.SessionsCreated)
+	}
+}
+
+// TestSessionBusyAndStaleInterrupt: a session is single-threaded — a
+// concurrent second request gets 409, a deadline 504 does not poison
+// the session (the stale-kill regression: the machine parks with the
+// kill signal latched, and the next request must clear it, not 504
+// instantly).
+func TestSessionBusyAndStaleInterrupt(t *testing.T) {
+	s := New(Config{Workers: 2, ReqTimeout: 500 * time.Millisecond, SchedMode: SchedOn})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	code, resp, _ := post(t, ts, "/session", Request{Source: spinSrc})
+	if code != http.StatusOK {
+		t.Fatalf("create: %d %+v", code, resp)
+	}
+	id := resp.Session
+
+	done := make(chan Response, 1)
+	go func() {
+		_, r, _ := post(t, ts, "/run", Request{Session: id, Fn: "spin", Args: []string{"1"}})
+		done <- r
+	}()
+	// Wait until the spin owns the session, then collide with it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var info sessionInfo
+		getJSON(t, ts.URL+"/session/"+id, &info)
+		if info.Busy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session never became busy")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if code, r, _ := post(t, ts, "/run", Request{Session: id, Source: "(defun ok (x) x)"}); code != http.StatusConflict {
+		t.Errorf("concurrent session request: %d %+v, want 409", code, r)
+	}
+	// A busy session cannot be deleted either.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/session/"+id, nil)
+	if hr, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		hr.Body.Close()
+		if hr.StatusCode != http.StatusConflict {
+			t.Errorf("delete busy session: %d, want 409", hr.StatusCode)
+		}
+	}
+
+	r := <-done
+	if !r.TimedOut {
+		t.Fatalf("spin should have hit its deadline: %+v", r)
+	}
+
+	// The stale-interrupt regression: the very next request on the same
+	// session must run to completion, not 504 at its first safepoint.
+	code, r, _ = post(t, ts, "/run", Request{Session: id,
+		Source: "(defun ok (x) x)", Fn: "ok", Args: []string{"7"}})
+	if code != http.StatusOK || !r.OK || r.Value != "7" {
+		t.Fatalf("session poisoned by a stale interrupt: %d %+v", code, r)
+	}
+}
+
+// TestSessionLimitAndTTL: the residency bound returns 429; idle
+// sessions past the TTL are reaped and their ids 404.
+func TestSessionLimitAndTTL(t *testing.T) {
+	s := New(Config{Workers: 1, MaxSessions: 2})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	for i := 0; i < 2; i++ {
+		if code, r, _ := post(t, ts, "/session", Request{}); code != http.StatusOK {
+			t.Fatalf("create %d: %d %+v", i, code, r)
+		}
+	}
+	if code, r, _ := post(t, ts, "/session", Request{}); code != http.StatusTooManyRequests {
+		t.Fatalf("over-limit create: %d %+v, want 429", code, r)
+	}
+
+	s2 := New(Config{Workers: 1, SessionIdleTTL: 50 * time.Millisecond})
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	_, resp, _ := post(t, ts2, "/session", Request{Source: sessionSetupSrc})
+	id := resp.Session
+	time.Sleep(120 * time.Millisecond)
+	if code, _, _ := post(t, ts2, "/run", Request{Session: id, Source: "(bump)"}); code != http.StatusNotFound {
+		t.Errorf("expired session still served: %d", code)
+	}
+	if st := s2.Stats(); st.SessionsExpired != 1 {
+		t.Errorf("SessionsExpired = %d", st.SessionsExpired)
+	}
+}
+
+// TestSessionDrainCheckpointRestore: a clean drain checkpoints every
+// resident session; the next boot restores them with heap state intact
+// and nothing lost.
+func TestSessionDrainCheckpointRestore(t *testing.T) {
+	dir := t.TempDir()
+
+	st1, err := snapshot.OpenStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sA := New(Config{Workers: 1, Snapshots: st1})
+	if err := sA.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(sA)
+	_, resp, _ := post(t, tsA, "/session", Request{Source: sessionSetupSrc, Tenant: "acme"})
+	id := resp.Session
+	if id == "" {
+		t.Fatalf("create: %+v", resp)
+	}
+	// Advance the counter so the checkpoint carries mutated heap state.
+	for i := 0; i < 2; i++ {
+		post(t, tsA, "/run", Request{Session: id, Source: "(bump)"})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := sA.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	tsA.Close()
+	st1.Close()
+
+	sB := New(Config{Workers: 1, Snapshots: openSnapStore(t, dir, nil)})
+	if err := sB.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if st := sB.Stats(); st.SessionsRestored != 1 || st.SessionsLost != 0 {
+		t.Fatalf("restore stats: %+v", st)
+	}
+	tsB := httptest.NewServer(sB)
+	defer tsB.Close()
+	code, r, _ := post(t, tsB, "/run", Request{Session: id, Source: "(bump)"})
+	if code != http.StatusOK || r.Value != "3" {
+		t.Fatalf("restored session lost its heap: %d %+v (want *n* = 3)", code, r)
+	}
+	var info sessionInfo
+	getJSON(t, tsB.URL+"/session/"+id, &info)
+	if !info.Restored || info.Tenant != "acme" {
+		t.Errorf("restored session row: %+v", info)
+	}
+
+	mux := http.NewServeMux()
+	sB.RegisterDebug(mux)
+	dbg := httptest.NewServer(mux)
+	defer dbg.Close()
+	if _, body := readyzBody(t, dbg); body["degraded"] != nil {
+		t.Errorf("clean restore reports degraded: %v", body["degraded"])
+	}
+}
+
+// TestSessionHardKillLostDegraded is the kill-9 signature in-process:
+// the manifest promises a session (written at create) but no checkpoint
+// backs it (only Drain writes those), so the next boot reports it lost
+// and /readyz degrades to "session-store" while the daemon serves.
+func TestSessionHardKillLostDegraded(t *testing.T) {
+	dir := t.TempDir()
+
+	st1, err := snapshot.OpenStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sA := New(Config{Workers: 1, Snapshots: st1})
+	if err := sA.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(sA)
+	_, resp, _ := post(t, tsA, "/session", Request{Source: sessionSetupSrc})
+	id := resp.Session
+	// No Drain: the process "dies" here.
+	tsA.Close()
+	st1.Close()
+
+	flight := obs.NewFlight(obs.DefaultFlightSize)
+	sB := New(Config{Workers: 1, Snapshots: openSnapStore(t, dir, nil), Flight: flight})
+	if err := sB.Boot(); err != nil {
+		t.Fatalf("boot after a hard kill must serve, not fail: %v", err)
+	}
+	if st := sB.Stats(); st.SessionsLost != 1 || st.SessionsRestored != 0 {
+		t.Errorf("lost-session stats: %+v", st)
+	}
+	if evs := flight.Snapshot(obs.Filter{Kind: obs.EvSessionLost}); len(evs) != 1 || evs[0].Sev != obs.SevWarn {
+		t.Errorf("session-lost flight events: %+v", evs)
+	}
+
+	mux := http.NewServeMux()
+	sB.RegisterDebug(mux)
+	dbg := httptest.NewServer(mux)
+	defer dbg.Close()
+	code, body := readyzBody(t, dbg)
+	if code != http.StatusOK || body["ok"] != true {
+		t.Fatalf("readyz after lost sessions must stay 200/ok: %d %v", code, body)
+	}
+	deg, _ := body["degraded"].([]any)
+	foundDeg := false
+	for _, d := range deg {
+		if d == "session-store" {
+			foundDeg = true
+		}
+	}
+	if !foundDeg {
+		t.Errorf("degraded = %v, want session-store listed", body["degraded"])
+	}
+
+	tsB := httptest.NewServer(sB)
+	defer tsB.Close()
+	if code, _, _ := post(t, tsB, "/run", Request{Session: id, Source: "(bump)"}); code != http.StatusNotFound {
+		t.Errorf("lost session served: %d", code)
+	}
+	// Degraded but serving: ordinary requests and new sessions work.
+	if code, r, _ := post(t, tsB, "/run", Request{
+		Source: "(defun ok (x) x)", Fn: "ok", Args: []string{"1"}}); code != http.StatusOK {
+		t.Errorf("daemon not serving while degraded: %d %+v", code, r)
+	}
+	if code, _, _ := post(t, tsB, "/session", Request{}); code != http.StatusOK {
+		t.Errorf("session creation broken while degraded: %d", code)
+	}
+	if v := sB.Metrics()["slcd_sessions_lost_total"]; v != 1 {
+		t.Errorf("slcd_sessions_lost_total = %v", v)
+	}
+}
+
+// TestHelperDaemonSessionPark is the child body for the SIGKILL session
+// torture: it boots from the shared directory, creates the requested
+// number of sessions (each manifest write is durable), then parks
+// forever until the parent kills it.
+func TestHelperDaemonSessionPark(t *testing.T) {
+	dir := os.Getenv("SLCD_SESSION_TORTURE_DIR")
+	if dir == "" {
+		t.Skip("helper process for TestKill9SessionTorture")
+	}
+	st, err := snapshot.OpenStore(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := New(Config{Workers: 2, Snapshots: st})
+	if err := s.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	n, _ := strconv.Atoi(os.Getenv("SLCD_SESSION_TORTURE_N"))
+	for i := 0; i < n; i++ {
+		code, resp, _ := post(t, ts, "/session", Request{Source: sessionSetupSrc})
+		if code != http.StatusOK {
+			t.Fatalf("create %d: %d %+v", i, code, resp)
+		}
+	}
+	select {} // hold the sessions resident until SIGKILL
+}
+
+// TestKill9SessionTorture: SIGKILL a daemon holding parked sessions;
+// the next boot must come up serving with every promised session
+// reported lost and /readyz degraded — never an error, never a hang.
+func TestKill9SessionTorture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes")
+	}
+	dir := t.TempDir()
+	const n = 5
+
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperDaemonSessionPark$", "-test.v=false")
+	cmd.Env = append(os.Environ(),
+		"SLCD_SESSION_TORTURE_DIR="+dir,
+		"SLCD_SESSION_TORTURE_N="+strconv.Itoa(n))
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the manifest promises all n sessions, then kill -9.
+	manifest := filepath.Join(dir, "sessions", "manifest.json")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var man sessionManifest
+		if data, err := os.ReadFile(manifest); err == nil &&
+			json.Unmarshal(data, &man) == nil && len(man.Sessions) >= n {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("child never parked %d sessions\nchild: %s", n, out.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+
+	s := New(Config{Workers: 1, Snapshots: openSnapStore(t, dir, nil)})
+	if err := s.Boot(); err != nil {
+		t.Fatalf("boot after kill -9 failed: %v\nchild: %s", err, out.String())
+	}
+	if st := s.Stats(); st.SessionsLost != n {
+		t.Errorf("SessionsLost = %d, want %d", st.SessionsLost, n)
+	}
+	mux := http.NewServeMux()
+	s.RegisterDebug(mux)
+	dbg := httptest.NewServer(mux)
+	defer dbg.Close()
+	code, body := readyzBody(t, dbg)
+	if code != http.StatusOK || body["ok"] != true {
+		t.Fatalf("readyz after kill -9: %d %v", code, body)
+	}
+	deg, _ := body["degraded"].([]any)
+	found := false
+	for _, d := range deg {
+		if d == "session-store" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("degraded = %v, want session-store", body["degraded"])
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	if code, r, _ := post(t, ts, "/run", Request{
+		Source: "(defun ok (x) x)", Fn: "ok", Args: []string{"2"}}); code != http.StatusOK {
+		t.Errorf("daemon not serving after torture: %d %+v", code, r)
+	}
+}
+
+// TestManyResidentSessions: a node holds a large resident-session
+// population cheaply (parked machine stacks, no arenas) and any of them
+// resumes correctly. The full 10k-sessions-per-node figure is the
+// BenchmarkScheduler/resident-sessions measurement; this asserts the
+// mechanism at a scale CI can afford.
+func TestManyResidentSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("creates a thousand sessions")
+	}
+	const n = 1000
+	s := New(Config{Workers: 4, MaxSessions: 10000, ReqTimeout: 30 * time.Second})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 8 {
+				code, resp, _ := post(t, ts, "/session", Request{Source: sessionSetupSrc})
+				if code != http.StatusOK || resp.Session == "" {
+					errs <- fmt.Errorf("create %d: status %d", i, code)
+					return
+				}
+				ids[i] = resp.Session
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := s.sessions.count(); got != n {
+		t.Fatalf("resident sessions = %d, want %d", got, n)
+	}
+	// Spot-check resumability across the population.
+	for i := 0; i < n; i += n / 20 {
+		code, r, _ := post(t, ts, "/run", Request{Session: ids[i], Source: "(bump)"})
+		if code != http.StatusOK || r.Value != "1" {
+			t.Fatalf("session %d did not resume: %d %+v", i, code, r)
+		}
+	}
+	if st := s.Stats(); st.SessionsCreated != n {
+		t.Errorf("SessionsCreated = %d", st.SessionsCreated)
+	}
+}

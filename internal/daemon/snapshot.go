@@ -89,6 +89,9 @@ func (s *Server) bootSystem(opts core.Options, traceID string) *core.System {
 // the prelude itself does not compile; snapshot trouble always degrades
 // to the cold path.
 func (s *Server) Boot() error {
+	// Resident sessions revive (or are reported lost) regardless of how
+	// the prelude boots.
+	defer s.restoreSessions()
 	if s.cfg.Prelude == "" {
 		return nil
 	}

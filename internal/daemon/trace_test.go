@@ -89,7 +89,7 @@ func TestOneTraceLinksEverything(t *testing.T) {
 
 	code, resp, _ := post(t, ts, "/run?trace=1", Request{
 		Source: loopSrc, Fn: "churn", Args: []string{"10000"},
-		Tenant: "acme", Session: "sess-1",
+		Tenant: "acme",
 	})
 	if code != http.StatusOK || !resp.OK {
 		t.Fatalf("run: status %d, resp %+v", code, resp)
@@ -111,7 +111,7 @@ func TestOneTraceLinksEverything(t *testing.T) {
 	if sp == nil {
 		t.Fatal("no span in ring with the request's trace id")
 	}
-	if sp.Tenant != "acme" || sp.Session != "sess-1" || sp.StartMonoNs < 0 {
+	if sp.Tenant != "acme" || sp.StartMonoNs < 0 {
 		t.Errorf("span labels: %+v", sp)
 	}
 
@@ -238,8 +238,15 @@ func TestShedRecordsFlightEvent(t *testing.T) {
 		}()
 	}
 	defer wg.Wait()
+	resident := func() int {
+		if s.sched != nil {
+			st := s.sched.Stats()
+			return st.Running + st.Queued
+		}
+		return len(s.admission)
+	}
 	deadline := time.Now().Add(4 * time.Second)
-	for len(s.admission) < 2 {
+	for resident() < 2 {
 		if time.Now().After(deadline) {
 			t.Fatal("spinners never filled the admission queue")
 		}

@@ -48,6 +48,23 @@ const (
 	EvSnapshotRestore    = "snapshot-restore"
 	EvSnapshotQuarantine = "snapshot-quarantine"
 	EvSnapshotFallback   = "snapshot-fallback"
+	// Scheduler lifecycle (DESIGN.md §16): a task parked waiting for a
+	// slot, resumed (DurNs = the wait), preempted at a safepoint, or
+	// failed on a dry tenant gas bucket. internal/sched emits the same
+	// strings without importing this package; keep them in sync.
+	EvSchedPark    = "sched-park"
+	EvSchedResume  = "sched-resume"
+	EvSchedPreempt = "sched-preempt"
+	EvGasExhausted = "gas-exhausted"
+	// Resident-session lifecycle (DESIGN.md §16): created, deleted,
+	// idle-expired, checkpointed at drain, restored at boot, or promised
+	// by the manifest with no restorable checkpoint (a hard kill).
+	EvSessionCreate     = "session-create"
+	EvSessionDelete     = "session-delete"
+	EvSessionExpire     = "session-expire"
+	EvSessionCheckpoint = "session-checkpoint"
+	EvSessionRestore    = "session-restore"
+	EvSessionLost       = "session-lost"
 )
 
 // Severities, ordered.
@@ -77,7 +94,8 @@ func sevRank(s string) int {
 func kindSeverity(kind string) string {
 	switch kind {
 	case EvLoadShed, EvDeadline, EvCacheQuarantine, EvFault,
-		EvSnapshotQuarantine, EvSnapshotFallback:
+		EvSnapshotQuarantine, EvSnapshotFallback,
+		EvGasExhausted, EvSessionLost:
 		return SevWarn
 	case EvPanic:
 		return SevError

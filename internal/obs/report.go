@@ -138,18 +138,30 @@ func (r *Recorder) WriteTopRules(w io.Writer, n int) {
 // WriteProm renders a metric map in Prometheus text exposition format,
 // sorted by name for deterministic output. Monotonic metrics (the
 // `*_total` naming convention) are declared `counter`; everything else
-// is a `gauge`. Histogram series are rendered by Histogram.WriteProm.
+// is a `gauge`. Keys may carry a label set (`name{tenant="x"}`): the
+// TYPE line uses the bare name and is emitted once per family even when
+// several labeled series share it (sorting keeps them adjacent).
+// Histogram series are rendered by Histogram.WriteProm.
 func WriteProm(w io.Writer, metrics map[string]float64) {
 	names := make([]string, 0, len(metrics))
 	for k := range metrics {
 		names = append(names, k)
 	}
 	sort.Strings(names)
+	lastFamily := ""
 	for _, k := range names {
-		typ := "gauge"
-		if strings.HasSuffix(k, "_total") {
-			typ = "counter"
+		family := k
+		if i := strings.IndexByte(k, '{'); i >= 0 {
+			family = k[:i]
 		}
-		fmt.Fprintf(w, "# TYPE %s %s\n%s %g\n", k, typ, k, metrics[k])
+		if family != lastFamily {
+			typ := "gauge"
+			if strings.HasSuffix(family, "_total") {
+				typ = "counter"
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", family, typ)
+			lastFamily = family
+		}
+		fmt.Fprintf(w, "%s %g\n", k, metrics[k])
 	}
 }

@@ -57,6 +57,15 @@ func NewFromArena(a *Arena) *Machine {
 // under-reports the touched extent and no cheaper high-water mark
 // exists for it.
 func (a *Arena) adopt(m *Machine) {
+	// A machine built on recycled storage must never inherit a pending
+	// interrupt: a stale kill left over from a previous tenant's deadline
+	// would make the first safepoint 504 instantly. The machine is
+	// freshly constructed on this path today, but the invariant is load-
+	// bearing for resident sessions, so assert it where the reuse
+	// happens rather than trusting every caller to ClearInterrupt.
+	if m.signal.Load() != sigRun {
+		panic("s1: arena adoption with a pending interrupt")
+	}
 	a.uses++
 	if len(a.stack) != StackLimit-StackBase {
 		a.stack = make([]Word, StackLimit-StackBase)

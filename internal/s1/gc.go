@@ -265,9 +265,13 @@ func (m *Machine) collectAuto() {
 		m.promotedSinceFull >= gcPromoteFullFactor*m.gcThreshold {
 		m.minorOverBudget = false
 		m.GC()
-		return
+	} else {
+		m.MinorGC()
 	}
-	m.MinorGC()
+	// GC-check sites are safepoints too: an allocation-heavy program
+	// charges its gas (and can be parked) here, between the coarser
+	// Run-loop polls.
+	m.gcSafepoint()
 }
 
 // markRoots pushes every root onto the mark worklist — plus, for a

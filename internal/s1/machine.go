@@ -1,8 +1,10 @@
 package s1
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -193,10 +195,20 @@ type Machine struct {
 	// structure in FromValue, SQ list builders) across allocations; the
 	// collector treats the stack as roots.
 	tempRoots []Word
-	// interrupt, when set, makes Run return a RuntimeError at the next
-	// safepoint — the cooperative cancellation the compile daemon's
-	// request deadlines use. Checked every interruptEvery dispatches.
-	interrupt atomic.Bool
+	// signal is the tri-state run/preempt/kill word polled at safepoints
+	// (every interruptEvery retired instructions in Run, plus GC-check
+	// sites). sigKill makes Run return a RuntimeError (the cooperative
+	// cancellation the compile daemon's request deadlines use); sigPreempt
+	// makes Run return ErrPreempted with the machine fully resumable — pc,
+	// stack, registers and meters intact — so a scheduler can park it and
+	// call Run again later.
+	signal atomic.Int32
+	// safeCharged is the Stats.Cycles value already reported to
+	// OnSafepoint; the next safepoint reports the delta. safeErr defers a
+	// hook error raised at a GC-site safepoint (where the machine is
+	// mid-instruction and cannot stop) to the next Run-loop poll.
+	safeCharged int64
+	safeErr     error
 
 	// OnEvent, when non-nil, receives rare runtime happenings (kind is an
 	// event name matching the obs flight-recorder constants by
@@ -206,25 +218,122 @@ type Machine struct {
 	// paths only — never per instruction — so the disabled cost is a nil
 	// check at those sites.
 	OnEvent func(kind, unit string, d time.Duration)
+
+	// OnSafepoint, when non-nil, is called at every safepoint with the
+	// S-1 cycles retired since the previous call — the exact currency a
+	// gas meter charges — and whether a Preempt request landed at this
+	// safepoint. The hook may block (a scheduler parks the goroutine here
+	// and the machine simply pauses mid-Run); returning a non-nil error
+	// stops the run with that error and halts the machine (the gas-
+	// exhausted path). The disabled cost is a nil check per safepoint,
+	// never per instruction.
+	OnSafepoint func(cycles int64, preempted bool) error
 }
 
-// interruptEvery is the dispatch interval between interrupt-flag checks:
-// rare enough to stay off the hot path, frequent enough that a deadline
-// lands within microseconds.
+// Safepoint signal states (the tri-state interrupt word).
+const (
+	sigRun int32 = iota
+	sigPreempt
+	sigKill
+)
+
+// ErrPreempted is returned by Run when a Preempt request lands at a
+// safepoint and no OnSafepoint hook is installed to park in place: the
+// machine is NOT halted — pc, stack, registers and meters are all
+// intact — and calling Run again resumes execution exactly where it
+// stopped.
+var ErrPreempted = errors.New("s1: machine preempted at safepoint")
+
+// interruptEvery is the retired-instruction interval between safepoint
+// polls: rare enough to stay off the hot path, frequent enough that a
+// deadline or preemption lands within microseconds.
 const interruptEvery = 256
 
 // InterruptMsg is the RuntimeError message of an interrupted run.
 const InterruptMsg = "execution interrupted"
 
 // Interrupt requests that the current (or next) Run stop at its next
-// safepoint with a RuntimeError. Safe to call from another goroutine.
-func (m *Machine) Interrupt() { m.interrupt.Store(true) }
+// safepoint with a RuntimeError — the kill state of the tri-state
+// signal. Safe to call from another goroutine. A kill always wins over
+// a pending preempt.
+func (m *Machine) Interrupt() { m.signal.Store(sigKill) }
 
-// ClearInterrupt resets the interrupt flag.
-func (m *Machine) ClearInterrupt() { m.interrupt.Store(false) }
+// Preempt requests that the current Run pause at its next safepoint:
+// with an OnSafepoint hook installed the hook observes preempted=true
+// (and typically parks in place); without one, Run returns ErrPreempted
+// with the machine resumable. A pending kill is never downgraded.
+func (m *Machine) Preempt() { m.signal.CompareAndSwap(sigRun, sigPreempt) }
 
-// Interrupted reports whether an interrupt is pending.
-func (m *Machine) Interrupted() bool { return m.interrupt.Load() }
+// ClearInterrupt resets the signal to the run state. A machine recycled
+// between requests (resident sessions, arenas) must pass through here so
+// a stale kill from the previous request cannot leak into the next.
+func (m *Machine) ClearInterrupt() { m.signal.Store(sigRun) }
+
+// Interrupted reports whether a kill is pending.
+func (m *Machine) Interrupted() bool { return m.signal.Load() == sigKill }
+
+// pollSafepoint is the Run-loop safepoint: it surfaces deferred GC-site
+// hook errors, handles the tri-state signal, and reports the cycle delta
+// to the OnSafepoint hook. A non-nil return other than ErrPreempted
+// halts the machine; ErrPreempted leaves it resumable.
+func (m *Machine) pollSafepoint() error {
+	if err := m.safeErr; err != nil {
+		m.safeErr = nil
+		m.halted = true
+		return err
+	}
+	preempted := false
+	switch m.signal.Load() {
+	case sigKill:
+		m.halted = true
+		return &RuntimeError{PC: m.pc, Msg: InterruptMsg}
+	case sigPreempt:
+		// Consume the request (a kill racing in after the load is caught
+		// by the CAS failing and the next poll, or by the hook recheck
+		// below).
+		m.signal.CompareAndSwap(sigPreempt, sigRun)
+		if m.OnSafepoint == nil {
+			return ErrPreempted
+		}
+		preempted = true
+	}
+	if m.OnSafepoint != nil {
+		if err := m.OnSafepoint(m.takeUncharged(), preempted); err != nil {
+			m.halted = true
+			return err
+		}
+		// The hook may have parked for a long time; a kill that landed
+		// during the park must fire now, not after another 256 dispatches.
+		if m.signal.Load() == sigKill {
+			m.halted = true
+			return &RuntimeError{PC: m.pc, Msg: InterruptMsg}
+		}
+	}
+	return nil
+}
+
+// takeUncharged returns the cycles retired since the last safepoint
+// charge and marks them charged.
+func (m *Machine) takeUncharged() int64 {
+	d := m.Stats.Cycles - m.safeCharged
+	m.safeCharged = m.Stats.Cycles
+	return d
+}
+
+// gcSafepoint reports accumulated cycles to the OnSafepoint hook from a
+// GC-check site. The machine is mid-instruction here, so a hook error
+// cannot stop it directly; it is deferred to the next Run-loop poll
+// (within interruptEvery retired instructions). The hook may still
+// block, which is how a scheduler parks a machine that is allocating
+// heavily between loop safepoints.
+func (m *Machine) gcSafepoint() {
+	if m.OnSafepoint == nil || m.safeErr != nil {
+		return
+	}
+	if err := m.OnSafepoint(m.takeUncharged(), false); err != nil {
+		m.safeErr = err
+	}
+}
 
 // SetGCStress toggles forced collection before every allocation.
 func (m *Machine) SetGCStress(v bool) { m.gcStress = v }
@@ -272,7 +381,10 @@ func newMachine(a *Arena) *Machine {
 		tier:      &tierEngine{threshold: DefaultHotThreshold},
 	}
 	if a == nil {
-		m.stack = make([]Word, StackLimit-StackBase)
+		// Draw from the shared stack pool (cleared on attach) rather than
+		// always allocating: a server creating thousands of short-lived or
+		// parked machines recycles the same few 16 MB slices.
+		m.ensureStack()
 		return m
 	}
 	a.adopt(m)
@@ -548,6 +660,7 @@ func (m *Machine) CallIndex(idx int, args ...Word) (w Word, err error) {
 	if t := m.tier; t != nil {
 		t.restart()
 	}
+	m.ensureStack()
 	m.regs[RegSP] = RawInt(StackBase)
 	m.regs[RegFP] = RawInt(StackBase)
 	m.regs[RegEP] = NilWord
@@ -619,17 +732,20 @@ func (m *Machine) Run() (err error) {
 		}
 	}()
 	m.ensureDecoded()
+	m.ensureStack()
 	dec, limit := m.decFused, m.StepLimit
-	intrCtr := 0
+	// Safepoints are spaced by retired instructions, not dispatches: a
+	// lowered-block dispatch can retire blockChunk instructions, so a
+	// dispatch counter would stretch the poll interval by that factor.
+	nextPoll := m.Stats.Instrs + interruptEvery
 	for !m.halted {
 		if m.Stats.Instrs >= limit {
 			return &RuntimeError{PC: m.pc, Msg: "step limit exceeded"}
 		}
-		if intrCtr++; intrCtr >= interruptEvery {
-			intrCtr = 0
-			if m.interrupt.Load() {
-				m.halted = true
-				return &RuntimeError{PC: m.pc, Msg: InterruptMsg}
+		if m.Stats.Instrs >= nextPoll {
+			nextPoll = m.Stats.Instrs + interruptEvery
+			if err := m.pollSafepoint(); err != nil {
+				return err
 			}
 		}
 		pc := m.pc
@@ -753,7 +869,53 @@ func (m *Machine) tailCall(k int, fn Word) error {
 }
 
 // ResetStats clears the meters (not the machine state).
-func (m *Machine) ResetStats() { m.Stats = Stats{} }
+func (m *Machine) ResetStats() {
+	m.Stats = Stats{}
+	m.safeCharged = 0
+}
+
+// stackPool recycles full-size machine stacks across parked sessions:
+// a resident Machine that is idle between requests has an empty logical
+// stack, so ParkStack hands the 16 MB backing slice to the pool and
+// ensureStack reattaches (and clears) one on resume. Clearing on attach
+// rather than release keeps the park path O(1) and guarantees a program
+// that reads stack slots it never wrote cannot see another tenant's
+// words.
+var stackPool = sync.Pool{}
+
+// ensureStack attaches stack storage to a machine whose stack was
+// parked (or never allocated). Idempotent and cheap when the stack is
+// already present.
+func (m *Machine) ensureStack() {
+	if m.stack != nil {
+		return
+	}
+	if v, ok := stackPool.Get().([]Word); ok && len(v) == StackLimit-StackBase {
+		clear(v)
+		m.stack = v
+		return
+	}
+	m.stack = make([]Word, StackLimit-StackBase)
+}
+
+// ParkStack detaches the machine's stack into the shared pool and
+// returns true. Only legal between runs; the next Run/CallIndex
+// reattaches storage automatically. Arena-built machines decline —
+// their stack belongs to the arena and goes back through ReleaseArena —
+// and so does a machine with live frames (SP above the stack base,
+// e.g. after an interrupted run): parking would silently replace those
+// frames with zeros under a live SP, which the GC scans.
+func (m *Machine) ParkStack() bool {
+	if m.stack == nil || m.arena != nil {
+		return false
+	}
+	if sp := m.regs[RegSP].Bits; IsStackAddr(sp) && sp != StackBase {
+		return false
+	}
+	stackPool.Put(m.stack)
+	m.stack = nil
+	return true
+}
 
 // HeapLoad reads a heap word (for tests and the disassembler).
 func (m *Machine) HeapLoad(addr uint64) (Word, error) { return m.load(addr) }

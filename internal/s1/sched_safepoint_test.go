@@ -1,0 +1,203 @@
+package s1
+
+import (
+	"errors"
+	"testing"
+)
+
+// buildCountLoop assembles loop(n): tail-call itself down to 0, then
+// return 99 — a few instructions per iteration, so a moderate n retires
+// enough instructions to cross many interruptEvery safepoint polls.
+func buildCountLoop(t *testing.T, m *Machine) {
+	t.Helper()
+	idx := m.InternSym("loop")
+	fnIdx := addFn(t, m, "loop", 1, 1, []Item{
+		InstrItem(Instr{Op: OpMOV, A: R(RegRTA), B: Mem(RegFP, -5)}),
+		InstrItem(Instr{Op: OpJEQ, A: R(RegRTA), B: ImmInt(0), C: Lbl("done")}),
+		InstrItem(Instr{Op: OpSUB, A: R(RegRTA), B: ImmInt(1)}),
+		InstrItem(Instr{Op: OpMOVP, TagArg: int64(TagFixnum), A: R(RegA), B: Idx(RegRTA, 0, NoReg, 0)}),
+		InstrItem(Instr{Op: OpPUSH, A: R(RegA)}),
+		InstrItem(Instr{Op: OpTCALL, A: Imm(Ptr(TagSymbol, uint64(idx))), TagArg: 1}),
+		LabelItem("done"),
+		InstrItem(Instr{Op: OpMOV, A: R(RegA), B: Imm(FixnumWord(99))}),
+		InstrItem(Instr{Op: OpRET}),
+	})
+	m.SetSymbolFunction("loop", Ptr(TagFunc, uint64(fnIdx)))
+}
+
+// TestPreemptReturnsResumable: without an OnSafepoint hook, a Preempt
+// request makes Run return ErrPreempted with the machine fully
+// resumable — repeated preempt/resume cycles still produce the exact
+// result and meters of an uninterrupted run.
+func TestPreemptReturnsResumable(t *testing.T) {
+	m := New()
+	buildCountLoop(t, m)
+
+	const n = 50000
+	m.Preempt()
+	_, err := m.CallFunction("loop", FixnumWord(n))
+	if !errors.Is(err, ErrPreempted) {
+		t.Fatalf("preempted run returned %v, want ErrPreempted", err)
+	}
+	if m.halted {
+		t.Fatal("preempted machine is halted; it must stay resumable")
+	}
+
+	// Resume under continuous preemption: every Run segment advances a
+	// little and yields, until the program completes.
+	resumes := 0
+	for {
+		m.Preempt()
+		err = m.Run()
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrPreempted) {
+			t.Fatalf("resume %d: %v", resumes, err)
+		}
+		if resumes++; resumes > 1_000_000 {
+			t.Fatal("preempt/resume cycle never terminates")
+		}
+	}
+	got, err := m.pop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 99 {
+		t.Errorf("result across preemptions = %s, want 99", got)
+	}
+	if m.Stats.TailCalls != n {
+		t.Errorf("tail calls = %d, want %d (state lost across a preemption?)", m.Stats.TailCalls, n)
+	}
+	if resumes < 10 {
+		t.Errorf("only %d preempt/resume cycles over %d tail calls; safepoints are not polling", resumes, n)
+	}
+}
+
+// TestOnSafepointCycleDeltas: the hook receives non-negative cycle
+// deltas whose sum, plus the final uncharged residue, is exactly
+// Stats.Cycles — the invariant a gas meter depends on.
+func TestOnSafepointCycleDeltas(t *testing.T) {
+	m := New()
+	buildCountLoop(t, m)
+
+	var sum int64
+	calls := 0
+	m.OnSafepoint = func(cycles int64, preempted bool) error {
+		if cycles < 0 {
+			t.Errorf("negative cycle delta %d", cycles)
+		}
+		if preempted {
+			t.Error("preempted=true without a Preempt request")
+		}
+		sum += cycles
+		calls++
+		return nil
+	}
+	got, err := m.CallFunction("loop", FixnumWord(20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int() != 99 {
+		t.Fatalf("result = %s", got)
+	}
+	if calls == 0 {
+		t.Fatal("OnSafepoint never fired")
+	}
+	if total := sum + m.takeUncharged(); total != m.Stats.Cycles {
+		t.Errorf("charged %d + residue = %d cycles, Stats.Cycles = %d", sum, total, m.Stats.Cycles)
+	}
+}
+
+// TestOnSafepointPreemptedFlag: with a hook installed, a Preempt request
+// is delivered as preempted=true to the hook instead of aborting the
+// run, and the program completes normally.
+func TestOnSafepointPreemptedFlag(t *testing.T) {
+	m := New()
+	buildCountLoop(t, m)
+
+	preempts := 0
+	m.OnSafepoint = func(cycles int64, preempted bool) error {
+		if preempted {
+			preempts++
+		}
+		return nil
+	}
+	m.Preempt()
+	got, err := m.CallFunction("loop", FixnumWord(20000))
+	if err != nil {
+		t.Fatalf("hooked preemption must not abort the run: %v", err)
+	}
+	if got.Int() != 99 {
+		t.Errorf("result = %s", got)
+	}
+	if preempts != 1 {
+		t.Errorf("hook observed %d preemptions, want 1", preempts)
+	}
+}
+
+// TestOnSafepointErrorHalts: a hook error (the gas-exhausted path) stops
+// the run with that error and halts the machine.
+func TestOnSafepointErrorHalts(t *testing.T) {
+	m := New()
+	buildCountLoop(t, m)
+
+	sentinel := errors.New("out of gas")
+	m.OnSafepoint = func(cycles int64, preempted bool) error { return sentinel }
+	_, err := m.CallFunction("loop", FixnumWord(50000))
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("run returned %v, want the hook's error", err)
+	}
+	if !m.halted {
+		t.Error("machine must halt on a safepoint hook error")
+	}
+}
+
+// TestKillWinsOverPreempt: the tri-state signal never downgrades a
+// pending kill, in either arrival order.
+func TestKillWinsOverPreempt(t *testing.T) {
+	m := New()
+	m.Interrupt()
+	m.Preempt()
+	if m.signal.Load() != sigKill {
+		t.Error("Preempt downgraded a pending kill")
+	}
+	m.ClearInterrupt()
+	if m.signal.Load() != sigRun {
+		t.Error("ClearInterrupt did not reset the signal")
+	}
+
+	// A killed run reports the interrupt error, not ErrPreempted.
+	buildCountLoop(t, m)
+	m.Preempt()
+	m.Interrupt()
+	_, err := m.CallFunction("loop", FixnumWord(50000))
+	var re *RuntimeError
+	if !errors.As(err, &re) || re.Msg != InterruptMsg {
+		t.Fatalf("killed run returned %v, want interrupt RuntimeError", err)
+	}
+}
+
+// TestArenaAdoptStaleInterruptPanics is the recycled-storage regression:
+// adopting arena storage into a machine that still carries a pending
+// interrupt must panic loudly (a stale kill would otherwise 504 the next
+// tenant's first safepoint), and ClearInterrupt makes the same machine
+// adoptable again.
+func TestArenaAdoptStaleInterruptPanics(t *testing.T) {
+	m := New()
+	m.Interrupt()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("adopt accepted a machine with a pending interrupt")
+			}
+		}()
+		(&Arena{}).adopt(m)
+	}()
+
+	m.ClearInterrupt()
+	(&Arena{}).adopt(m) // must not panic
+	if !m.ReleaseArena() {
+		t.Error("adopted machine did not release back to its arena")
+	}
+}

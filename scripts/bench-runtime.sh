@@ -220,3 +220,96 @@ FOOTER
 } > "$OUT_GC"
 
 echo ";; wrote $OUT_GC" >&2
+
+# ---------------------------------------------------------------------
+# BENCH_sched.json: the M:N scheduler and resident-session metrics
+# (DESIGN.md §16). BenchmarkScheduler measures (a) resident sessions —
+# creation rate and the marginal heap bytes a parked session pins — and
+# (b) end-to-end /run throughput under the three scheduler modes; the
+# recorded ratios are on/off (admission + safepoint-hook overhead) and
+# stress/off (a forced yield at every safepoint, the park/resume
+# worst case). Medians over $COUNT runs, same as the suites above.
+
+OUT_SCHED=BENCH_sched.json
+RAW_SCHED=$(mktemp)
+trap 'rm -f "$RAW" "$RAW_GC" "$RAW_SCHED"' EXIT
+
+echo ";; running BenchmarkScheduler: ${COUNT}x runs of ${ITERS} fixed iterations per sub-benchmark" >&2
+go test -run xxx -bench BenchmarkScheduler -benchtime="${ITERS}x" -count="$COUNT" \
+  ./internal/daemon/ | tee "$RAW_SCHED" >&2
+
+{
+cat <<HEADER
+{
+  "date": "$DATE",
+  "benchmark": "scripts/bench-runtime.sh: go test -run xxx -bench BenchmarkScheduler -benchtime=${ITERS}x -count=$COUNT ./internal/daemon/",
+  "metric": "resident-session cost and /run throughput per scheduler mode; per-configuration median of $COUNT fixed-iteration runs from one invocation",
+  "environment": {
+    "cpu": "$CPU",
+    "cores": $CORES,
+    "goos": "$GOOS",
+    "goarch": "$GOARCH",
+    "note": "all modes re-measured in this invocation; only the within-invocation ratios are comparable across BENCH_sched.json entries"
+  },
+  "configurations": {
+    "off": "legacy direct path: worker semaphore + bounded queue, no preemption, no gas",
+    "on": "M:N scheduler: safepoint preemption, DRR fair queuing, per-tenant gas",
+    "stress": "scheduler with a forced yield at every safepoint (park/resume worst case)"
+  },
+HEADER
+
+awk '
+/^BenchmarkScheduler\// {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  split(name, parts, "/")
+  cfg = (parts[2] == "requests") ? parts[3] : parts[2]
+  for (i = 3; i <= NF; i++) {
+    if ($i ~ /^(sessions\/sec|bytes\/session|req\/sec)$/) {
+      v = $(i-1) + 0
+      key = cfg SUBSEP $i
+      cnt[key]++
+      vals[key, cnt[key]] = v
+    }
+  }
+}
+function median(cfg, met,   key, m, i, j, t, a) {
+  key = cfg SUBSEP met
+  m = cnt[key]
+  if (m == 0) return 0
+  for (i = 1; i <= m; i++) a[i] = vals[key, i]
+  for (i = 1; i < m; i++)
+    for (j = i + 1; j <= m; j++)
+      if (a[j] < a[i]) { t = a[i]; a[i] = a[j]; a[j] = t }
+  if (m % 2) return a[(m + 1) / 2]
+  return (a[m / 2] + a[m / 2 + 1]) / 2
+}
+END {
+  printf "  \"resident_sessions\": {\n"
+  printf "    \"sessions_per_sec\": %d,\n", median("resident-sessions", "sessions/sec")
+  printf "    \"marginal_bytes_per_session\": %d\n", median("resident-sessions", "bytes/session")
+  printf "  },\n"
+  printf "  \"requests\": {\n"
+  printf "    \"off_req_per_sec\": %d,\n", median("off", "req/sec")
+  printf "    \"on_req_per_sec\": %d,\n", median("on", "req/sec")
+  printf "    \"stress_req_per_sec\": %d\n", median("stress", "req/sec")
+  printf "  },\n"
+  off = median("off", "req/sec")
+  on = 0; st = 0
+  if (off > 0) { on = median("on", "req/sec") / off; st = median("stress", "req/sec") / off }
+  printf "  \"sched_on_over_off\": %.3f,\n", on
+  printf "  \"stress_over_off\": %.3f,\n", st
+}' "$RAW_SCHED"
+
+cat <<'FOOTER'
+  "acceptance_threshold": 0.75,
+  "what_changed": [
+    "M:N machine scheduler (DESIGN.md §16): goroutine-per-request multiplexed over SchedWorkers execution slots, preempting at the simulator safepoints already present (interruptEvery polls, GC-check sites, lowered-block exits) via Machine.OnSafepoint",
+    "deficit-round-robin fair queuing over tenants with the quantum settled against actual S-1 cycles, so a hot tenant cannot starve a light one",
+    "per-tenant gas buckets denominated in S-1 cycles (refill rate + burst); exhaustion is a typed 429 with Retry-After, distinct from deadline 504s and load-shed 429s",
+    "resident sessions: POST /session keeps a core.System live across requests with its 16 MB machine stack parked in a shared pool; drain checkpoints sessions into the snapshot store and boot restores or reports them lost (degraded /readyz)"
+  ]
+}
+FOOTER
+} > "$OUT_SCHED"
+
+echo ";; wrote $OUT_SCHED" >&2
